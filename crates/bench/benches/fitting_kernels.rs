@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks of the numerical kernels that dominate the
+//! extraction (ablation data for DESIGN.md): the eigensolver behind
+//! pole relocation, the per-response QR compression, and the complex
+//! frequency solves of the TFT transform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvf_numerics::{eigenvalues, jw_grid, logspace, CLu, CMat, Complex, Mat, Qr};
+use rvf_vecfit::{fit, VfOptions};
+
+fn bench_eigensolver(c: &mut Criterion) {
+    // Diagonal-plus-rank-one in real block form, the relocation matrix
+    // shape, at the paper's pole count.
+    let n = 12;
+    let mut a = Mat::zeros(n, n);
+    for i in 0..n / 2 {
+        let w = 10f64.powi(i as i32 + 3);
+        a[(2 * i, 2 * i)] = -0.01 * w;
+        a[(2 * i, 2 * i + 1)] = w;
+        a[(2 * i + 1, 2 * i)] = -w;
+        a[(2 * i + 1, 2 * i + 1)] = -0.01 * w;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] -= 1e-2 * 10f64.powi((j / 2) as i32 + 3);
+        }
+    }
+    c.bench_function("eigenvalues_12x12_relocation_matrix", |b| {
+        b.iter(|| eigenvalues(&a).unwrap())
+    });
+}
+
+fn bench_complex_solve(c: &mut Criterion) {
+    // One TFT frequency point on a buffer-sized MNA system.
+    let n = 36;
+    let g = Mat::from_fn(n, n, |i, j| {
+        if i == j {
+            2.0e-3
+        } else {
+            1.0e-4 * ((i * 31 + j * 17) as f64).sin()
+        }
+    });
+    let cc = Mat::from_fn(n, n, |i, j| if i == j { 2.0e-14 } else { 0.0 });
+    let s = Complex::from_im(2.0 * core::f64::consts::PI * 1.0e9);
+    let b_vec = vec![1.0; n];
+    c.bench_function("complex_lu_solve_36x36_tft_point", |b| {
+        b.iter(|| {
+            let sys = CMat::from_real_pair(&g, s, &cc);
+            let lu = CLu::factor(&sys).unwrap();
+            lu.solve_real(&b_vec).unwrap()
+        })
+    });
+}
+
+fn bench_qr_compression(c: &mut Criterion) {
+    // The per-response block QR of the fast VF formulation:
+    // 120 realified rows, 13 columns.
+    let m = Mat::from_fn(120, 13, |i, j| ((i * 7 + j * 13) as f64).sin());
+    c.bench_function("qr_block_120x13_fast_vf", |b| {
+        b.iter(|| {
+            let f = Qr::factor(&m);
+            f.r()
+        })
+    });
+}
+
+fn bench_vf_fit(c: &mut Criterion) {
+    // A full common-pole VF fit at the experiment's size: 100 responses,
+    // 60 frequencies, 6 poles.
+    let samples = jw_grid(&logspace(0.0, 10.0, 60));
+    let poles = [
+        Complex::new(-1.0e8, 2.0e9),
+        Complex::new(-1.0e8, -2.0e9),
+        Complex::new(-5.0e9, 1.5e10),
+        Complex::new(-5.0e9, -1.5e10),
+    ];
+    let data: Vec<Vec<Complex>> = (0..100)
+        .map(|k| {
+            let x = k as f64 / 99.0;
+            samples
+                .iter()
+                .map(|&s| {
+                    poles
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &a)| {
+                            let r = Complex::new(1.0e9 * (1.0 + x), 2.0e8 * x * (i as f64 + 1.0));
+                            let r = if a.im < 0.0 { r.conj() } else { r };
+                            r * (s - a).inv()
+                        })
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+    let opts = VfOptions::frequency(4).with_iterations(5);
+    c.bench_function("vector_fit_100responses_60freqs_4poles", |b| {
+        b.iter(|| fit(&samples, &data, &opts).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_eigensolver, bench_complex_solve, bench_qr_compression, bench_vf_fit
+}
+criterion_main!(benches);

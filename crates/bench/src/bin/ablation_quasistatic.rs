@@ -1,0 +1,62 @@
+//! Ablation: the training-pump frequency. The TFT premise is
+//! *quasi-static* Jacobian sampling — the internal state must track the
+//! input so that the snapshots are a single-valued function of the
+//! state estimator. Pumping too fast leaves hysteresis (up/down-sweep
+//! branches disagree), which becomes an irreducible fitting noise floor.
+//! This is why the paper trains with a "low-frequency high-amplitude"
+//! sine.
+//!
+//! ```sh
+//! cargo run --release -p rvf-bench --bin ablation_quasistatic
+//! ```
+
+use rvf_bench::paper_rvf_options;
+use rvf_circuit::{high_speed_buffer, BufferParams, Waveform};
+use rvf_core::fit_tft;
+use rvf_tft::{error_surface, extract_from_circuit, TftConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>12} {:>14} {:>16} {:>14}",
+        "pump [Hz]", "hysteresis", "surface RMS", "freq poles"
+    );
+    for &f in &[5.0e7, 1.0e7, 2.0e6, 4.0e5, 1.0e5, 2.0e4] {
+        let train = Waveform::Sine {
+            offset: 0.9,
+            amplitude: 0.5,
+            freq_hz: f,
+            phase_rad: 0.0,
+            delay: 0.0,
+        };
+        let mut buffer = high_speed_buffer(&BufferParams::default(), train);
+        let cfg = TftConfig { t_train: 1.0 / f, ..TftConfig::default() };
+        let (dataset, _) = extract_from_circuit(&mut buffer, &cfg)?;
+
+        // Hysteresis metric: worst disagreement of the static gain
+        // between the up- and down-sweep branches at matched states.
+        let mut hyst = 0.0_f64;
+        let n = dataset.samples.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let a = &dataset.samples[i];
+                let b = &dataset.samples[j];
+                if (a.state - b.state).abs() < 1e-3 {
+                    hyst = hyst.max((a.h0.re - b.h0.re).abs());
+                }
+            }
+        }
+
+        let report = fit_tft(&dataset, &paper_rvf_options())?;
+        let es = error_surface(&dataset, |x, s| report.model.transfer(x, s));
+        println!(
+            "{:>12.1e} {:>14.3e} {:>13.1} dB {:>14}",
+            f, hyst, es.rms_complex_db, report.diagnostics.n_freq_poles
+        );
+    }
+    println!();
+    println!("reading: the achievable hyperplane accuracy tracks the hysteresis");
+    println!("of the sampled trajectories; below ~1 MHz (pump 3000x under the");
+    println!("3 GHz bandwidth) the sampling is quasi-static and the fit reaches");
+    println!("the paper's accuracy regime.");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Fig. 6 of the paper: the TFT magnitude and phase hyperplane of the
+//! output buffer as a function of state (`x = u(t)`) and frequency.
+//!
+//! Prints the two surfaces as downsampled tables (state rows × frequency
+//! columns) plus the axis ranges, so the plotted shape — a low-pass
+//! surface whose gain ridge collapses at the saturated state extremes —
+//! can be compared against the paper directly.
+//!
+//! ```sh
+//! cargo run --release -p rvf-bench --bin fig6_tft_hyperplane
+//! ```
+
+use rvf_bench::{buffer_circuit, paper_tft_config};
+use rvf_tft::{extract_from_circuit, Hyperplane};
+
+fn print_surface(name: &str, states: &[f64], freqs: &[f64], m: &rvf_numerics::Mat, unit: &str) {
+    println!("--- {name} ({unit}) ---");
+    // Downsample to ~12 state rows and 10 frequency columns.
+    let srows: Vec<usize> = (0..12).map(|i| i * (states.len() - 1) / 11).collect();
+    let fcols: Vec<usize> = (0..10).map(|j| j * (freqs.len() - 1) / 9).collect();
+    print!("{:>8} |", "x \\ f");
+    for &j in &fcols {
+        print!(" {:>9.2e}", freqs[j]);
+    }
+    println!();
+    for &i in &srows {
+        print!("{:>8.3} |", states[i]);
+        for &j in &fcols {
+            print!(" {:>9.1}", m[(i, j)]);
+        }
+        println!();
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut circuit = buffer_circuit();
+    let (dataset, _train) = extract_from_circuit(&mut circuit, &paper_tft_config())?;
+    let hp = Hyperplane::of_dataset(&dataset);
+
+    println!("Fig. 6 — TFT hyperplane of the high-speed buffer");
+    println!(
+        "{} states in [{:.2}, {:.2}] V, {} frequencies in [{:.0e}, {:.0e}] Hz",
+        hp.states.len(),
+        hp.states.first().unwrap(),
+        hp.states.last().unwrap(),
+        hp.freqs_hz.len(),
+        hp.freqs_hz.first().unwrap(),
+        hp.freqs_hz.last().unwrap()
+    );
+    println!();
+    print_surface("gain", &hp.states, &hp.freqs_hz, &hp.gain_db, "dB");
+    println!();
+    print_surface("phase", &hp.states, &hp.freqs_hz, &hp.phase_deg, "deg");
+
+    // Shape checks the paper's figure exhibits.
+    let k_mid = hp.states.len() / 2;
+    let dc_gain_mid = hp.gain_db[(k_mid, 0)];
+    let dc_gain_lo = hp.gain_db[(0, 0)];
+    let hf_gain_mid = hp.gain_db[(k_mid, hp.freqs_hz.len() - 1)];
+    println!();
+    println!("shape checks (paper Fig. 6):");
+    println!(
+        "  mid-state DC gain  : {dc_gain_mid:.1} dB (paper: ~6 dB for gain 2)"
+    );
+    println!(
+        "  saturated DC gain  : {dc_gain_lo:.1} dB (collapses at the state edge)"
+    );
+    println!("  mid-state 10 GHz   : {hf_gain_mid:.1} dB (low-pass rolloff)");
+    println!(
+        "  phase at 10 GHz    : {:.0} deg (multi-pole accumulation)",
+        hp.phase_deg[(k_mid, hp.freqs_hz.len() - 1)]
+    );
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! The canonical experiment setup shared by all figure/table binaries
+//! and Criterion benchmarks: the paper's §IV configuration mapped onto
+//! the synthetic buffer.
+
+use rvf_caffeine::{CaffeineOptions, GpOptions};
+use rvf_circuit::{high_speed_buffer, prbs7, BufferParams, Circuit, Waveform};
+use rvf_core::RvfOptions;
+use rvf_tft::TftConfig;
+
+/// Bundle of everything the experiments share.
+#[derive(Debug, Clone)]
+pub struct PaperSetup {
+    /// TFT extraction configuration (~100 snapshots, 1 Hz–10 GHz grid).
+    pub tft: TftConfig,
+    /// RVF options (ε, pole budgets).
+    pub rvf: RvfOptions,
+    /// CAFFEINE baseline options.
+    pub caffeine: CaffeineOptions,
+}
+
+impl Default for PaperSetup {
+    fn default() -> Self {
+        Self {
+            tft: paper_tft_config(),
+            rvf: paper_rvf_options(),
+            caffeine: caffeine_options(),
+        }
+    }
+}
+
+/// The training stimulus: one period of a low-frequency, high-amplitude
+/// sine sweeping the 0.4–1.4 V input range (paper §IV). 100 kHz keeps
+/// the Jacobian sampling quasi-static against the 3 GHz buffer.
+pub fn train_waveform() -> Waveform {
+    Waveform::Sine { offset: 0.9, amplitude: 0.5, freq_hz: 1.0e5, phase_rad: 0.0, delay: 0.0 }
+}
+
+/// The buffer under test with the training stimulus attached.
+pub fn buffer_circuit() -> Circuit {
+    high_speed_buffer(&BufferParams::default(), train_waveform())
+}
+
+/// TFT configuration: ~100 snapshots over one training period, 60
+/// log-spaced frequencies from 1 Hz to 10 GHz.
+pub fn paper_tft_config() -> TftConfig {
+    TftConfig {
+        f_min_hz: 1.0,
+        f_max_hz: 1.0e10,
+        n_freqs: 60,
+        t_train: 1.0e-5,
+        steps: 2000,
+        n_snapshots: 100,
+        embed_depth: 1,
+        threads: 4,
+    }
+}
+
+/// RVF options used by the headline experiment. The paper quotes
+/// ε = 10⁻³ on its data scale; our ε is relative to the dynamic-part
+/// peak, where 10⁻⁴ reproduces the paper's accuracy (see EXPERIMENTS.md).
+pub fn paper_rvf_options() -> RvfOptions {
+    RvfOptions { epsilon: 1e-4, max_state_poles: 20, ..Default::default() }
+}
+
+/// CAFFEINE baseline options: polynomial (integrable) subset so the
+/// time-domain comparison is possible, mirroring the paper's manual
+/// simplification of the base functions.
+pub fn caffeine_options() -> CaffeineOptions {
+    CaffeineOptions {
+        gp: GpOptions {
+            population: 64,
+            generations: 60,
+            max_terms: 9,
+            max_power: 8,
+            ..Default::default()
+        },
+        integrable_only: true,
+    }
+}
+
+/// The validation stimulus: 2.5 GS/s PRBS-7 bit pattern with finite
+/// rise time (paper Fig. 9). Returns `(waveform, dt, t_stop)`.
+pub fn test_pattern() -> (Waveform, f64, f64) {
+    let wave = Waveform::BitPattern {
+        v0: 0.5,
+        v1: 1.3,
+        bits: prbs7(0x2f, 20),
+        rate_hz: 2.5e9,
+        rise: 60e-12,
+        delay: 0.0,
+    };
+    (wave, 2.0e-12, 8.0e-9)
+}

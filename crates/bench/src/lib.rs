@@ -1,0 +1,16 @@
+//! # rvf-bench
+//!
+//! Shared experiment configuration and helpers for the benchmark harness
+//! that regenerates every table and figure of the DATE 2013 TFT-RVF
+//! paper. See `src/bin/` for the per-figure binaries and `benches/` for
+//! the Criterion benchmarks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiment;
+
+pub use experiment::{
+    buffer_circuit, caffeine_options, paper_rvf_options, paper_tft_config, test_pattern,
+    train_waveform, PaperSetup,
+};

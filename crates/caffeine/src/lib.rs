@@ -1,0 +1,47 @@
+//! # rvf-caffeine
+//!
+//! A miniature reimplementation of CAFFEINE (McConaghy & Gielen,
+//! *Template-free symbolic performance modeling of analog circuits via
+//! canonical-form functions and genetic programming*, TCAD 2009) — the
+//! baseline the DATE 2013 paper compares Recursive Vector Fitting
+//! against (Fig. 8 and Table I).
+//!
+//! The crate provides:
+//!
+//! * canonical-form expressions (weighted sums of products of powers and
+//!   guarded unary operators) with linear weights solved by least
+//!   squares ([`expr`], [`gp`]);
+//! * a bi-objective (error, complexity) GP engine ([`gp::evolve`]);
+//! * an **integrability analyzer** ([`expr::Integrability`]): only the
+//!   polynomial subset has closed-form antiderivatives, which is exactly
+//!   the automation gap the paper reports for CAFFEINE ("the indefinite
+//!   integral … needs to be computed manually, if it can be computed
+//!   altogether");
+//! * the CAFFEINE Hammerstein baseline ([`model`]): VF frequency poles +
+//!   GP residue regression, with simulation available only for
+//!   integrable stages.
+//!
+//! # Example
+//!
+//! ```
+//! use rvf_caffeine::{evolve, GpOptions};
+//! use rvf_numerics::linspace;
+//!
+//! let xs = linspace(-1.0, 1.0, 40);
+//! let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + 2.0 * x * x).collect();
+//! let best = evolve(&xs, &ys, &GpOptions { generations: 15, ..Default::default() });
+//! assert!(best.rmse < 1e-8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod expr;
+pub mod gp;
+pub mod model;
+
+pub use expr::{BasisTerm, CanonicalForm, Factor, Integrability, UnaryOp};
+pub use gp::{evolve, GpOptions, Individual};
+pub use model::{
+    build_caffeine_hammerstein, CafBlock, CaffeineHammerstein, CaffeineOptions, CaffeineStage,
+};

@@ -1,0 +1,113 @@
+//! Small-signal AC analysis around an operating point.
+
+use rvf_numerics::{CLu, CMat, Complex, Mat};
+
+use crate::error::CircuitError;
+use crate::netlist::Circuit;
+
+/// Evaluates the transfer function `H(s) = Dᵀ·(G + s·C)⁻¹·B` for one
+/// complex frequency — the same expression the TFT transform applies to
+/// every Jacobian snapshot (paper eq. 3).
+///
+/// # Errors
+///
+/// Returns a numerics error if `(G + sC)` is singular at `s`.
+pub fn transfer_at(
+    g: &Mat,
+    c: &Mat,
+    b: &[f64],
+    d: &[f64],
+    s: Complex,
+) -> Result<Complex, CircuitError> {
+    let sys = CMat::from_real_pair(g, s, c);
+    let lu = CLu::factor(&sys)?;
+    let x = lu.solve_real(b)?;
+    let mut y = Complex::ZERO;
+    for (di, xi) in d.iter().zip(&x) {
+        y += *xi * *di;
+    }
+    Ok(y)
+}
+
+/// Sweeps the small-signal transfer function input→output over a list of
+/// frequencies (hertz) at the operating point `x_op`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::MissingPort`] if input/output are not set, or
+/// a numerics error if the system matrix is singular at some frequency.
+pub fn ac_sweep(
+    circuit: &mut Circuit,
+    x_op: &[f64],
+    freqs_hz: &[f64],
+) -> Result<Vec<Complex>, CircuitError> {
+    let _ = circuit.dim();
+    let ev = circuit.eval(x_op, 0.0, 0.0, true);
+    let g = ev.g.expect("jacobian requested");
+    let c = ev.c.expect("jacobian requested");
+    let b = circuit.input_column()?;
+    let d = circuit.output_row()?;
+    freqs_hz
+        .iter()
+        .map(|&f| {
+            let s = Complex::from_im(2.0 * core::f64::consts::PI * f);
+            transfer_at(&g, &c, &b, &d, s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{dc_operating_point, DcOptions};
+    use crate::devices::passive::{Capacitor, Resistor};
+    use crate::devices::sources::Vsource;
+    use crate::waveform::Waveform;
+    use rvf_numerics::db20;
+
+    fn rc_lowpass() -> (Circuit, f64) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out");
+        ckt.add(Vsource::new("Vin", a, 0, Waveform::Dc(0.0))).unwrap();
+        ckt.add(Resistor::new("R1", a, b, 1.0e3)).unwrap();
+        ckt.add(Capacitor::new("C1", b, 0, 1.0e-9)).unwrap();
+        ckt.set_input("Vin").unwrap();
+        ckt.set_output(b, 0);
+        let f3db = 1.0 / (2.0 * core::f64::consts::PI * 1.0e3 * 1.0e-9);
+        (ckt, f3db)
+    }
+
+    #[test]
+    fn rc_lowpass_matches_analytic() {
+        let (mut ckt, f3db) = rc_lowpass();
+        let x0 = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let freqs = [f3db / 100.0, f3db, f3db * 100.0];
+        let h = ac_sweep(&mut ckt, &x0, &freqs).unwrap();
+        // DC-ish: gain ≈ 1.
+        assert!((h[0].abs() - 1.0).abs() < 1e-3);
+        // Corner: −3 dB, −45°.
+        assert!((db20(h[1].abs()) + 3.0103).abs() < 0.01);
+        assert!((h[1].arg().to_degrees() + 45.0).abs() < 0.5);
+        // Far above: −40 dB per 2 decades.
+        assert!((db20(h[2].abs()) + 40.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn transfer_at_complex_frequency() {
+        // H(s) = 1/(1 + sRC) evaluated off the jω axis.
+        let (mut ckt, _) = rc_lowpass();
+        let x0 = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let _ = ckt.dim();
+        let ev = ckt.eval(&x0, 0.0, 0.0, true);
+        let g = ev.g.unwrap();
+        let c = ev.c.unwrap();
+        let b = ckt.input_column().unwrap();
+        let d = ckt.output_row().unwrap();
+        let s = Complex::new(-2.0e5, 3.0e5);
+        let h = transfer_at(&g, &c, &b, &d, s).unwrap();
+        let rc = 1.0e3 * 1.0e-9;
+        let want = (Complex::ONE + s.scale(rc)).inv();
+        assert!((h - want).abs() < 1e-9 * want.abs());
+    }
+}

@@ -1,0 +1,362 @@
+//! Transient analysis: fixed-step implicit integration with Newton at
+//! every step and optional Jacobian snapshot capture.
+
+use rvf_numerics::Lu;
+
+use crate::error::CircuitError;
+use crate::netlist::Circuit;
+use crate::snapshot::JacobianSnapshot;
+
+/// Implicit integration rule for `f(x) + q̇(x) = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order, L-stable, artificially damped.
+    BackwardEuler,
+    /// Second-order, A-stable; SPICE's default.
+    #[default]
+    Trapezoidal,
+}
+
+/// Options for the transient solver.
+#[derive(Debug, Clone)]
+pub struct TranOptions {
+    /// Fixed time step (s).
+    pub dt: f64,
+    /// Stop time (s); the solver takes `ceil(t_stop/dt)` steps.
+    pub t_stop: f64,
+    /// Integration rule.
+    pub integrator: Integrator,
+    /// Maximum Newton iterations per step.
+    pub max_newton: usize,
+    /// Residual tolerance (A).
+    pub tol_residual: f64,
+    /// Update tolerance (V).
+    pub tol_update: f64,
+    /// Gmin kept during transient (helps cutoff devices; 0 disables).
+    pub gmin: f64,
+    /// Capture a [`JacobianSnapshot`] every `n` steps (`None` disables).
+    pub snapshot_every: Option<usize>,
+}
+
+impl Default for TranOptions {
+    fn default() -> Self {
+        Self {
+            dt: 1e-12,
+            t_stop: 1e-9,
+            integrator: Integrator::Trapezoidal,
+            max_newton: 50,
+            tol_residual: 1e-9,
+            tol_update: 1e-9,
+            gmin: 1e-12,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// Result of a transient run.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    /// Time points (including `t = 0`).
+    pub times: Vec<f64>,
+    /// Input stimulus at each time point.
+    pub inputs: Vec<f64>,
+    /// Output probe at each time point.
+    pub outputs: Vec<f64>,
+    /// Full state at each time point.
+    pub states: Vec<Vec<f64>>,
+    /// Captured Jacobian snapshots (when requested).
+    pub snapshots: Vec<JacobianSnapshot>,
+    /// Total Newton iterations across all steps (effort metric for the
+    /// speedup comparison in Table I).
+    pub newton_iterations: usize,
+}
+
+/// Runs a fixed-step transient analysis from the initial state `x0`
+/// (normally the DC operating point).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NewtonDiverged`] with the failing time if a
+/// step does not converge, or a numerics error for singular Jacobians.
+pub fn transient(
+    circuit: &mut Circuit,
+    x0: &[f64],
+    opts: &TranOptions,
+) -> Result<TranResult, CircuitError> {
+    assert!(opts.dt > 0.0 && opts.t_stop > 0.0, "dt and t_stop must be positive");
+    let dim = circuit.dim();
+    assert_eq!(x0.len(), dim, "initial state length mismatch");
+    let n_steps = (opts.t_stop / opts.dt).ceil() as usize;
+
+    let mut x = x0.to_vec();
+    // q and q̇ at the current accepted point; at a DC equilibrium
+    // f(x₀) + q̇ = 0 gives q̇₀ = −f(x₀) (≈ 0 when starting from the op).
+    let ev0 = circuit.eval(&x, 0.0, opts.gmin, false);
+    let mut q_prev = ev0.q;
+    let mut qdot_prev: Vec<f64> = ev0.f.iter().map(|v| -v).collect();
+
+    let mut result = TranResult {
+        times: Vec::with_capacity(n_steps + 1),
+        inputs: Vec::with_capacity(n_steps + 1),
+        outputs: Vec::with_capacity(n_steps + 1),
+        states: Vec::with_capacity(n_steps + 1),
+        snapshots: Vec::new(),
+        newton_iterations: 0,
+    };
+    let record = |res: &mut TranResult, circuit: &Circuit, t: f64, x: &[f64]| {
+        res.times.push(t);
+        res.inputs.push(circuit.input_value(t).unwrap_or(0.0));
+        res.outputs.push(if circuit.output_row().is_ok() {
+            circuit.output_value(x)
+        } else {
+            0.0
+        });
+        res.states.push(x.to_vec());
+    };
+    record(&mut result, circuit, 0.0, &x);
+    maybe_snapshot(circuit, &mut result, 0, opts, 0.0, &x);
+
+    for step in 1..=n_steps {
+        let t = step as f64 * opts.dt;
+        // Newton on the discretized residual.
+        let mut converged = false;
+        let mut residual = f64::INFINITY;
+        for _ in 0..opts.max_newton {
+            result.newton_iterations += 1;
+            let ev = circuit.eval(&x, t, opts.gmin, true);
+            let g = ev.g.expect("jacobian requested");
+            let c = ev.c.expect("jacobian requested");
+            // Residual and companion Jacobian per integrator.
+            let (res_vec, jac) = match opts.integrator {
+                Integrator::BackwardEuler => {
+                    let inv_h = 1.0 / opts.dt;
+                    let r: Vec<f64> = (0..dim)
+                        .map(|i| ev.f[i] + (ev.q[i] - q_prev[i]) * inv_h)
+                        .collect();
+                    (r, g.axpy(inv_h, &c))
+                }
+                Integrator::Trapezoidal => {
+                    let k = 2.0 / opts.dt;
+                    let r: Vec<f64> = (0..dim)
+                        .map(|i| ev.f[i] + k * (ev.q[i] - q_prev[i]) - qdot_prev[i])
+                        .collect();
+                    (r, g.axpy(k, &c))
+                }
+            };
+            residual = res_vec.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            let lu = Lu::factor(&jac)?;
+            let dx = lu.solve(&res_vec)?;
+            let mut norm = 0.0_f64;
+            for v in &dx {
+                norm = norm.max(v.abs());
+            }
+            // Damping for large excursions.
+            let alpha = if norm > 1.0 { 1.0 / norm } else { 1.0 };
+            for (xi, di) in x.iter_mut().zip(&dx) {
+                *xi -= alpha * di;
+            }
+            if residual < opts.tol_residual && norm * alpha < opts.tol_update {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(CircuitError::NewtonDiverged {
+                iterations: opts.max_newton,
+                residual,
+                time: t,
+            });
+        }
+        // Accept: update charge history.
+        let ev = circuit.eval(&x, t, opts.gmin, false);
+        match opts.integrator {
+            Integrator::BackwardEuler => {
+                for i in 0..dim {
+                    qdot_prev[i] = (ev.q[i] - q_prev[i]) / opts.dt;
+                }
+            }
+            Integrator::Trapezoidal => {
+                let k = 2.0 / opts.dt;
+                for i in 0..dim {
+                    qdot_prev[i] = k * (ev.q[i] - q_prev[i]) - qdot_prev[i];
+                }
+            }
+        }
+        q_prev = ev.q;
+        record(&mut result, circuit, t, &x);
+        maybe_snapshot(circuit, &mut result, step, opts, t, &x);
+    }
+    Ok(result)
+}
+
+fn maybe_snapshot(
+    circuit: &Circuit,
+    result: &mut TranResult,
+    step: usize,
+    opts: &TranOptions,
+    t: f64,
+    x: &[f64],
+) {
+    let Some(every) = opts.snapshot_every else {
+        return;
+    };
+    if every == 0 || step % every != 0 {
+        return;
+    }
+    // Capture the *device* Jacobians (no integrator companion terms, no
+    // gmin): these are the TFT matrices of paper eq. (3).
+    let ev = circuit.eval(x, t, 0.0, true);
+    result.snapshots.push(JacobianSnapshot {
+        t,
+        u: circuit.input_value(t).unwrap_or(0.0),
+        y: if circuit.output_row().is_ok() { circuit.output_value(x) } else { 0.0 },
+        x: x.to_vec(),
+        g: ev.g.expect("jacobian requested"),
+        c: ev.c.expect("jacobian requested"),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{dc_operating_point, DcOptions};
+    use crate::devices::passive::{Capacitor, Inductor, Resistor};
+    use crate::devices::sources::Vsource;
+    use crate::waveform::Waveform;
+
+    fn rc_lowpass(r: f64, c: f64, w: Waveform) -> (Circuit, usize) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out");
+        ckt.add(Vsource::new("Vin", a, 0, w)).unwrap();
+        ckt.add(Resistor::new("R1", a, b, r)).unwrap();
+        ckt.add(Capacitor::new("C1", b, 0, c)).unwrap();
+        ckt.set_input("Vin").unwrap();
+        ckt.set_output(b, 0);
+        (ckt, b)
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        // Step from 0 to 1 V at t=0 through R=1k, C=1n: v(t) = 1−e^{−t/τ}.
+        let (mut ckt, out) = rc_lowpass(
+            1e3,
+            1e-9,
+            Waveform::Pulse { v0: 0.0, v1: 1.0, delay: 0.0, rise: 1e-15, fall: 1e-15, width: 1.0, period: 0.0 },
+        );
+        let x0 = vec![0.0; ckt.dim()];
+        let opts = TranOptions { dt: 1e-8 / 400.0, t_stop: 5e-6 / 1000.0, ..Default::default() };
+        let res = transient(&mut ckt, &x0, &opts).unwrap();
+        let tau = 1e3 * 1e-9;
+        for (t, s) in res.times.iter().zip(&res.states).skip(1) {
+            let want = 1.0 - (-t / tau).exp();
+            let got = s[out - 1];
+            assert!((got - want).abs() < 2e-3, "t={t:.3e}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rc_sine_steady_state_amplitude() {
+        // Drive at f = 1/(2πRC): |H| = 1/√2, phase −45°.
+        let r = 1e3;
+        let c = 1e-9;
+        let f0 = 1.0 / (2.0 * core::f64::consts::PI * r * c);
+        let (mut ckt, out) = rc_lowpass(
+            r,
+            c,
+            Waveform::Sine { offset: 0.0, amplitude: 1.0, freq_hz: f0, phase_rad: 0.0, delay: 0.0 },
+        );
+        let x0 = vec![0.0; ckt.dim()];
+        let period = 1.0 / f0;
+        let opts = TranOptions { dt: period / 1000.0, t_stop: 10.0 * period, ..Default::default() };
+        let res = transient(&mut ckt, &x0, &opts).unwrap();
+        // Amplitude over the last two periods.
+        let n = res.times.len();
+        let tail = &res.states[n - 2000..];
+        let peak = tail.iter().map(|s| s[out - 1]).fold(0.0_f64, f64::max);
+        assert!((peak - core::f64::consts::FRAC_1_SQRT_2).abs() < 0.01, "peak {peak}");
+    }
+
+    #[test]
+    fn lc_oscillation_frequency() {
+        // Series RLC with tiny R: ringing at 1/(2π√LC).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.add(Vsource::new(
+            "Vin",
+            a,
+            0,
+            Waveform::Pulse { v0: 0.0, v1: 1.0, delay: 0.0, rise: 1e-12, fall: 1e-12, width: 1.0, period: 0.0 },
+        ))
+        .unwrap();
+        ckt.add(Resistor::new("R1", a, b, 1.0)).unwrap();
+        ckt.add(Inductor::new("L1", b, c, 1e-6)).unwrap();
+        ckt.add(Capacitor::new("C1", c, 0, 1e-9)).unwrap();
+        ckt.set_input("Vin").unwrap();
+        ckt.set_output(c, 0);
+        let x0 = vec![0.0; ckt.dim()];
+        let f0 = 1.0 / (2.0 * core::f64::consts::PI * (1e-6_f64 * 1e-9).sqrt());
+        let period = 1.0 / f0;
+        let opts = TranOptions { dt: period / 200.0, t_stop: 3.0 * period, ..Default::default() };
+        let res = transient(&mut ckt, &x0, &opts).unwrap();
+        // Find the first two upward crossings of 1.0 (the drive level).
+        let mut crossings = Vec::new();
+        for i in 1..res.outputs.len() {
+            if res.outputs[i - 1] < 1.0 && res.outputs[i] >= 1.0 {
+                crossings.push(res.times[i]);
+            }
+        }
+        assert!(crossings.len() >= 2, "no ringing detected");
+        let measured = crossings[1] - crossings[0];
+        assert!(
+            (measured - period).abs() < 0.05 * period,
+            "period {measured:.3e} vs {period:.3e}"
+        );
+    }
+
+    #[test]
+    fn snapshots_captured_at_requested_cadence() {
+        let (mut ckt, _) = rc_lowpass(
+            1e3,
+            1e-9,
+            Waveform::Sine { offset: 0.5, amplitude: 0.4, freq_hz: 1e5, phase_rad: 0.0, delay: 0.0 },
+        );
+        let x0 = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let opts = TranOptions {
+            dt: 1e-8,
+            t_stop: 1e-5,
+            snapshot_every: Some(100),
+            ..Default::default()
+        };
+        let res = transient(&mut ckt, &x0, &opts).unwrap();
+        assert_eq!(res.snapshots.len(), 1000 / 100 + 1); // incl. t=0
+        for s in &res.snapshots {
+            assert_eq!(s.g.shape(), (3, 3));
+            assert_eq!(s.c.shape(), (3, 3));
+            assert!((0.1..=0.9).contains(&s.u) || s.u >= 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_euler_also_converges() {
+        let (mut ckt, out) = rc_lowpass(
+            1e3,
+            1e-9,
+            Waveform::Pulse { v0: 0.0, v1: 1.0, delay: 0.0, rise: 1e-15, fall: 1e-15, width: 1.0, period: 0.0 },
+        );
+        let x0 = vec![0.0; ckt.dim()];
+        let opts = TranOptions {
+            dt: 2.5e-11,
+            t_stop: 5e-9,
+            integrator: Integrator::BackwardEuler,
+            ..Default::default()
+        };
+        let res = transient(&mut ckt, &x0, &opts).unwrap();
+        let t_end = *res.times.last().unwrap();
+        let want = 1.0 - (-t_end / 1e-6).exp();
+        let got = res.states.last().unwrap()[out - 1];
+        assert!((got - want).abs() < 5e-3, "{got} vs {want}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the circuit simulator.
+
+use proptest::prelude::*;
+use rvf_circuit::devices::passive::{Capacitor, Resistor};
+use rvf_circuit::devices::sources::Vsource;
+use rvf_circuit::parser::parse_value;
+use rvf_circuit::{
+    ac_sweep, dc_operating_point, rc_ladder, transient, Circuit, DcOptions, TranOptions,
+    Waveform,
+};
+use rvf_numerics::Complex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn divider_chain_dc_solution(r1 in 10.0..1e5f64, r2 in 10.0..1e5f64, v in -10.0..10.0f64) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Vsource::new("V1", a, 0, Waveform::Dc(v))).unwrap();
+        ckt.add(Resistor::new("R1", a, b, r1)).unwrap();
+        ckt.add(Resistor::new("R2", b, 0, r2)).unwrap();
+        let x = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let want = v * r2 / (r1 + r2);
+        prop_assert!((x[b - 1] - want).abs() < 1e-9 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn rc_ac_magnitude_matches_analytic(r in 100.0..1e5f64, c_exp in -12.0..-8.0f64,
+                                        f_exp in 2.0..8.0f64) {
+        let c = 10f64.powf(c_exp);
+        let f = 10f64.powf(f_exp);
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Vsource::new("V1", a, 0, Waveform::Dc(0.0))).unwrap();
+        ckt.add(Resistor::new("R1", a, b, r)).unwrap();
+        ckt.add(Capacitor::new("C1", b, 0, c)).unwrap();
+        ckt.set_input("V1").unwrap();
+        ckt.set_output(b, 0);
+        let x = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let h = ac_sweep(&mut ckt, &x, &[f]).unwrap()[0];
+        let s = Complex::from_im(2.0 * core::f64::consts::PI * f);
+        let want = (Complex::ONE + s.scale(r * c)).inv();
+        prop_assert!((h - want).abs() < 1e-9 * want.abs(),
+            "H mismatch: {h:?} vs {want:?}");
+    }
+
+    #[test]
+    fn transient_dc_input_stays_at_operating_point(n in 1usize..5, v in 0.1..2.0f64) {
+        // With a DC drive, the transient must hold the DC solution.
+        let mut ckt = rc_ladder(n, 1e3, 1e-12, Waveform::Dc(v));
+        let x0 = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let res = transient(
+            &mut ckt,
+            &x0,
+            &TranOptions { dt: 1e-10, t_stop: 2e-8, ..Default::default() },
+        )
+        .unwrap();
+        for y in &res.outputs {
+            prop_assert!((y - v).abs() < 1e-6, "drifted to {y} from {v}");
+        }
+    }
+
+    #[test]
+    fn snapshots_capture_symmetric_linear_jacobians(n in 1usize..4) {
+        // Linear RC networks have symmetric G and C node blocks.
+        let mut ckt = rc_ladder(
+            n,
+            1e3,
+            1e-9,
+            Waveform::Sine { offset: 0.5, amplitude: 0.3, freq_hz: 1e4, phase_rad: 0.0, delay: 0.0 },
+        );
+        let x0 = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let res = transient(
+            &mut ckt,
+            &x0,
+            &TranOptions {
+                dt: 1e-7,
+                t_stop: 2e-6,
+                snapshot_every: Some(10),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(!res.snapshots.is_empty());
+        let nn = ckt.n_nodes();
+        for s in &res.snapshots {
+            for i in 0..nn {
+                for j in 0..nn {
+                    prop_assert!((s.g[(i, j)] - s.g[(j, i)]).abs() < 1e-12);
+                    prop_assert!((s.c[(i, j)] - s.c[(j, i)]).abs() < 1e-24);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_value_round_trips_plain_numbers(v in -1e6..1e6f64) {
+        let s = format!("{v:.6e}");
+        let parsed = parse_value(&s).unwrap();
+        prop_assert!((parsed - v).abs() <= 1e-5 * v.abs().max(1e-12));
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(text in "[ -~\n]{0,200}") {
+        // Any byte soup must produce Ok or Err, never a panic.
+        let _ = rvf_circuit::parse_netlist(&text);
+    }
+
+    #[test]
+    fn energy_dissipation_is_nonnegative(r in 100.0..1e4f64) {
+        // Discharging an RC from a charged state through a resistor:
+        // the capacitor voltage decays monotonically (passive network).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Resistor::new("R1", a, 0, r)).unwrap();
+        ckt.add(Capacitor::new("C1", a, 0, 1e-9)).unwrap();
+        let dim = ckt.dim();
+        let mut x0 = vec![0.0; dim];
+        x0[a - 1] = 1.0;
+        let res = transient(
+            &mut ckt,
+            &x0,
+            &TranOptions { dt: r * 1e-9 / 100.0, t_stop: r * 1e-9, ..Default::default() },
+        )
+        .unwrap();
+        let vs: Vec<f64> = res.states.iter().map(|s| s[a - 1]).collect();
+        for w in vs.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12, "capacitor voltage increased");
+        }
+        // Final value matches the analytic decay at the actual end time.
+        let t_end = *res.times.last().unwrap();
+        let want = (-t_end / (r * 1e-9)).exp();
+        prop_assert!((vs.last().unwrap() - want).abs() < 1e-3);
+    }
+}

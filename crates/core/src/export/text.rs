@@ -1,0 +1,287 @@
+//! Lossless plain-text serialization of [`HammersteinModel`].
+//!
+//! The format is line-oriented and versioned:
+//!
+//! ```text
+//! rvf-hammerstein v1
+//! anchor <u0> <y0>
+//! static <d> <e> <const> <n_pairs>
+//! pair <pole_re> <pole_im> <rho_re> <rho_im>
+//! …
+//! blocks <n>
+//! real <a>
+//! fn <d> <e> <const> <n_pairs>
+//! pair …
+//! pair_block <sigma> <omega>
+//! fn …        (component 1)
+//! fn …        (component 2)
+//! end
+//! ```
+
+use rvf_numerics::Complex;
+use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, ResponseTerms, Residues};
+
+use crate::error::RvfError;
+use crate::hammerstein::{DynBlock, HammersteinModel, StateFn};
+use crate::integrated::{IntegratedStateFn, LogTerm};
+
+/// Serializes a model to the versioned text format.
+pub fn encode(model: &HammersteinModel) -> String {
+    let mut out = String::new();
+    out.push_str("rvf-hammerstein v1\n");
+    out.push_str(&format!("anchor {:.17e} {:.17e}\n", model.u0, model.y0));
+    out.push_str("static ");
+    encode_statefn(&mut out, &model.static_path);
+    out.push_str(&format!("blocks {}\n", model.blocks.len()));
+    for b in &model.blocks {
+        match b {
+            DynBlock::Real { a, f } => {
+                out.push_str(&format!("real {a:.17e}\n"));
+                out.push_str("fn ");
+                encode_statefn(&mut out, f);
+            }
+            DynBlock::Pair { sigma, omega, f1, f2 } => {
+                out.push_str(&format!("pair_block {sigma:.17e} {omega:.17e}\n"));
+                out.push_str("fn ");
+                encode_statefn(&mut out, f1);
+                out.push_str("fn ");
+                encode_statefn(&mut out, f2);
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn encode_statefn(out: &mut String, f: &StateFn) {
+    let t = &f.rational.terms()[0];
+    out.push_str(&format!(
+        "{:.17e} {:.17e} {:.17e} {}\n",
+        t.d,
+        t.e,
+        f.primitive.constant,
+        f.primitive.terms.len()
+    ));
+    for term in &f.primitive.terms {
+        out.push_str(&format!(
+            "pair {:.17e} {:.17e} {:.17e} {:.17e}\n",
+            term.pole.re, term.pole.im, term.rho.re, term.rho.im
+        ));
+    }
+}
+
+struct Lines<'a> {
+    iter: core::iter::Enumerate<core::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    fn next(&mut self) -> Result<(usize, &'a str), RvfError> {
+        for (i, raw) in self.iter.by_ref() {
+            let line = raw.trim();
+            if !line.is_empty() {
+                return Ok((i + 1, line));
+            }
+        }
+        Err(RvfError::Decode { line: 0, message: "unexpected end of input".into() })
+    }
+}
+
+fn parse_f64(line: usize, tok: Option<&str>) -> Result<f64, RvfError> {
+    tok.and_then(|t| t.parse::<f64>().ok())
+        .ok_or(RvfError::Decode { line, message: "expected a number".into() })
+}
+
+fn decode_statefn(
+    lines: &mut Lines<'_>,
+    first: &str,
+    first_line: usize,
+) -> Result<StateFn, RvfError> {
+    let mut it = first.split_whitespace();
+    let d = parse_f64(first_line, it.next())?;
+    let e = parse_f64(first_line, it.next())?;
+    let constant = parse_f64(first_line, it.next())?;
+    let n: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or(RvfError::Decode { line: first_line, message: "expected a pair count".into() })?;
+    let mut terms = Vec::with_capacity(n);
+    let mut entries = Vec::with_capacity(n);
+    let mut residues = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (ln, line) = lines.next()?;
+        let mut it = line.split_whitespace();
+        if it.next() != Some("pair") {
+            return Err(RvfError::Decode { line: ln, message: "expected 'pair'".into() });
+        }
+        let pre = parse_f64(ln, it.next())?;
+        let pim = parse_f64(ln, it.next())?;
+        let rre = parse_f64(ln, it.next())?;
+        let rim = parse_f64(ln, it.next())?;
+        let pole = Complex::new(pre, pim);
+        let rho = Complex::new(rre, rim);
+        terms.push(LogTerm { pole, rho });
+        entries.push(PoleEntry::Pair(pole));
+        residues.push(rho);
+    }
+    let rational = RationalModel::new(
+        PoleSet::new(entries),
+        vec![ResponseTerms { residues: Residues(residues), d, e }],
+    );
+    let primitive = IntegratedStateFn { terms, linear: d, quadratic: e, constant };
+    Ok(StateFn { rational, primitive })
+}
+
+/// Parses a model from the text format produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`RvfError::Decode`] with the offending line for malformed
+/// input.
+pub fn decode(text: &str) -> Result<HammersteinModel, RvfError> {
+    let mut lines = Lines { iter: text.lines().enumerate() };
+    let (ln, header) = lines.next()?;
+    if header != "rvf-hammerstein v1" {
+        return Err(RvfError::Decode { line: ln, message: format!("bad header '{header}'") });
+    }
+    let (ln, anchor) = lines.next()?;
+    let mut it = anchor.split_whitespace();
+    if it.next() != Some("anchor") {
+        return Err(RvfError::Decode { line: ln, message: "expected 'anchor'".into() });
+    }
+    let u0 = parse_f64(ln, it.next())?;
+    let y0 = parse_f64(ln, it.next())?;
+
+    let (ln, stat) = lines.next()?;
+    let rest = stat
+        .strip_prefix("static ")
+        .ok_or(RvfError::Decode { line: ln, message: "expected 'static'".into() })?;
+    let static_path = decode_statefn(&mut lines, rest, ln)?;
+
+    let (ln, blk) = lines.next()?;
+    let n_blocks: usize = blk
+        .strip_prefix("blocks ")
+        .and_then(|t| t.trim().parse().ok())
+        .ok_or(RvfError::Decode { line: ln, message: "expected 'blocks <n>'".into() })?;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let (ln, head) = lines.next()?;
+        let mut it = head.split_whitespace();
+        match it.next() {
+            Some("real") => {
+                let a = parse_f64(ln, it.next())?;
+                let (fl, fline) = lines.next()?;
+                let rest = fline
+                    .strip_prefix("fn ")
+                    .ok_or(RvfError::Decode { line: fl, message: "expected 'fn'".into() })?;
+                let f = decode_statefn(&mut lines, rest, fl)?;
+                blocks.push(DynBlock::Real { a, f });
+            }
+            Some("pair_block") => {
+                let sigma = parse_f64(ln, it.next())?;
+                let omega = parse_f64(ln, it.next())?;
+                let mut fns = Vec::with_capacity(2);
+                for _ in 0..2 {
+                    let (fl, fline) = lines.next()?;
+                    let rest = fline
+                        .strip_prefix("fn ")
+                        .ok_or(RvfError::Decode { line: fl, message: "expected 'fn'".into() })?;
+                    fns.push(decode_statefn(&mut lines, rest, fl)?);
+                }
+                let f2 = fns.pop().expect("two fns");
+                let f1 = fns.pop().expect("two fns");
+                blocks.push(DynBlock::Pair { sigma, omega, f1, f2 });
+            }
+            other => {
+                return Err(RvfError::Decode {
+                    line: ln,
+                    message: format!("unknown block kind {other:?}"),
+                })
+            }
+        }
+    }
+    let (ln, end) = lines.next()?;
+    if end != "end" {
+        return Err(RvfError::Decode { line: ln, message: "expected 'end'".into() });
+    }
+    Ok(HammersteinModel { static_path, blocks, u0, y0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvf_numerics::c;
+
+    fn toy_statefn(seed: f64) -> StateFn {
+        let pole = c(0.5 + seed, 0.25);
+        let rho = c(1.0 - seed, 0.5 * seed);
+        let rational = RationalModel::new(
+            PoleSet::new(vec![PoleEntry::Pair(pole)]),
+            vec![ResponseTerms { residues: Residues(vec![rho]), d: 0.3 * seed, e: 0.0 }],
+        );
+        let primitive = IntegratedStateFn {
+            terms: vec![LogTerm { pole, rho }],
+            linear: 0.3 * seed,
+            quadratic: 0.0,
+            constant: seed,
+        };
+        StateFn { rational, primitive }
+    }
+
+    fn toy_model() -> HammersteinModel {
+        HammersteinModel {
+            static_path: toy_statefn(0.1),
+            blocks: vec![
+                DynBlock::Real { a: -2.0e9, f: toy_statefn(0.2) },
+                DynBlock::Pair {
+                    sigma: -1.0e9,
+                    omega: 6.0e9,
+                    f1: toy_statefn(0.3),
+                    f2: toy_statefn(0.4),
+                },
+            ],
+            u0: 0.9,
+            y0: 0.72,
+        }
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let m = toy_model();
+        let text = encode(&m);
+        let back = decode(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let m = toy_model();
+        let back = decode(&encode(&m)).unwrap();
+        for &u in &[0.4, 0.9, 1.4] {
+            assert_eq!(m.static_output(u), back.static_output(u));
+            let s = c(0.0, 1.0e9);
+            assert_eq!(m.transfer(u, s), back.transfer(u, s));
+        }
+    }
+
+    #[test]
+    fn decode_errors_are_located() {
+        assert!(matches!(
+            decode("wrong header\n"),
+            Err(RvfError::Decode { line: 1, .. })
+        ));
+        let mut text = encode(&toy_model());
+        text = text.replace("blocks 2", "blocks two");
+        assert!(matches!(decode(&text), Err(RvfError::Decode { .. })));
+        // Truncation.
+        let text = encode(&toy_model());
+        let cut = &text[..text.len() / 2];
+        assert!(decode(cut).is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let text = encode(&toy_model());
+        let padded: String = text.lines().map(|l| format!("  {l}  \n\n")).collect();
+        assert_eq!(decode(&padded).unwrap(), toy_model());
+    }
+}

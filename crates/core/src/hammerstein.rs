@@ -1,0 +1,457 @@
+//! The parallel Hammerstein model (paper §II, eq. 7 and Fig. 2) and its
+//! construction from TFT data.
+//!
+//! Each frequency pole (pair) owns a static nonlinear input stage
+//! `f̂_p(x) = ∫ r̂_p(x) dx` feeding a first/second-order LTI block; a
+//! memoryless static path (from the `H(0)` trajectory) completes the
+//! model:
+//!
+//! ```text
+//! y(t) = y_s(u(t)) + Σ_p D̂_p·ŷ_p(t),    ŷ̇_p = Â_p ŷ_p + f̂_p(u(t))
+//! ```
+//!
+//! Stability is structural: every `Â_p` comes from the stability-flipped
+//! frequency fit, and the simulator advances each block with its exact
+//! first-order-hold flow.
+
+use rvf_numerics::{Complex, FohPair, FohScalar};
+use rvf_tft::TftDataset;
+use rvf_vecfit::{PoleEntry, RationalModel};
+
+use crate::error::RvfError;
+use crate::integrated::IntegratedStateFn;
+use crate::rvf::{fit_state_stage, single_response, RvfOptions, StageFit};
+
+/// A fitted state-dependent function together with its analytic
+/// primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateFn {
+    /// The rational fit `r(u)` (single response, real axis).
+    pub rational: RationalModel,
+    /// The closed-form primitive `∫ r du` (anchored).
+    pub primitive: IntegratedStateFn,
+}
+
+impl StateFn {
+    /// Builds from response `k` of a state-axis fit, with the primitive
+    /// anchored to `primitive(u0) = anchor`.
+    pub fn from_fit(model: &RationalModel, k: usize, u0: f64, anchor: f64) -> Self {
+        let rational = single_response(model, k);
+        let primitive = IntegratedStateFn::from_state_fit(&rational, 0).anchored(u0, anchor);
+        Self { rational, primitive }
+    }
+
+    /// The fitted function value `r(u)`.
+    pub fn value(&self, u: f64) -> f64 {
+        self.rational.eval(0, Complex::from_re(u)).re
+    }
+
+    /// The anchored primitive `∫ r du`.
+    pub fn integral(&self, u: f64) -> f64 {
+        self.primitive.eval(u)
+    }
+}
+
+/// One dynamic branch of the parallel Hammerstein structure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynBlock {
+    /// First-order block for a real frequency pole `a`:
+    /// `ẏ = a·y + f(u)`, output weight 1 (input-shifted form, eq. 13).
+    Real {
+        /// The pole.
+        a: f64,
+        /// The integrated input nonlinearity.
+        f: StateFn,
+    },
+    /// Second-order real block for a complex pair `σ ± jω` with the
+    /// input-shifted residue components (eq. 14): inputs
+    /// `(f₁(u), f₂(u))`, output `y₁ + y₂`.
+    Pair {
+        /// Real part of the pole.
+        sigma: f64,
+        /// Imaginary part of the pole (positive member).
+        omega: f64,
+        /// First input-shifted component `Re r + Im r`.
+        f1: StateFn,
+        /// Second input-shifted component `Re r − Im r`.
+        f2: StateFn,
+    },
+}
+
+impl DynBlock {
+    /// State dimension (1 or 2).
+    pub fn dim(&self) -> usize {
+        match self {
+            DynBlock::Real { .. } => 1,
+            DynBlock::Pair { .. } => 2,
+        }
+    }
+
+    /// The complex residue value `r(u)` reconstructed from the
+    /// input-shifted components (inverse of paper eq. 14).
+    pub fn residue_at(&self, u: f64) -> Complex {
+        match self {
+            DynBlock::Real { f, .. } => Complex::from_re(f.value(u)),
+            DynBlock::Pair { f1, f2, .. } => {
+                let c1 = f1.value(u);
+                let c2 = f2.value(u);
+                Complex::new(0.5 * (c1 + c2), 0.5 * (c1 - c2))
+            }
+        }
+    }
+
+    /// Transfer contribution at `(u, s)`.
+    pub fn transfer(&self, u: f64, s: Complex) -> Complex {
+        match self {
+            DynBlock::Real { a, .. } => {
+                self.residue_at(u) * (s - Complex::from_re(*a)).inv()
+            }
+            DynBlock::Pair { sigma, omega, .. } => {
+                let a = Complex::new(*sigma, *omega);
+                let r = self.residue_at(u);
+                r * (s - a).inv() + r.conj() * (s - a.conj()).inv()
+            }
+        }
+    }
+}
+
+/// Diagnostics of a model build.
+#[derive(Debug, Clone, Default)]
+pub struct BuildDiagnostics {
+    /// Relative RMS error of the frequency-axis fit.
+    pub freq_rel_error: f64,
+    /// Number of frequency poles (the paper reports 12 on the buffer).
+    pub n_freq_poles: usize,
+    /// State pole counts per dynamic block (paper: ~10 each).
+    pub state_pole_counts: Vec<usize>,
+    /// Relative RMS errors of the per-block state fits.
+    pub state_rel_errors: Vec<f64>,
+    /// State pole count of the static path.
+    pub static_pole_count: usize,
+    /// Relative RMS error of the static-path fit.
+    pub static_rel_error: f64,
+}
+
+/// The extracted analytical model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HammersteinModel {
+    /// Static path: `value(u)` is the fitted DC conductance `g(u)`,
+    /// `integral(u)` the static transfer curve `y_s(u)` anchored at the
+    /// DC solution.
+    pub static_path: StateFn,
+    /// Parallel dynamic blocks.
+    pub blocks: Vec<DynBlock>,
+    /// DC anchor input (trajectory value at `t = 0`).
+    pub u0: f64,
+    /// DC anchor output.
+    pub y0: f64,
+}
+
+impl HammersteinModel {
+    /// Total LTI state dimension.
+    pub fn n_states(&self) -> usize {
+        self.blocks.iter().map(DynBlock::dim).sum()
+    }
+
+    /// Number of frequency poles.
+    pub fn n_poles(&self) -> usize {
+        self.n_states()
+    }
+
+    /// The model's TFT `T(x, s)` for hyperplane comparison (Fig. 7):
+    /// fitted static gain plus the dynamic pole-residue part.
+    pub fn transfer(&self, x: f64, s: Complex) -> Complex {
+        let mut acc = Complex::from_re(self.static_path.value(x));
+        for b in &self.blocks {
+            acc += b.transfer(x, s);
+        }
+        acc
+    }
+
+    /// The static (DC) transfer curve `y_s(u)`.
+    pub fn static_output(&self, u: f64) -> f64 {
+        self.static_path.integral(u)
+    }
+
+    /// Simulates the model for inputs sampled at fixed `dt`, returning
+    /// the output at every sample (paper eq. 7, exact-exponential
+    /// stepping).
+    ///
+    /// The LTI blocks start in steady state for the first input value,
+    /// matching the circuit starting from its DC operating point.
+    pub fn simulate(&self, dt: f64, inputs: &[f64]) -> Vec<f64> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        enum BlockState {
+            Real { prop: FohScalar, x: f64, v_prev: f64 },
+            Pair { prop: FohPair, z: Complex, v_prev: [f64; 2] },
+        }
+        let mut states: Vec<BlockState> = self
+            .blocks
+            .iter()
+            .map(|b| match b {
+                DynBlock::Real { a, f } => {
+                    let v = f.integral(inputs[0]);
+                    BlockState::Real {
+                        prop: FohScalar::new(*a, dt),
+                        x: -v / a,
+                        v_prev: v,
+                    }
+                }
+                DynBlock::Pair { sigma, omega, f1, f2 } => {
+                    let v = [f1.integral(inputs[0]), f2.integral(inputs[0])];
+                    // ż = λz + w with λ = σ − jω (complex representation).
+                    let lambda = Complex::new(*sigma, -*omega);
+                    let w = Complex::new(v[0], v[1]);
+                    BlockState::Pair {
+                        prop: FohPair::new(*sigma, *omega, dt),
+                        z: -(w / lambda),
+                        v_prev: v,
+                    }
+                }
+            })
+            .collect();
+
+        let mut out = Vec::with_capacity(inputs.len());
+        let emit = |states: &[BlockState], u: f64, this: &Self| -> f64 {
+            let mut y = this.static_path.integral(u);
+            for s in states {
+                match s {
+                    BlockState::Real { x, .. } => y += x,
+                    BlockState::Pair { z, .. } => y += z.re + z.im,
+                }
+            }
+            y
+        };
+        out.push(emit(&states, inputs[0], self));
+        for win in inputs.windows(2) {
+            let u1 = win[1];
+            for (bs, block) in states.iter_mut().zip(&self.blocks) {
+                match (bs, block) {
+                    (BlockState::Real { prop, x, v_prev, .. }, DynBlock::Real { f, .. }) => {
+                        let v1 = f.integral(u1);
+                        *x = prop.step(*x, *v_prev, v1);
+                        *v_prev = v1;
+                    }
+                    (
+                        BlockState::Pair { prop, z, v_prev, .. },
+                        DynBlock::Pair { f1, f2, .. },
+                    ) => {
+                        let v1 = [f1.integral(u1), f2.integral(u1)];
+                        let next = prop.step([z.re, z.im], *v_prev, v1);
+                        *z = Complex::new(next[0], next[1]);
+                        *v_prev = v1;
+                    }
+                    _ => unreachable!("state/block kinds always match"),
+                }
+            }
+            out.push(emit(&states, u1, self));
+        }
+        out
+    }
+}
+
+/// Builds a Hammerstein model from a TFT dataset (the full RVF
+/// modeling chain of paper Fig. 3).
+///
+/// # Errors
+///
+/// Propagates fitting failures; in strict mode also tolerance misses.
+pub fn build_hammerstein(
+    dataset: &TftDataset,
+    freq_stage: &StageFit,
+    opts: &RvfOptions,
+) -> Result<(HammersteinModel, BuildDiagnostics), RvfError> {
+    let states = dataset.states();
+    // DC anchor: the trajectory point at the earliest time.
+    let (u0, y0) = dataset
+        .samples
+        .iter()
+        .min_by(|a, b| a.t.partial_cmp(&b.t).unwrap_or(core::cmp::Ordering::Equal))
+        .map(|s| (s.state, s.y))
+        .unwrap_or((0.0, 0.0));
+
+    let freq_model = &freq_stage.fit.model;
+    // Per-block error scales. A residue error δr on pole a perturbs the
+    // transfer function by up to δr·max_l 1/|s_l − a|, so each residue
+    // trajectory must be fitted to an *absolute* tolerance of
+    // ε·peak(H)·min_l|s_l − a| — otherwise low-frequency poles (small
+    // |a|, small residues) silently amplify their fitting error by
+    // orders of magnitude.
+    let s_grid = dataset.s_grid();
+    let peak_dyn = dataset
+        .samples
+        .iter()
+        .flat_map(|s| s.h.iter().map(move |&h| (h - s.h0).abs()))
+        .fold(0.0_f64, f64::max)
+        .max(1e-300);
+    let block_scale = |poles: &[Complex]| -> f64 {
+        let min_dist = s_grid
+            .iter()
+            .map(|&s| {
+                poles
+                    .iter()
+                    .map(move |&a| (s - a).abs())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(f64::INFINITY, f64::min);
+        peak_dyn * min_dist.max(1e-300)
+    };
+    let mut diagnostics = BuildDiagnostics {
+        freq_rel_error: freq_stage.rel_error,
+        n_freq_poles: freq_stage.n_poles,
+        ..Default::default()
+    };
+
+    let mut blocks = Vec::with_capacity(freq_model.poles().n_entries());
+    for (p, entry) in freq_model.poles().entries().iter().enumerate() {
+        let traj = freq_model.residue_trajectory(p);
+        match entry {
+            PoleEntry::Real(a) => {
+                let comp: Vec<f64> = traj.iter().map(|r| r.re).collect();
+                let scale = block_scale(&[Complex::from_re(*a)]);
+                let stage = fit_state_stage(&states, &[comp], scale, opts)?;
+                diagnostics.state_pole_counts.push(stage.n_poles);
+                diagnostics.state_rel_errors.push(stage.rel_error);
+                let f = StateFn::from_fit(&stage.fit.model, 0, u0, 0.0);
+                blocks.push(DynBlock::Real { a: *a, f });
+            }
+            PoleEntry::Pair(a) => {
+                // Input-shifted components (paper eq. 14).
+                let c1: Vec<f64> = traj.iter().map(|r| r.re + r.im).collect();
+                let c2: Vec<f64> = traj.iter().map(|r| r.re - r.im).collect();
+                let scale = block_scale(&[*a, a.conj()]);
+                let stage = fit_state_stage(&states, &[c1, c2], scale, opts)?;
+                diagnostics.state_pole_counts.push(stage.n_poles);
+                diagnostics.state_rel_errors.push(stage.rel_error);
+                let f1 = StateFn::from_fit(&stage.fit.model, 0, u0, 0.0);
+                let f2 = StateFn::from_fit(&stage.fit.model, 1, u0, 0.0);
+                blocks.push(DynBlock::Pair { sigma: a.re, omega: a.im, f1, f2 });
+            }
+        }
+    }
+
+    // Static path: fit the DC-gain trajectory and integrate, anchored at
+    // the DC solution (u0, y0).
+    let g_traj = dataset.static_gains();
+    let g_scale = g_traj.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    let static_stage = fit_state_stage(&states, &[g_traj], g_scale.max(1e-300), opts)?;
+    diagnostics.static_pole_count = static_stage.n_poles;
+    diagnostics.static_rel_error = static_stage.rel_error;
+    let static_path = StateFn::from_fit(&static_stage.fit.model, 0, u0, y0);
+
+    Ok((HammersteinModel { static_path, blocks, u0, y0 }, diagnostics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvf_numerics::{c, linspace};
+    use rvf_vecfit::{fit_single, VfOptions};
+
+    fn state_fn_for(g: impl Fn(f64) -> f64, u0: f64, anchor: f64) -> StateFn {
+        let xs: Vec<Complex> = linspace(0.0, 2.0, 81).into_iter().map(Complex::from_re).collect();
+        let data: Vec<Complex> = xs.iter().map(|x| Complex::from_re(g(x.re))).collect();
+        let fit = fit_single(&xs, &data, &VfOptions::state(8).with_iterations(10)).unwrap();
+        StateFn::from_fit(&fit.model, 0, u0, anchor)
+    }
+
+    #[test]
+    fn statefn_value_and_integral_consistent() {
+        let f = state_fn_for(|x| 1.0 / (1.0 + x * x), 0.0, 0.0);
+        // d/du integral = value.
+        for &u in &[0.2, 0.8, 1.5] {
+            let h = 1e-6;
+            let fd = (f.integral(u + h) - f.integral(u - h)) / (2.0 * h);
+            assert!((fd - f.value(u)).abs() < 1e-6);
+        }
+        assert!(f.integral(0.0).abs() < 1e-12, "anchored at 0");
+        // ∫₀¹ 1/(1+x²) = π/4.
+        assert!((f.integral(1.0) - core::f64::consts::FRAC_PI_4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pair_block_residue_reconstruction() {
+        // f1 = Re+Im, f2 = Re−Im must invert exactly.
+        let f1 = state_fn_for(|x| 1.0 + x, 0.0, 0.0);
+        let f2 = state_fn_for(|x| 1.0 - x, 0.0, 0.0);
+        let b = DynBlock::Pair { sigma: -1.0, omega: 5.0, f1, f2 };
+        let r = b.residue_at(0.5);
+        // Re = ((1.5)+(0.5))/2 = 1.0, Im = ((1.5)−(0.5))/2 = 0.5.
+        assert!((r - c(1.0, 0.5)).abs() < 1e-3, "{r:?}");
+    }
+
+    #[test]
+    fn pair_transfer_is_hermitian() {
+        let f1 = state_fn_for(|x| 0.3 * x, 0.0, 0.0);
+        let f2 = state_fn_for(|x| 0.1 + 0.2 * x, 0.0, 0.0);
+        let b = DynBlock::Pair { sigma: -2.0, omega: 10.0, f1, f2 };
+        let s = c(0.0, 3.0);
+        let h = b.transfer(0.7, s);
+        let hc = b.transfer(0.7, s.conj());
+        assert!((h.conj() - hc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_model_simulation_matches_analytic_step_response() {
+        // Single real pole a = −w0 with f(u) = w0·u (linear): this is a
+        // first-order low-pass with unit DC gain; static path zero.
+        let w0 = 1.0e9;
+        let f = state_fn_for(move |_x| w0, 0.0, 0.0); // r(u) = w0 ⇒ f(u) = w0·u
+        let zero = state_fn_for(|_x| 0.0, 0.0, 0.0);
+        let model = HammersteinModel {
+            static_path: zero,
+            blocks: vec![DynBlock::Real { a: -w0, f }],
+            u0: 0.0,
+            y0: 0.0,
+        };
+        // Step input 0 → 1 at the second sample.
+        let dt = 1.0e-11;
+        let n = 600;
+        let mut u = vec![0.0; n];
+        for v in u.iter_mut().skip(1) {
+            *v = 1.0;
+        }
+        let y = model.simulate(dt, &u);
+        // y(t) ≈ 1 − e^{−w0 (t−dt)} after the (FOH-ramped) step.
+        let t_end = (n - 1) as f64 * dt;
+        let want = 1.0 - (-w0 * (t_end - dt)).exp();
+        let got = *y.last().unwrap();
+        assert!((got - want).abs() < 2e-3, "{got} vs {want}");
+        // Starts in steady state: y[0] = 0.
+        assert!(y[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_starts_in_steady_state_for_pairs() {
+        let f1 = state_fn_for(|x| 1.0 + 0.5 * x, 0.0, 0.0);
+        let f2 = state_fn_for(|x| 0.5 - 0.5 * x, 0.0, 0.0);
+        let zero = state_fn_for(|_x| 0.0, 0.0, 0.0);
+        let model = HammersteinModel {
+            static_path: zero,
+            blocks: vec![DynBlock::Pair { sigma: -1.0e9, omega: 4.0e9, f1, f2 }],
+            u0: 1.0,
+            y0: 0.0,
+        };
+        // Constant input: output must stay constant from the start.
+        let u = vec![1.0; 200];
+        let y = model.simulate(1e-11, &u);
+        let y0 = y[0];
+        for v in &y {
+            assert!((v - y0).abs() < 1e-9 * y0.abs().max(1.0), "drift: {v} vs {y0}");
+        }
+    }
+
+    #[test]
+    fn empty_input_simulation() {
+        let zero = state_fn_for(|_x| 0.0, 0.0, 0.0);
+        let model = HammersteinModel {
+            static_path: zero,
+            blocks: Vec::new(),
+            u0: 0.0,
+            y0: 0.0,
+        };
+        assert!(model.simulate(1e-12, &[]).is_empty());
+    }
+}

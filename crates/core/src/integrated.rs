@@ -1,0 +1,214 @@
+//! Closed-form indefinite integrals of the RVF state base functions
+//! (paper eqs. 18–19).
+//!
+//! A fitted residue function is a partial-fraction expansion in the real
+//! state variable `u` with conjugate-pair poles:
+//!
+//! ```text
+//! r(u) = Σ_i [ ρ_i/(u − x̃_i) + ρ_i*/(u − x̃_i*) ] + d (+ e·u)
+//! ```
+//!
+//! Its primitive is available analytically:
+//!
+//! ```text
+//! ∫ r du = Σ_i 2·Re{ ρ_i · ln(u − x̃_i) } + d·u + e·u²/2 + C
+//! ```
+//!
+//! For real `u` and `Im(x̃_i) > 0`, the argument `u − x̃_i` stays in the
+//! open lower half-plane, so the principal branch of `ln` is smooth on
+//! the whole axis — this is why the paper restricts the state poles to
+//! complex pairs ("zero-phase base functions"): the integral *exists in
+//! closed form and is computed once*, unlike CAFFEINE's free-form bases.
+
+use rvf_numerics::Complex;
+use rvf_vecfit::{PoleEntry, RationalModel};
+
+/// One logarithmic term `2·Re{ρ·ln(u − x̃)}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogTerm {
+    /// Pole location in the state plane (`Im > 0`).
+    pub pole: Complex,
+    /// Complex residue.
+    pub rho: Complex,
+}
+
+/// The analytic primitive of a fitted state function.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IntegratedStateFn {
+    /// Logarithmic terms (one per conjugate pole pair).
+    pub terms: Vec<LogTerm>,
+    /// Coefficient of `u` (from the constant term of the rational fit).
+    pub linear: f64,
+    /// Coefficient of `u²/2` (from a linear term, normally absent).
+    pub quadratic: f64,
+    /// Integration constant (fixed from the DC solution, paper §III-B).
+    pub constant: f64,
+}
+
+impl IntegratedStateFn {
+    /// Integrates response `k` of a real-axis [`RationalModel`] fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model contains a *real* pole (state fits keep poles
+    /// in conjugate pairs; a real pole would put a singularity on the
+    /// axis and has no smooth primitive there).
+    pub fn from_state_fit(model: &RationalModel, k: usize) -> Self {
+        let terms: Vec<LogTerm> = model
+            .poles()
+            .entries()
+            .iter()
+            .zip(&model.terms()[k].residues.0)
+            .map(|(e, r)| match e {
+                PoleEntry::Pair(a) => LogTerm { pole: *a, rho: *r },
+                PoleEntry::Real(a) => {
+                    panic!("state fit must not contain the real pole {a}")
+                }
+            })
+            .collect();
+        Self {
+            terms,
+            linear: model.terms()[k].d,
+            quadratic: model.terms()[k].e,
+            constant: 0.0,
+        }
+    }
+
+    /// Evaluates the primitive at `u`.
+    pub fn eval(&self, u: f64) -> f64 {
+        let mut acc = self.constant + self.linear * u + 0.5 * self.quadratic * u * u;
+        for t in &self.terms {
+            let z = Complex::from_re(u) - t.pole;
+            acc += 2.0 * (t.rho * z.ln()).re;
+        }
+        acc
+    }
+
+    /// Evaluates the derivative (the original rational function) — used
+    /// to verify the integral against the fitted residues.
+    pub fn derivative(&self, u: f64) -> f64 {
+        let mut acc = self.linear + self.quadratic * u;
+        for t in &self.terms {
+            let z = (Complex::from_re(u) - t.pole).inv();
+            acc += 2.0 * (t.rho * z).re;
+        }
+        acc
+    }
+
+    /// Shifts the constant so that `eval(u0) == value` (anchoring on the
+    /// DC solution).
+    #[must_use]
+    pub fn anchored(mut self, u0: f64, value: f64) -> Self {
+        self.constant = 0.0;
+        let at = self.eval(u0);
+        self.constant = value - at;
+        self
+    }
+
+    /// Number of logarithmic terms (state pole pairs).
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvf_numerics::{c, linspace};
+    use rvf_vecfit::{fit_single, VfOptions};
+
+    #[test]
+    fn derivative_matches_finite_difference_of_eval() {
+        let f = IntegratedStateFn {
+            terms: vec![
+                LogTerm { pole: c(0.5, 0.2), rho: c(1.0, -0.5) },
+                LogTerm { pole: c(-0.3, 0.8), rho: c(-0.25, 0.1) },
+            ],
+            linear: 0.7,
+            quadratic: 0.0,
+            constant: 2.0,
+        };
+        for &u in &[-1.0, -0.2, 0.0, 0.4, 0.9, 1.5] {
+            let h = 1e-6;
+            let fd = (f.eval(u + h) - f.eval(u - h)) / (2.0 * h);
+            assert!(
+                (f.derivative(u) - fd).abs() < 1e-7,
+                "at {u}: {} vs {fd}",
+                f.derivative(u)
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_across_the_whole_axis() {
+        // No branch-cut jumps for Im(pole) > 0: sample densely and check
+        // continuity.
+        let f = IntegratedStateFn {
+            terms: vec![LogTerm { pole: c(0.0, 0.05), rho: c(2.0, 1.0) }],
+            linear: 0.0,
+            quadratic: 0.0,
+            constant: 0.0,
+        };
+        let xs = linspace(-2.0, 2.0, 4001);
+        for w in xs.windows(2) {
+            let dy = (f.eval(w[1]) - f.eval(w[0])).abs();
+            assert!(dy < 0.2, "jump at {}: {dy}", w[0]);
+        }
+    }
+
+    #[test]
+    fn anchoring() {
+        let f = IntegratedStateFn {
+            terms: vec![LogTerm { pole: c(0.5, 0.3), rho: c(1.0, 0.0) }],
+            linear: 1.0,
+            quadratic: 0.0,
+            constant: 0.0,
+        }
+        .anchored(0.9, 5.0);
+        assert!((f.eval(0.9) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_fit_integrate_differentiate() {
+        // Fit a smooth function with state VF, integrate analytically,
+        // and check that the primitive's derivative reproduces the fit.
+        let xs: Vec<Complex> = linspace(0.4, 1.4, 101).into_iter().map(Complex::from_re).collect();
+        let g = |x: f64| 2.0 / (1.0 + 9.0 * (x - 0.9) * (x - 0.9));
+        let data: Vec<Complex> = xs.iter().map(|x| Complex::from_re(g(x.re))).collect();
+        let fit = fit_single(&xs, &data, &VfOptions::state(8).with_iterations(12)).unwrap();
+        let prim = IntegratedStateFn::from_state_fit(&fit.model, 0);
+        for &x in &[0.45, 0.7, 0.9, 1.1, 1.35] {
+            let h = 1e-6;
+            let fd = (prim.eval(x + h) - prim.eval(x - h)) / (2.0 * h);
+            let fitted = fit.model.eval(0, Complex::from_re(x)).re;
+            assert!((fd - fitted).abs() < 1e-6, "at {x}: {fd} vs {fitted}");
+        }
+        // And the integral over [0.4, 1.4] matches numeric quadrature.
+        let numeric: f64 = {
+            let n = 20_000;
+            let h = 1.0 / n as f64;
+            (0..n)
+                .map(|i| {
+                    let a = 0.4 + i as f64 * h;
+                    0.5 * h * (g(a) + g(a + h))
+                })
+                .sum()
+        };
+        let analytic = prim.eval(1.4) - prim.eval(0.4);
+        assert!(
+            (analytic - numeric).abs() < 2e-4,
+            "integral {analytic} vs {numeric}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "real pole")]
+    fn real_pole_rejected() {
+        use rvf_vecfit::{PoleSet, RationalModel, ResponseTerms, Residues};
+        let model = RationalModel::new(
+            PoleSet::from_reals(&[-1.0]),
+            vec![ResponseTerms { residues: Residues(vec![c(1.0, 0.0)]), d: 0.0, e: 0.0 }],
+        );
+        let _ = IntegratedStateFn::from_state_fit(&model, 0);
+    }
+}

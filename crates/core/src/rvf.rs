@@ -1,0 +1,291 @@
+//! The Recursive Vector Fitting driver (paper Algorithm 1).
+//!
+//! Stage 1 fits the frequency axis of the TFT data with common poles,
+//! incrementing the pole count by two until the error bound `ε` is met.
+//! Stage 2 recursively fits every state-dependent quantity (the residue
+//! trajectories and the static conductance) as partial fractions in the
+//! state variable, again growing the pole count until `ε` is met.
+
+use rvf_numerics::Complex;
+use rvf_vecfit::{fit, RationalModel, VfFit, VfOptions};
+
+use crate::error::RvfError;
+
+/// Options for the RVF extraction (paper: `ε = 10⁻³`, yielding 12
+/// frequency poles and 10 state poles per residue on the buffer).
+#[derive(Debug, Clone)]
+pub struct RvfOptions {
+    /// Relative error bound `ε` for both fitting stages.
+    pub epsilon: f64,
+    /// Starting number of frequency poles.
+    pub start_freq_poles: usize,
+    /// Maximum number of frequency poles.
+    pub max_freq_poles: usize,
+    /// Starting number of state poles (rounded up to pairs).
+    pub start_state_poles: usize,
+    /// Maximum number of state poles per residue function.
+    pub max_state_poles: usize,
+    /// Relocation iterations for the frequency fits.
+    pub freq_vf_iterations: usize,
+    /// Relocation iterations for the state fits.
+    pub state_vf_iterations: usize,
+    /// Abort instead of accepting the best effort when the pole budget
+    /// is exhausted before `ε` is met.
+    pub strict: bool,
+}
+
+impl Default for RvfOptions {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-3,
+            start_freq_poles: 4,
+            max_freq_poles: 24,
+            start_state_poles: 4,
+            max_state_poles: 16,
+            freq_vf_iterations: 10,
+            state_vf_iterations: 10,
+            strict: false,
+        }
+    }
+}
+
+/// Outcome of one auto-incremented fitting stage.
+#[derive(Debug, Clone)]
+pub struct StageFit {
+    /// The fitted model.
+    pub fit: VfFit,
+    /// Relative RMS error achieved (RMS / peak magnitude of the data).
+    pub rel_error: f64,
+    /// Number of poles used.
+    pub n_poles: usize,
+}
+
+/// Fits the frequency axis: common stable poles across all state
+/// snapshots, pole count grown by 2 until `ε` is reached (paper
+/// Algorithm 1, lines 14–17).
+///
+/// # Errors
+///
+/// Returns [`RvfError::ToleranceNotReached`] in strict mode when the
+/// pole budget is exhausted; otherwise returns the best fit found.
+pub fn fit_frequency_stage(
+    s_grid: &[Complex],
+    responses: &[Vec<Complex>],
+    opts: &RvfOptions,
+) -> Result<StageFit, RvfError> {
+    let peak = responses
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0_f64, |m, v| m.max(v.abs()))
+        .max(1e-300);
+    let mut best: Option<StageFit> = None;
+    let mut p = opts.start_freq_poles.max(2);
+    while p <= opts.max_freq_poles {
+        let vf_opts = VfOptions::frequency(p).with_iterations(opts.freq_vf_iterations);
+        let fit = fit(s_grid, responses, &vf_opts)?;
+        let rel = fit.rms_error / peak;
+        let candidate = StageFit { fit, rel_error: rel, n_poles: p };
+        let better = best.as_ref().map_or(true, |b| rel < b.rel_error);
+        if better {
+            best = Some(candidate);
+        }
+        if rel <= opts.epsilon {
+            break;
+        }
+        p += 2;
+    }
+    let best = best.expect("at least one fit attempted");
+    if opts.strict && best.rel_error > opts.epsilon {
+        return Err(RvfError::ToleranceNotReached {
+            stage: "frequency",
+            achieved: best.rel_error,
+            epsilon: opts.epsilon,
+            max_poles: opts.max_freq_poles,
+        });
+    }
+    Ok(best)
+}
+
+/// Fits one or more real-valued state trajectories with *common*
+/// conjugate-pair poles in the state variable, growing the pole count
+/// until `ε·scale` is reached (paper Algorithm 1, lines 18–25).
+///
+/// `scale` normalizes the error target: residue components are compared
+/// against the overall residue magnitude, not their own peak, so
+/// near-zero components don't demand absurd accuracy.
+///
+/// # Errors
+///
+/// Returns [`RvfError::ToleranceNotReached`] in strict mode when the
+/// pole budget is exhausted, and propagates fitting failures.
+pub fn fit_state_stage(
+    states: &[f64],
+    trajectories: &[Vec<f64>],
+    scale: f64,
+    opts: &RvfOptions,
+) -> Result<StageFit, RvfError> {
+    let xs: Vec<Complex> = states.iter().map(|&x| Complex::from_re(x)).collect();
+    let data: Vec<Vec<Complex>> = trajectories
+        .iter()
+        .map(|t| t.iter().map(|&v| Complex::from_re(v)).collect())
+        .collect();
+    let scale = scale.max(1e-300);
+    let mut best: Option<StageFit> = None;
+    let mut p = opts.start_state_poles.max(2);
+    while p <= opts.max_state_poles {
+        // Cap the pole count to what the sample count supports:
+        // real-axis rows are single equations, so L ≥ 2P + 2 is needed.
+        if states.len() < 2 * p + 2 {
+            break;
+        }
+        let vf_opts = VfOptions::state(p).with_iterations(opts.state_vf_iterations);
+        let fit = fit(&xs, &data, &vf_opts)?;
+        let rel = fit.rms_error / scale;
+        let candidate = StageFit { fit, rel_error: rel, n_poles: p };
+        let better = best.as_ref().map_or(true, |b| rel < b.rel_error);
+        if better {
+            best = Some(candidate);
+        }
+        if rel <= opts.epsilon {
+            break;
+        }
+        p += 2;
+    }
+    let best = best.ok_or(RvfError::TooFewStates {
+        got: states.len(),
+        needed: 2 * opts.start_state_poles.max(2) + 2,
+    })?;
+    if opts.strict && best.rel_error > opts.epsilon {
+        return Err(RvfError::ToleranceNotReached {
+            stage: "state",
+            achieved: best.rel_error,
+            epsilon: opts.epsilon,
+            max_poles: opts.max_state_poles,
+        });
+    }
+    Ok(best)
+}
+
+/// Extracts a single response from a multi-response model (helper for
+/// building per-block state functions).
+pub fn single_response(model: &RationalModel, k: usize) -> RationalModel {
+    RationalModel::new(model.poles().clone(), vec![model.terms()[k].clone()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvf_numerics::{c, jw_grid, linspace, logspace};
+
+    #[test]
+    fn frequency_stage_grows_until_tolerance() {
+        // A 6-pole synthetic system: starting at 4 poles the stage must
+        // step up to ≥6 to pass ε.
+        let poles = [
+            c(-1.0e3, 0.0),
+            c(-1.0e4, 8.0e4),
+            c(-1.0e4, -8.0e4),
+            c(-3.0e5, 0.0),
+            c(-2.0e5, 3.0e6),
+            c(-2.0e5, -3.0e6),
+        ];
+        let residues = [
+            c(5.0e2, 0.0),
+            c(2.0e3, 1.0e3),
+            c(2.0e3, -1.0e3),
+            c(1.0e5, 0.0),
+            c(4.0e4, -2.0e5),
+            c(4.0e4, 2.0e5),
+        ];
+        let s_grid = jw_grid(&logspace(2.0, 7.5, 120));
+        let data: Vec<Vec<Complex>> = vec![s_grid
+            .iter()
+            .map(|&s| {
+                poles
+                    .iter()
+                    .zip(&residues)
+                    .map(|(&a, &r)| r * (s - a).inv())
+                    .sum()
+            })
+            .collect()];
+        let opts = RvfOptions { epsilon: 1e-6, start_freq_poles: 4, ..Default::default() };
+        let stage = fit_frequency_stage(&s_grid, &data, &opts).unwrap();
+        assert!(stage.n_poles >= 6, "stopped at {} poles", stage.n_poles);
+        assert!(stage.rel_error <= 1e-6, "rel err {}", stage.rel_error);
+    }
+
+    #[test]
+    fn strict_mode_reports_failure() {
+        // A sharp resonance cannot be matched with 2 poles max.
+        let s_grid = jw_grid(&linspace(1.0, 100.0, 80));
+        let data: Vec<Vec<Complex>> = vec![s_grid
+            .iter()
+            .map(|&s| {
+                (s - c(-0.1, 30.0)).inv() + (s - c(-0.1, -30.0)).inv()
+                    + (s - c(-0.2, 70.0)).inv()
+                    + (s - c(-0.2, -70.0)).inv()
+            })
+            .collect()];
+        let opts = RvfOptions {
+            epsilon: 1e-9,
+            start_freq_poles: 2,
+            max_freq_poles: 2,
+            strict: true,
+            ..Default::default()
+        };
+        let err = fit_frequency_stage(&s_grid, &data, &opts).unwrap_err();
+        assert!(matches!(err, RvfError::ToleranceNotReached { stage: "frequency", .. }));
+    }
+
+    #[test]
+    fn state_stage_fits_multiple_components_with_common_poles() {
+        let states = linspace(0.4, 1.4, 101);
+        let t1: Vec<f64> = states.iter().map(|&x| 1.0 / (1.0 + 16.0 * (x - 0.9) * (x - 0.9))).collect();
+        let t2: Vec<f64> = states.iter().map(|&x| (x - 0.9) / (1.0 + 16.0 * (x - 0.9) * (x - 0.9))).collect();
+        let scale = 1.0;
+        let opts = RvfOptions { epsilon: 1e-4, ..Default::default() };
+        let stage = fit_state_stage(&states, &[t1.clone(), t2], scale, &opts).unwrap();
+        assert!(stage.rel_error <= 1e-4, "rel err {}", stage.rel_error);
+        assert_eq!(stage.fit.model.n_responses(), 2);
+        // Check reconstruction of component 1.
+        for (x, want) in states.iter().zip(&t1) {
+            let got = stage.fit.model.eval(0, Complex::from_re(*x)).re;
+            assert!((got - want).abs() < 5e-4, "at {x}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn state_stage_scale_relaxes_small_components() {
+        // A tiny trajectory relative to scale converges immediately.
+        let states = linspace(0.0, 1.0, 40);
+        let tiny: Vec<f64> = states.iter().map(|&x| 1e-9 * x).collect();
+        let opts = RvfOptions { epsilon: 1e-3, ..Default::default() };
+        let stage = fit_state_stage(&states, &[tiny], 1.0, &opts).unwrap();
+        assert!(stage.rel_error <= 1e-3);
+        assert_eq!(stage.n_poles, 4, "no pole growth needed");
+    }
+
+    #[test]
+    fn state_stage_too_few_states() {
+        let states = [0.0, 0.5, 1.0];
+        let data = vec![vec![1.0, 2.0, 3.0]];
+        let opts = RvfOptions { start_state_poles: 4, ..Default::default() };
+        let err = fit_state_stage(&states, &data, 1.0, &opts).unwrap_err();
+        assert!(matches!(err, RvfError::TooFewStates { .. }));
+    }
+
+    #[test]
+    fn single_response_extraction() {
+        use rvf_vecfit::{PoleSet, ResponseTerms, Residues};
+        let model = RationalModel::new(
+            PoleSet::from_reals(&[-1.0]),
+            vec![
+                ResponseTerms { residues: Residues(vec![c(1.0, 0.0)]), d: 0.5, e: 0.0 },
+                ResponseTerms { residues: Residues(vec![c(2.0, 0.0)]), d: -0.5, e: 0.0 },
+            ],
+        );
+        let second = single_response(&model, 1);
+        assert_eq!(second.n_responses(), 1);
+        assert_eq!(second.terms()[0].d, -0.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the extraction core: analytic-integral
+//! invariants, export robustness, and model stability.
+
+use proptest::prelude::*;
+use rvf_core::{text, DynBlock, HammersteinModel, IntegratedStateFn, LogTerm, StateFn};
+use rvf_numerics::{c, Complex};
+use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, ResponseTerms, Residues};
+
+fn statefn(pole: Complex, rho: Complex, d: f64, constant: f64) -> StateFn {
+    let pole = Complex::new(pole.re, pole.im.abs().max(1e-3));
+    StateFn {
+        rational: RationalModel::new(
+            PoleSet::new(vec![PoleEntry::Pair(pole)]),
+            vec![ResponseTerms { residues: Residues(vec![rho]), d, e: 0.0 }],
+        ),
+        primitive: IntegratedStateFn {
+            terms: vec![LogTerm { pole, rho }],
+            linear: d,
+            quadratic: 0.0,
+            constant,
+        },
+    }
+}
+
+fn arb_statefn() -> impl Strategy<Value = StateFn> {
+    (
+        -2.0..2.0f64,
+        0.01..2.0f64,
+        -3.0..3.0f64,
+        -3.0..3.0f64,
+        -2.0..2.0f64,
+        -5.0..5.0f64,
+    )
+        .prop_map(|(pre, pim, rre, rim, d, k)| statefn(c(pre, pim), c(rre, rim), d, k))
+}
+
+fn arb_model() -> impl Strategy<Value = HammersteinModel> {
+    (
+        arb_statefn(),
+        prop::collection::vec(
+            (
+                arb_statefn(),
+                arb_statefn(),
+                -5.0e9..-1.0e6f64,
+                1.0e6..5.0e9f64,
+            ),
+            0..3,
+        ),
+        -1.0..1.0f64,
+        -2.0..2.0f64,
+    )
+        .prop_map(|(static_path, pairs, u0, y0)| HammersteinModel {
+            static_path,
+            blocks: pairs
+                .into_iter()
+                .map(|(f1, f2, sigma, omega)| DynBlock::Pair { sigma, omega, f1, f2 })
+                .collect(),
+            u0,
+            y0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn integral_derivative_identity(f in arb_statefn(), u in -3.0..3.0f64) {
+        // d/du ∫r = r for any pole/residue configuration with Im > 0.
+        let h = 1e-6;
+        let fd = (f.integral(u + h) - f.integral(u - h)) / (2.0 * h);
+        let v = f.value(u);
+        prop_assert!((fd - v).abs() < 1e-5 * v.abs().max(1.0), "fd {fd} vs {v}");
+    }
+
+    #[test]
+    fn integral_is_smooth_everywhere(f in arb_statefn()) {
+        // No branch-cut jumps on a dense sweep.
+        let mut prev = f.integral(-4.0);
+        let mut x = -4.0;
+        while x < 4.0 {
+            x += 0.002;
+            let cur = f.integral(x);
+            prop_assert!((cur - prev).abs() < 1.0, "jump at {x}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn text_round_trip_any_model(m in arb_model()) {
+        let back = text::decode(&text::encode(&m)).unwrap();
+        prop_assert_eq!(&back, &m);
+        // Behavioural identity too.
+        for i in 0..5 {
+            let u = -1.0 + 0.5 * i as f64;
+            prop_assert_eq!(m.static_output(u), back.static_output(u));
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_mutations(m in arb_model(), cut in 0usize..400, flip in 0usize..400) {
+        // Corrupted serializations must produce Err, never panic.
+        let mut s = text::encode(&m);
+        if cut < s.len() {
+            s.truncate(cut);
+        }
+        let _ = text::decode(&s);
+        let mut s2 = text::encode(&m).into_bytes();
+        if !s2.is_empty() {
+            let idx = flip % s2.len();
+            s2[idx] = s2[idx].wrapping_add(13);
+            if let Ok(mutated) = String::from_utf8(s2) {
+                let _ = text::decode(&mutated);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_stays_finite_for_stable_models(m in arb_model(),
+                                                 amp in 0.1..10.0f64) {
+        // Stable poles + arbitrary bounded stimulus → bounded output.
+        let inputs: Vec<f64> = (0..300)
+            .map(|i| amp * ((i as f64) * 0.3).sin())
+            .collect();
+        let y = m.simulate(1e-10, &inputs);
+        prop_assert!(y.iter().all(|v| v.is_finite()), "non-finite output");
+    }
+
+    #[test]
+    fn transfer_hermitian_symmetry(m in arb_model(), w in 1.0..1e10f64, x in -2.0..2.0f64) {
+        let s = Complex::from_im(w);
+        let a = m.transfer(x, s);
+        let b = m.transfer(x, s.conj());
+        prop_assert!((a.conj() - b).abs() < 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn verilog_and_matlab_generation_never_panics(m in arb_model()) {
+        let v = rvf_core::to_verilog_a(&m, "m1");
+        prop_assert!(v.contains("endmodule"));
+        let mat = rvf_core::to_matlab(&m, "m1");
+        prop_assert!(mat.contains("function"));
+    }
+}

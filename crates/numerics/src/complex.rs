@@ -1,0 +1,403 @@
+//! Double-precision complex arithmetic.
+//!
+//! The Rust ecosystem's complex-number support lives in external crates;
+//! this reproduction is self-contained, so [`Complex`] implements the small
+//! slice of complex analysis the TFT/RVF pipeline needs: field arithmetic,
+//! conjugation, polar decomposition, `exp`, `sqrt` and the principal `log`
+//! (the RVF base functions integrate to `log(u - b)`, see the paper's
+//! eq. (19)).
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_numerics::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand alias used throughout the workspace.
+pub type C64 = Complex;
+
+/// The imaginary unit `j`.
+pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+/// Convenience constructor: `c(re, im)`.
+#[inline]
+pub const fn c(re: f64, im: f64) -> Complex {
+    Complex { re, im }
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = J;
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number `j·im`.
+    #[inline]
+    pub const fn from_im(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Creates a complex number from polar form `r·e^{jθ}`.
+    ///
+    /// ```
+    /// use rvf_numerics::Complex;
+    /// let z = Complex::from_polar(2.0, core::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Magnitude `|z|` (hypot, overflow-safe).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Uses Smith's algorithm to stay accurate when components differ
+    /// wildly in magnitude.
+    #[inline]
+    pub fn inv(self) -> Self {
+        // Smith's algorithm for robust complex division 1/(c+jd).
+        let (cr, ci) = (self.re, self.im);
+        if cr.abs() >= ci.abs() {
+            let r = ci / cr;
+            let d = cr + ci * r;
+            Self::new(1.0 / d, -r / d)
+        } else {
+            let r = cr / ci;
+            let d = cr * r + ci;
+            Self::new(r / d, -1.0 / d)
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal branch of the natural logarithm.
+    ///
+    /// `log z = ln|z| + j·arg z`, with `arg z ∈ (-π, π]`. This is the
+    /// closed-form antiderivative underlying the RVF static stages.
+    #[inline]
+    pub fn ln(self) -> Self {
+        Self::new(self.abs().ln(), self.arg())
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let z = Self::new((0.5 * (r + self.re)).max(0.0).sqrt(), {
+            let v = (0.5 * (r - self.re)).max(0.0).sqrt();
+            if self.im < 0.0 {
+                -v
+            } else {
+                v
+            }
+        });
+        z
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Self::ONE;
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Self::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// Fused multiply-add: `self * a + b`.
+    #[inline]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_re(re)
+    }
+}
+
+impl From<(f64, f64)> for Complex {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Self {
+        Self::new(re, im)
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}{:+?}j)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}-{}j", self.re, -self.im)
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $f:expr) => {
+        impl $trait for Complex {
+            type Output = Complex;
+            #[inline]
+            fn $method(self, rhs: Complex) -> Complex {
+                let f: fn(Complex, Complex) -> Complex = $f;
+                f(self, rhs)
+            }
+        }
+        impl $trait<f64> for Complex {
+            type Output = Complex;
+            #[inline]
+            fn $method(self, rhs: f64) -> Complex {
+                let f: fn(Complex, Complex) -> Complex = $f;
+                f(self, Complex::from_re(rhs))
+            }
+        }
+        impl $trait<Complex> for f64 {
+            type Output = Complex;
+            #[inline]
+            fn $method(self, rhs: Complex) -> Complex {
+                let f: fn(Complex, Complex) -> Complex = $f;
+                f(Complex::from_re(self), rhs)
+            }
+        }
+        impl $assign_trait for Complex {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Complex) {
+                let f: fn(Complex, Complex) -> Complex = $f;
+                *self = f(*self, rhs);
+            }
+        }
+        impl $assign_trait<f64> for Complex {
+            #[inline]
+            fn $assign_method(&mut self, rhs: f64) {
+                let f: fn(Complex, Complex) -> Complex = $f;
+                *self = f(*self, Complex::from_re(rhs));
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, AddAssign, add_assign, |a: Complex, b: Complex| {
+    Complex::new(a.re + b.re, a.im + b.im)
+});
+impl_binop!(Sub, sub, SubAssign, sub_assign, |a: Complex, b: Complex| {
+    Complex::new(a.re - b.re, a.im - b.im)
+});
+impl_binop!(Mul, mul, MulAssign, mul_assign, |a: Complex, b: Complex| {
+    Complex::new(a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re)
+});
+impl_binop!(Div, div, DivAssign, div_assign, |a: Complex, b: Complex| {
+    a * b.inv()
+});
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + *b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = c(1.0, 2.0);
+        let b = c(3.0, -1.0);
+        assert_eq!(a + b, c(4.0, 1.0));
+        assert_eq!(a - b, c(-2.0, 3.0));
+        assert_eq!(a * b, c(5.0, 5.0));
+        assert!(close(a / b, c(0.1, 0.7), 1e-15));
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let a = c(1.0, 2.0);
+        assert_eq!(a + 1.0, c(2.0, 2.0));
+        assert_eq!(2.0 * a, c(2.0, 4.0));
+        assert_eq!(a / 2.0, c(0.5, 1.0));
+        assert_eq!(1.0 - a, c(0.0, -2.0));
+    }
+
+    #[test]
+    fn inv_is_reciprocal() {
+        let z = c(3.0, 4.0);
+        assert!(close(z * z.inv(), Complex::ONE, 1e-15));
+        // Very skewed magnitudes (Smith's algorithm territory).
+        let w = c(1e-300, 1e300);
+        let r = w * w.inv();
+        assert!(close(r, Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn exp_and_ln_are_inverse() {
+        let z = c(0.3, -1.2);
+        assert!(close(z.exp().ln(), z, 1e-14));
+        // Euler identity.
+        assert!(close(c(0.0, core::f64::consts::PI).exp(), c(-1.0, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn ln_branch_is_principal() {
+        let z = c(-1.0, -1e-30);
+        assert!(z.ln().im < 0.0, "just below the cut → arg near -π");
+        let z = c(-1.0, 1e-30);
+        assert!(z.ln().im > 0.0, "just above the cut → arg near +π");
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c(4.0, 0.0), c(-4.0, 0.0), c(1.0, 1.0), c(-3.0, -4.0)] {
+            let s = z.sqrt();
+            assert!(close(s * s, z, 1e-12), "sqrt({z:?})² = {:?}", s * s);
+            assert!(s.re >= 0.0, "principal branch has Re ≥ 0");
+        }
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c(0.9, 0.2);
+        let mut acc = Complex::ONE;
+        for n in 0..8 {
+            assert!(close(z.powi(n), acc, 1e-12));
+            acc *= z;
+        }
+        assert!(close(z.powi(-3), (z * z * z).inv(), 1e-12));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = c(-2.0, 5.0);
+        let w = Complex::from_polar(z.abs(), z.arg());
+        assert!(close(z, w, 1e-12));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let v = [c(1.0, 1.0), c(2.0, -1.0), c(-1.0, 0.5)];
+        let s: Complex = v.iter().sum();
+        assert_eq!(s, c(2.0, 0.5));
+        let p: Complex = v.iter().copied().product();
+        assert!(close(p, c(1.0, 1.0) * c(2.0, -1.0) * c(-1.0, 0.5), 1e-15));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(c(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(c(1.0, -2.0).to_string(), "1-2j");
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by the numerical kernels.
+
+use core::fmt;
+
+/// Errors produced by the factorizations and solvers in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A factorization encountered an exactly zero pivot.
+    Singular {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// A vector or matrix dimension did not match the operator.
+    DimensionMismatch {
+        /// Dimension the operator expected.
+        expected: usize,
+        /// Dimension it received.
+        got: usize,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Human-readable context (algorithm name).
+        what: &'static str,
+    },
+    /// A least-squares system was rank deficient beyond tolerance.
+    RankDeficient {
+        /// Numerical rank detected.
+        rank: usize,
+        /// Number of unknowns requested.
+        wanted: usize,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            Self::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch (expected {expected}, got {got})")
+            }
+            Self::NoConvergence { iterations, what } => {
+                write!(f, "{what} failed to converge after {iterations} iterations")
+            }
+            Self::RankDeficient { rank, wanted } => {
+                write!(f, "rank-deficient system (rank {rank} of {wanted} unknowns)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NumericsError::Singular { pivot: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("singular") && msg.contains('3'));
+        let e = NumericsError::NoConvergence { iterations: 50, what: "qr eigensolver" };
+        assert!(e.to_string().contains("qr eigensolver"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn take(_: Box<dyn std::error::Error + Send + Sync>) {}
+        take(Box::new(NumericsError::NotSquare { rows: 1, cols: 2 }));
+    }
+}

@@ -1,0 +1,71 @@
+//! # rvf-numerics
+//!
+//! Self-contained dense numerical kernels for the TFT-RVF reproduction
+//! (De Jonghe et al., *Extracting Analytical Nonlinear Models from Analog
+//! Circuits by Recursive Vector Fitting of Transfer Function
+//! Trajectories*, DATE 2013).
+//!
+//! The crate provides exactly the numerical machinery the modeling
+//! pipeline needs, with no external linear-algebra dependencies:
+//!
+//! * [`Complex`] arithmetic with the principal logarithm used by the RVF
+//!   closed-form integrals,
+//! * dense real ([`Mat`]) and complex ([`CMat`]) matrices,
+//! * LU factorizations ([`Lu`], [`CLu`]) for MNA solves and frequency
+//!   sweeps,
+//! * Householder [`Qr`] least squares for the fitting systems,
+//! * a balanced Hessenberg + Francis-QR [`eigenvalues`] solver for vector
+//!   fitting pole relocation,
+//! * exact first-order-hold block propagators ([`FohScalar`], [`FohPair`])
+//!   for simulating the extracted Hammerstein models,
+//! * grids, quadrature, polynomials and error metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use rvf_numerics::{eigenvalues, lstsq, Mat};
+//!
+//! # fn main() -> Result<(), rvf_numerics::NumericsError> {
+//! let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, -1.0], &[1.0, 2.0]]);
+//! let x = lstsq(&a, &[2.0, 0.0, 3.0])?;
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//!
+//! let rot = Mat::from_rows(&[&[0.0, -2.0], &[2.0, 0.0]]);
+//! let eigs = eigenvalues(&rot)?;
+//! assert!(eigs.iter().all(|e| e.re.abs() < 1e-12));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cmatrix;
+pub mod complex;
+pub mod eig;
+pub mod error;
+pub mod expm;
+pub mod fft;
+pub mod grid;
+pub mod integrate;
+pub mod lu;
+pub mod matrix;
+pub mod poly;
+pub mod qr;
+pub mod stats;
+
+pub use cmatrix::CMat;
+pub use complex::{c, Complex, C64, J};
+pub use eig::{eig_2x2, eigenvalues, sort_eigenvalues};
+pub use error::NumericsError;
+pub use expm::{expm2, FohPair, FohScalar};
+pub use fft::{fft_in_place, fft_real, ifft_in_place, power_spectrum, spectral_occupancy};
+pub use grid::{geomspace, jw_grid, linspace, logspace};
+pub use integrate::{cumtrapz, rk4_integrate, rk4_step, trapz};
+pub use lu::{CLu, Lu};
+pub use matrix::Mat;
+pub use poly::{from_roots, Poly};
+pub use qr::{lstsq, lstsq_ridge, Qr};
+pub use stats::{
+    db10, db20, deg, from_db20, max_abs_err, mean, nrmse, rms, rmse, rmse_complex, unwrap_phase,
+};

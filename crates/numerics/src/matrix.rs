@@ -1,0 +1,416 @@
+//! Dense row-major real matrices.
+//!
+//! [`Mat`] is deliberately minimal: the TFT/RVF pipeline needs dense
+//! assembly, products, transposes and views into rows — factorizations
+//! live in [`crate::lu`], [`crate::qr`] and [`crate::eig`].
+
+use core::fmt;
+use core::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_numerics::Mat;
+///
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let x = vec![1.0, 1.0];
+/// assert_eq!(a.matvec(&x), vec![3.0, 7.0]);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Creates a diagonal matrix from the given entries.
+    pub fn from_diag(d: &[f64]) -> Self {
+        let mut m = Self::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the raw row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Transposed matrix–vector product `Aᵀ·x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in matvec_t");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let xi = x[i];
+            for (yj, a) in y.iter_mut().zip(row) {
+                *yj += a * xi;
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in matmul");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Max-abs entry (∞-norm of the flattened data).
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Scales every entry by `k`, in place.
+    pub fn scale_mut(&mut self, k: f64) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Returns `self + k·other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&self, k: f64, other: &Mat) -> Mat {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + k * b)
+            .collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Extracts the square submatrix `rows × cols` given by index lists.
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Mat {
+        let mut m = Mat::zeros(row_idx.len(), col_idx.len());
+        for (i, &ri) in row_idx.iter().enumerate() {
+            for (j, &cj) in col_idx.iter().enumerate() {
+                m[(i, j)] = self[(ri, cj)];
+            }
+        }
+        m
+    }
+
+    /// Consumes the matrix and returns the raw row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if self.cols > 8 {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &Mat {
+    type Output = Mat;
+    fn add(self, rhs: &Mat) -> Mat {
+        self.axpy(1.0, rhs)
+    }
+}
+
+impl Sub for &Mat {
+    type Output = Mat;
+    fn sub(self, rhs: &Mat) -> Mat {
+        self.axpy(-1.0, rhs)
+    }
+}
+
+impl Mul for &Mat {
+    type Output = Mat;
+    fn mul(self, rhs: &Mat) -> Mat {
+        self.matmul(rhs)
+    }
+}
+
+impl Mul<f64> for &Mat {
+    type Output = Mat;
+    fn mul(self, k: f64) -> Mat {
+        let mut m = self.clone();
+        m.scale_mut(k);
+        m
+    }
+}
+
+impl Neg for &Mat {
+    type Output = Mat;
+    fn neg(self) -> Mat {
+        self * -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Mat::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let i = Mat::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = vec![1.0, -1.0];
+        assert_eq!(a.matvec_t(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn norms() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, -4.0]]);
+        assert_eq!(a.norm_fro(), 5.0);
+        assert_eq!(a.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn operators() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::identity(2);
+        assert_eq!((&a + &b)[(0, 0)], 2.0);
+        assert_eq!((&a - &b)[(1, 1)], 3.0);
+        assert_eq!((&a * 2.0)[(1, 0)], 6.0);
+        assert_eq!((-&a)[(0, 1)], -2.0);
+    }
+
+    #[test]
+    fn from_fn_and_diag() {
+        let d = Mat::from_diag(&[1.0, 2.0, 3.0]);
+        let f = Mat::from_fn(3, 3, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        assert_eq!(d, f);
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let a = Mat::from_fn(4, 4, |i, j| (4 * i + j) as f64);
+        let s = a.submatrix(&[0, 2], &[1, 3]);
+        assert_eq!(s, Mat::from_rows(&[&[1.0, 3.0], &[9.0, 11.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_dimension_check() {
+        let a = Mat::zeros(2, 3);
+        let _ = a.matvec(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,379 @@
+//! Householder QR factorization and linear least squares.
+//!
+//! Vector fitting assembles tall real least-squares systems (stacked
+//! real/imaginary parts of the partial-fraction basis); the fast VF
+//! variant of Deschrijver et al. additionally needs the triangular `R`
+//! factor of per-snapshot blocks to compress the pole-identification
+//! system. Both paths go through [`Qr`].
+
+use crate::error::NumericsError;
+use crate::matrix::Mat;
+
+/// Householder QR factorization of a real `m × n` matrix (`m ≥ n` or `m < n`).
+///
+/// Stores the reflectors in compact form; `Q` is never formed explicitly
+/// unless requested.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_numerics::{Mat, Qr};
+///
+/// # fn main() -> Result<(), rvf_numerics::NumericsError> {
+/// // Overdetermined: fit y = a + b*t through three points.
+/// let a = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let x = Qr::factor(&a).solve_lstsq(&[1.0, 3.0, 5.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Reflectors below the diagonal, R on and above.
+    qr: Mat,
+    /// Scalar factors of the reflectors.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Computes the QR factorization of `a`.
+    pub fn factor(a: &Mat) -> Self {
+        let (m, n) = a.shape();
+        let mut qr = a.clone();
+        let k = m.min(n);
+        let mut tau = vec![0.0; k];
+        for j in 0..k {
+            // Compute the Householder reflector for column j.
+            let mut norm = 0.0;
+            for i in j..m {
+                norm = f64::hypot(norm, qr[(i, j)]);
+            }
+            if norm == 0.0 {
+                tau[j] = 0.0;
+                continue;
+            }
+            // Choose sign to avoid cancellation.
+            let alpha = if qr[(j, j)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha*e1, normalized so v[0] = 1.
+            let v0 = qr[(j, j)] - alpha;
+            for i in (j + 1)..m {
+                qr[(i, j)] /= v0;
+            }
+            tau[j] = -v0 / alpha;
+            qr[(j, j)] = alpha;
+            // Apply the reflector to the remaining columns.
+            for c in (j + 1)..n {
+                let mut dot = qr[(j, c)];
+                for i in (j + 1)..m {
+                    dot += qr[(i, j)] * qr[(i, c)];
+                }
+                dot *= tau[j];
+                qr[(j, c)] -= dot;
+                for i in (j + 1)..m {
+                    let vij = qr[(i, j)];
+                    qr[(i, c)] -= dot * vij;
+                }
+            }
+        }
+        Self { qr, tau }
+    }
+
+    /// Shape of the factored matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// The upper-triangular factor `R` (economy size: `min(m,n) × n`).
+    pub fn r(&self) -> Mat {
+        let (m, n) = self.qr.shape();
+        let k = m.min(n);
+        let mut r = Mat::zeros(k, n);
+        for i in 0..k {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Applies `Qᵀ` to a vector (length `m`), in place semantics via return.
+    pub fn qt_mul(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = self.qr.shape();
+        assert_eq!(b.len(), m, "dimension mismatch in qt_mul");
+        let mut y = b.to_vec();
+        for j in 0..m.min(n) {
+            if self.tau[j] == 0.0 {
+                continue;
+            }
+            let mut dot = y[j];
+            for i in (j + 1)..m {
+                dot += self.qr[(i, j)] * y[i];
+            }
+            dot *= self.tau[j];
+            y[j] -= dot;
+            for i in (j + 1)..m {
+                y[i] -= dot * self.qr[(i, j)];
+            }
+        }
+        y
+    }
+
+    /// Forms the economy `Q` factor (`m × min(m,n)`).
+    pub fn q(&self) -> Mat {
+        let (m, n) = self.qr.shape();
+        let k = m.min(n);
+        let mut q = Mat::zeros(m, k);
+        // Apply reflectors in reverse to the identity columns.
+        for col in 0..k {
+            let mut e = vec![0.0; m];
+            e[col] = 1.0;
+            for j in (0..k).rev() {
+                if self.tau[j] == 0.0 {
+                    continue;
+                }
+                let mut dot = e[j];
+                for i in (j + 1)..m {
+                    dot += self.qr[(i, j)] * e[i];
+                }
+                dot *= self.tau[j];
+                e[j] -= dot;
+                for i in (j + 1)..m {
+                    e[i] -= dot * self.qr[(i, j)];
+                }
+            }
+            for i in 0..m {
+                q[(i, col)] = e[i];
+            }
+        }
+        q
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂` for tall `A`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b.len() != m`, and
+    /// [`NumericsError::RankDeficient`] if a diagonal of `R` underflows
+    /// relative tolerance (the system does not determine all unknowns).
+    pub fn solve_lstsq(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(NumericsError::DimensionMismatch { expected: m, got: b.len() });
+        }
+        if m < n {
+            return Err(NumericsError::RankDeficient { rank: m, wanted: n });
+        }
+        let y = self.qt_mul(b);
+        // Back-substitute R x = y[0..n].
+        let mut x = vec![0.0; n];
+        let rmax = (0..n).fold(0.0_f64, |acc, i| acc.max(self.qr[(i, i)].abs()));
+        let tol = rmax * 1e-13;
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() <= tol {
+                return Err(NumericsError::RankDeficient { rank: i, wanted: n });
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+
+    /// Residual norm `‖A·x − b‖₂` of the least-squares solution, computed
+    /// from the tail of `Qᵀ·b` without forming the residual vector.
+    pub fn residual_norm(&self, b: &[f64]) -> f64 {
+        let (m, n) = self.qr.shape();
+        let y = self.qt_mul(b);
+        y[n.min(m)..].iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Numerical rank: number of `R` diagonals above `tol · max|R_ii|`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let (m, n) = self.qr.shape();
+        let k = m.min(n);
+        let rmax = (0..k).fold(0.0_f64, |acc, i| acc.max(self.qr[(i, i)].abs()));
+        if rmax == 0.0 {
+            return 0;
+        }
+        (0..k).filter(|&i| self.qr[(i, i)].abs() > rel_tol * rmax).count()
+    }
+}
+
+/// One-shot least squares `min ‖A·x − b‖₂`.
+///
+/// # Errors
+///
+/// See [`Qr::solve_lstsq`].
+///
+/// # Examples
+///
+/// ```
+/// use rvf_numerics::{lstsq, Mat};
+///
+/// # fn main() -> Result<(), rvf_numerics::NumericsError> {
+/// let a = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+/// let x = lstsq(&a, &[1.0, 1.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lstsq(a: &Mat, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    Qr::factor(a).solve_lstsq(b)
+}
+
+/// Ridge-regularized least squares: `min ‖A·x − b‖² + λ‖x‖²`.
+///
+/// Implemented by stacking `√λ·I` under `A`; useful when residue
+/// regression systems become ill-conditioned at high pole counts.
+///
+/// # Errors
+///
+/// See [`Qr::solve_lstsq`].
+pub fn lstsq_ridge(a: &Mat, b: &[f64], lambda: f64) -> Result<Vec<f64>, NumericsError> {
+    assert!(lambda >= 0.0, "ridge parameter must be non-negative");
+    let (m, n) = a.shape();
+    let sq = lambda.sqrt();
+    let mut stacked = Mat::zeros(m + n, n);
+    for i in 0..m {
+        for j in 0..n {
+            stacked[(i, j)] = a[(i, j)];
+        }
+    }
+    for j in 0..n {
+        stacked[(m + j, j)] = sq;
+    }
+    let mut rhs = b.to_vec();
+    rhs.resize(m + n, 0.0);
+    Qr::factor(&stacked).solve_lstsq(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn square_solve_via_lstsq() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = lstsq(&a, &[5.0, 10.0]).unwrap();
+        approx(&x, &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_regression() {
+        // y = 2 + 3 t, perturbation-free.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Mat::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 2.0 + 3.0 * t).collect();
+        let x = lstsq(&a, &b).unwrap();
+        approx(&x, &[2.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn lstsq_minimizes_residual() {
+        // Inconsistent system: check normal equations Aᵀ(Ax - b) = 0.
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [0.0, 1.0, 0.0, 2.0];
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x);
+        let r: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let atr = a.matvec_t(&r);
+        for v in atr {
+            assert!(v.abs() < 1e-12, "normal equations violated: {v}");
+        }
+    }
+
+    #[test]
+    fn q_is_orthonormal_and_reconstructs() {
+        let a = Mat::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ]);
+        let f = Qr::factor(&a);
+        let q = f.q();
+        let r = f.r();
+        // QᵀQ = I.
+        let qtq = q.transpose().matmul(&q);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+        // Q R = A.
+        let qr = q.matmul(&r);
+        for i in 0..4 {
+            for j in 0..2 {
+                assert!((qr[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_norm_matches_direct() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [0.0, 1.0, 0.0, 2.0];
+        let f = Qr::factor(&a);
+        let x = f.solve_lstsq(&b).unwrap();
+        let ax = a.matvec(&x);
+        let direct: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        assert!((f.residual_norm(&b) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_detection() {
+        // Rank-1 matrix.
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let f = Qr::factor(&a);
+        assert_eq!(f.rank(1e-10), 1);
+        assert!(matches!(
+            f.solve_lstsq(&[1.0, 2.0, 3.0]),
+            Err(NumericsError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_shrinks_solution() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x0 = lstsq_ridge(&a, &[1.0, 1.0], 0.0).unwrap();
+        let x1 = lstsq_ridge(&a, &[1.0, 1.0], 1.0).unwrap();
+        approx(&x0, &[1.0, 1.0], 1e-12);
+        approx(&x1, &[0.5, 0.5], 1e-12);
+    }
+
+    #[test]
+    fn wide_system_rejected() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(
+            Qr::factor(&a).solve_lstsq(&[1.0, 2.0]),
+            Err(NumericsError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Mat::from_fn(5, 3, |i, j| ((i * 3 + j) as f64).sin());
+        let r = Qr::factor(&a).r();
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The TFT dataset: state-dependent frequency responses.
+
+use rvf_numerics::{jw_grid, Complex};
+
+/// One state point of the trajectory with its sampled transfer function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSample {
+    /// Simulation time of the underlying snapshot.
+    pub t: f64,
+    /// The scalar state estimator value `x(k) = u(t_k)` (first delay tap).
+    pub state: f64,
+    /// Full delay-embedded state estimator (length `q ≥ 1`).
+    pub x_embed: Vec<f64>,
+    /// Circuit output at the snapshot.
+    pub y: f64,
+    /// Sampled transfer function `H(k)(s_l)` on the frequency grid.
+    pub h: Vec<Complex>,
+    /// Static (DC) transfer `H(k)(0)` — the instantaneous small-signal
+    /// gain around the trajectory (paper §II).
+    pub h0: Complex,
+}
+
+/// A transfer-function-trajectory dataset: `K` state points × `L`
+/// frequencies, sorted by ascending state.
+///
+/// The *dynamic* part `H(k)(s) − H(k)(0)` and the *static* part
+/// `H(k)(0)` are modeled separately (paper eq. split after eq. 3,
+/// following Ngoya et al.).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TftDataset {
+    /// Frequency grid (hertz).
+    pub freqs_hz: Vec<f64>,
+    /// State samples sorted by ascending `state`.
+    pub samples: Vec<StateSample>,
+}
+
+impl TftDataset {
+    /// Builds a dataset and sorts the samples by state.
+    pub fn new(freqs_hz: Vec<f64>, mut samples: Vec<StateSample>) -> Self {
+        samples.sort_by(|a, b| a.state.partial_cmp(&b.state).unwrap_or(core::cmp::Ordering::Equal));
+        Self { freqs_hz, samples }
+    }
+
+    /// Number of state points `K`.
+    pub fn n_states(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of frequency points `L`.
+    pub fn n_freqs(&self) -> usize {
+        self.freqs_hz.len()
+    }
+
+    /// The complex frequency grid `s = j·2πf`.
+    pub fn s_grid(&self) -> Vec<Complex> {
+        jw_grid(&self.freqs_hz)
+    }
+
+    /// The state values in sorted order.
+    pub fn states(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.state).collect()
+    }
+
+    /// Full responses `H(k)(s_l)` as `K` rows for the fitting engine.
+    pub fn full_responses(&self) -> Vec<Vec<Complex>> {
+        self.samples.iter().map(|s| s.h.clone()).collect()
+    }
+
+    /// Dynamic responses `H(k)(s_l) − H(k)(0)` as `K` rows.
+    pub fn dynamic_responses(&self) -> Vec<Vec<Complex>> {
+        self.samples
+            .iter()
+            .map(|s| s.h.iter().map(|&v| v - s.h0).collect())
+            .collect()
+    }
+
+    /// The static conductance trajectory `H(k)(0)` (real parts; the
+    /// imaginary parts vanish at DC).
+    pub fn static_gains(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.h0.re).collect()
+    }
+
+    /// Peak magnitude over the whole hyperplane (normalization helper).
+    pub fn peak_magnitude(&self) -> f64 {
+        self.samples
+            .iter()
+            .flat_map(|s| s.h.iter())
+            .fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Restricts the dataset to every `n`-th state sample (training-set
+    /// thinning experiments).
+    pub fn thin_states(&self, n: usize) -> TftDataset {
+        assert!(n > 0, "thinning factor must be positive");
+        TftDataset {
+            freqs_hz: self.freqs_hz.clone(),
+            samples: self.samples.iter().step_by(n).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvf_numerics::c;
+
+    fn sample(state: f64, h0: f64) -> StateSample {
+        StateSample {
+            t: 0.0,
+            state,
+            x_embed: vec![state],
+            y: 2.0 * state,
+            h: vec![c(h0 + 1.0, 0.5), c(h0, -0.5)],
+            h0: c(h0, 0.0),
+        }
+    }
+
+    #[test]
+    fn sorted_by_state() {
+        let d = TftDataset::new(vec![1.0, 10.0], vec![sample(1.2, 2.0), sample(0.4, 1.0)]);
+        assert_eq!(d.states(), vec![0.4, 1.2]);
+        assert_eq!(d.n_states(), 2);
+        assert_eq!(d.n_freqs(), 2);
+    }
+
+    #[test]
+    fn dynamic_subtracts_static() {
+        let d = TftDataset::new(vec![1.0, 10.0], vec![sample(0.4, 1.0)]);
+        let dy = d.dynamic_responses();
+        assert_eq!(dy[0][0], c(1.0, 0.5));
+        assert_eq!(dy[0][1], c(0.0, -0.5));
+        assert_eq!(d.static_gains(), vec![1.0]);
+    }
+
+    #[test]
+    fn s_grid_is_imaginary() {
+        let d = TftDataset::new(vec![1.0, 2.0], vec![]);
+        for s in d.s_grid() {
+            assert_eq!(s.re, 0.0);
+            assert!(s.im > 0.0);
+        }
+    }
+
+    #[test]
+    fn thinning() {
+        let d = TftDataset::new(
+            vec![1.0],
+            (0..10).map(|i| sample(i as f64, 0.0)).collect(),
+        );
+        let t = d.thin_states(3);
+        assert_eq!(t.n_states(), 4);
+        assert_eq!(t.states(), vec![0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn peak_magnitude() {
+        let d = TftDataset::new(vec![1.0, 2.0], vec![sample(0.0, 3.0)]);
+        assert!((d.peak_magnitude() - c(4.0, 0.5).abs()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for TFT extraction.
+
+use core::fmt;
+
+use rvf_circuit::CircuitError;
+use rvf_numerics::NumericsError;
+
+/// Errors produced while building transfer function trajectories.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TftError {
+    /// No snapshots were provided / captured.
+    NoSnapshots,
+    /// The frequency grid is empty or non-positive.
+    BadFrequencyGrid,
+    /// Snapshot dimensions are inconsistent with the port vectors.
+    DimensionMismatch {
+        /// Snapshot index.
+        snapshot: usize,
+        /// Expected MNA dimension.
+        expected: usize,
+        /// Found dimension.
+        got: usize,
+    },
+    /// The underlying circuit analysis failed.
+    Circuit(CircuitError),
+    /// A frequency-domain solve failed (singular system matrix).
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for TftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSnapshots => write!(f, "no jacobian snapshots to transform"),
+            Self::BadFrequencyGrid => write!(f, "frequency grid must be non-empty and positive"),
+            Self::DimensionMismatch { snapshot, expected, got } => write!(
+                f,
+                "snapshot {snapshot} has dimension {got}, expected {expected}"
+            ),
+            Self::Circuit(e) => write!(f, "circuit analysis failed: {e}"),
+            Self::Numerics(e) => write!(f, "frequency solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TftError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            Self::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for TftError {
+    fn from(e: CircuitError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+impl From<NumericsError> for TftError {
+    fn from(e: NumericsError) -> Self {
+        Self::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(TftError::NoSnapshots.to_string().contains("snapshots"));
+        let e = TftError::from(NumericsError::Singular { pivot: 1 });
+        assert!(e.source().is_some());
+        let e = TftError::from(CircuitError::MissingPort { which: "input" });
+        assert!(e.source().is_some());
+    }
+}

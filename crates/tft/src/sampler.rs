@@ -1,0 +1,333 @@
+//! Jacobian snapshots → TFT dataset (paper §II, eq. 3).
+//!
+//! Each snapshot `(G(k), C(k))` becomes a sampled transfer function
+//!
+//! ```text
+//! H(k)(s_l) = Dᵀ·(G(k) + s_l·C(k))⁻¹·B
+//! ```
+//!
+//! The frequency sweep factors one complex matrix per `(k, l)` pair;
+//! sweeps across snapshots are embarrassingly parallel and are spread
+//! over worker threads with `crossbeam` scoped threads.
+
+use crossbeam::thread;
+use rvf_circuit::{
+    dc_operating_point, transfer_at, transient, Circuit, DcOptions, JacobianSnapshot,
+    TranOptions, TranResult,
+};
+use rvf_numerics::{logspace, Complex, Lu};
+
+use crate::dataset::{StateSample, TftDataset};
+use crate::error::TftError;
+
+/// Configuration of a TFT extraction run.
+#[derive(Debug, Clone)]
+pub struct TftConfig {
+    /// Lowest frequency of the grid (Hz).
+    pub f_min_hz: f64,
+    /// Highest frequency of the grid (Hz).
+    pub f_max_hz: f64,
+    /// Number of (log-spaced) frequency points.
+    pub n_freqs: usize,
+    /// Training transient length (s).
+    pub t_train: f64,
+    /// Transient step count.
+    pub steps: usize,
+    /// Number of snapshots to capture along the trajectory.
+    pub n_snapshots: usize,
+    /// Delay-embedding depth `q` of the state estimator (1 = `u(t)` only).
+    pub embed_depth: usize,
+    /// Worker threads for the frequency sweep.
+    pub threads: usize,
+}
+
+impl Default for TftConfig {
+    fn default() -> Self {
+        Self {
+            f_min_hz: 1.0,
+            f_max_hz: 1.0e10,
+            n_freqs: 60,
+            // One period of a 100 kHz training sine: slow enough that
+            // the Jacobian sampling stays quasi-static (the paper's
+            // "low-frequency high-amplitude" pump), which keeps the
+            // residue trajectories single-valued over the state.
+            t_train: 1.0e-5,
+            steps: 2000,
+            n_snapshots: 100,
+            embed_depth: 1,
+            threads: 4,
+        }
+    }
+}
+
+impl TftConfig {
+    /// The log-spaced frequency grid in hertz.
+    pub fn freq_grid(&self) -> Vec<f64> {
+        logspace(self.f_min_hz.log10(), self.f_max_hz.log10(), self.n_freqs)
+    }
+}
+
+/// Transforms captured snapshots into a TFT dataset given the circuit's
+/// port vectors `b` (input column) and `d` (output row).
+///
+/// # Errors
+///
+/// Returns [`TftError::NoSnapshots`], [`TftError::BadFrequencyGrid`],
+/// [`TftError::DimensionMismatch`], or a numerics error if a frequency
+/// solve hits a singular matrix.
+pub fn tft_from_snapshots(
+    snapshots: &[JacobianSnapshot],
+    b: &[f64],
+    d: &[f64],
+    freqs_hz: &[f64],
+    embed_depth: usize,
+    threads: usize,
+) -> Result<TftDataset, TftError> {
+    if snapshots.is_empty() {
+        return Err(TftError::NoSnapshots);
+    }
+    if freqs_hz.is_empty() || freqs_hz.iter().any(|&f| !(f > 0.0)) {
+        return Err(TftError::BadFrequencyGrid);
+    }
+    let dim = b.len();
+    for (i, s) in snapshots.iter().enumerate() {
+        if s.g.shape() != (dim, dim) || s.c.shape() != (dim, dim) || s.x.len() != dim {
+            return Err(TftError::DimensionMismatch {
+                snapshot: i,
+                expected: dim,
+                got: s.g.rows(),
+            });
+        }
+    }
+    let s_grid: Vec<Complex> = freqs_hz
+        .iter()
+        .map(|&f| Complex::from_im(2.0 * core::f64::consts::PI * f))
+        .collect();
+
+    let n = snapshots.len();
+    let workers = threads.max(1).min(n);
+    let mut results: Vec<Option<StateSample>> = vec![None; n];
+    let chunk = n.div_ceil(workers);
+    // Scoped threads: borrow snapshots/b/d without Arc.
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, out_chunk) in results.chunks_mut(chunk).enumerate() {
+            let lo = w * chunk;
+            let s_grid = &s_grid;
+            let handle = scope.spawn(move |_| -> Result<(), TftError> {
+                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                    let snap = &snapshots[lo + off];
+                    let mut h = Vec::with_capacity(s_grid.len());
+                    for &s in s_grid {
+                        h.push(
+                            transfer_at(&snap.g, &snap.c, b, d, s)
+                                .map_err(TftError::from_circuit_err)?,
+                        );
+                    }
+                    // Static gain from the real DC solve.
+                    let lu = Lu::factor(&snap.g)?;
+                    let xg = lu.solve(b)?;
+                    let h0: f64 = d.iter().zip(&xg).map(|(di, xi)| di * xi).sum();
+                    *slot = Some(StateSample {
+                        t: snap.t,
+                        state: snap.u,
+                        x_embed: vec![snap.u],
+                        y: snap.y,
+                        h,
+                        h0: Complex::from_re(h0),
+                    });
+                }
+                Ok(())
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            h.join().expect("tft worker panicked")?;
+        }
+        Ok::<(), TftError>(())
+    })
+    .expect("crossbeam scope")?;
+
+    let mut samples: Vec<StateSample> = results.into_iter().map(|s| s.expect("filled")).collect();
+    // Delay embedding beyond depth 1: append lagged input values taken
+    // from the snapshot sequence (trajectory order).
+    if embed_depth > 1 {
+        let us: Vec<f64> = samples.iter().map(|s| s.state).collect();
+        for (i, s) in samples.iter_mut().enumerate() {
+            for q in 1..embed_depth {
+                let j = i.saturating_sub(q);
+                s.x_embed.push(us[j]);
+            }
+        }
+    }
+    Ok(TftDataset::new(freqs_hz.to_vec(), samples))
+}
+
+impl TftError {
+    fn from_circuit_err(e: rvf_circuit::CircuitError) -> Self {
+        match e {
+            rvf_circuit::CircuitError::Numerics(n) => TftError::Numerics(n),
+            other => TftError::Circuit(other),
+        }
+    }
+}
+
+/// Runs the full training flow on a circuit: DC operating point, one
+/// training transient with snapshot capture, then the TFT transform.
+///
+/// Returns the dataset together with the raw transient (reference
+/// waveforms for validation).
+///
+/// # Errors
+///
+/// Propagates circuit analysis and TFT transform failures.
+pub fn extract_from_circuit(
+    circuit: &mut Circuit,
+    cfg: &TftConfig,
+) -> Result<(TftDataset, TranResult), TftError> {
+    let op = dc_operating_point(circuit, &DcOptions::default())?;
+    let every = (cfg.steps / cfg.n_snapshots).max(1);
+    let opts = TranOptions {
+        dt: cfg.t_train / cfg.steps as f64,
+        t_stop: cfg.t_train,
+        snapshot_every: Some(every),
+        ..Default::default()
+    };
+    let tran = transient(circuit, &op, &opts)?;
+    let b = circuit.input_column()?;
+    let d = circuit.output_row()?;
+    let dataset = tft_from_snapshots(
+        &tran.snapshots,
+        &b,
+        &d,
+        &cfg.freq_grid(),
+        cfg.embed_depth,
+        cfg.threads,
+    )?;
+    Ok((dataset, tran))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvf_circuit::{rc_ladder, Waveform};
+    use rvf_numerics::db20;
+
+    #[test]
+    fn rc_ladder_tft_matches_analytic_single_section() {
+        // One RC section: H(s) = 1/(1 + sRC) regardless of state
+        // (linear circuit ⇒ flat trajectory).
+        let r = 1.0e3;
+        let c = 1.0e-9;
+        let mut ckt = rc_ladder(
+            1,
+            r,
+            c,
+            Waveform::Sine { offset: 0.5, amplitude: 0.3, freq_hz: 1.0e4, phase_rad: 0.0, delay: 0.0 },
+        );
+        let cfg = TftConfig {
+            f_min_hz: 1.0e3,
+            f_max_hz: 1.0e7,
+            n_freqs: 30,
+            t_train: 1.0e-4,
+            steps: 400,
+            n_snapshots: 20,
+            embed_depth: 1,
+            threads: 2,
+        };
+        let (ds, _tran) = extract_from_circuit(&mut ckt, &cfg).unwrap();
+        assert_eq!(ds.n_states(), 21);
+        assert_eq!(ds.n_freqs(), 30);
+        let rc = r * c;
+        for sample in &ds.samples {
+            assert!((sample.h0.re - 1.0).abs() < 1e-9, "static gain 1");
+            for (f, h) in ds.freqs_hz.iter().zip(&sample.h) {
+                let s = Complex::from_im(2.0 * core::f64::consts::PI * f);
+                let want = (Complex::ONE + s.scale(rc)).inv();
+                assert!(
+                    (*h - want).abs() < 1e-9,
+                    "H mismatch at f={f}: {h:?} vs {want:?}"
+                );
+            }
+        }
+        // Linear circuit: the hyperplane is flat along the state axis.
+        let first = &ds.samples[0].h;
+        let last = &ds.samples[ds.n_states() - 1].h;
+        for (a, b) in first.iter().zip(last) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nonlinear_circuit_has_state_dependent_tft() {
+        use rvf_circuit::diode_clipper;
+        let mut ckt = diode_clipper(Waveform::Sine {
+            offset: 0.0,
+            amplitude: 1.5,
+            freq_hz: 1.0e5,
+            phase_rad: 0.0,
+            delay: 0.0,
+        });
+        let cfg = TftConfig {
+            f_min_hz: 1.0e3,
+            f_max_hz: 1.0e8,
+            n_freqs: 20,
+            t_train: 1.0e-5,
+            steps: 500,
+            n_snapshots: 50,
+            embed_depth: 1,
+            threads: 3,
+        };
+        let (ds, _) = extract_from_circuit(&mut ckt, &cfg).unwrap();
+        // Small-signal gain at u≈0 (diodes off) is near RL/(R+RL);
+        // at |u| large the conducting diode crushes the gain.
+        let g_mid = ds.samples[ds.n_states() / 2].h0.re;
+        let g_hi = ds.samples.last().unwrap().h0.re;
+        assert!(g_mid > 0.7, "mid-state gain {g_mid}");
+        assert!(g_hi < 0.2, "clipped gain {g_hi} (state {})", ds.samples.last().unwrap().state);
+        // Gain drop in dB for good measure.
+        assert!(db20(g_mid / g_hi) > 15.0);
+    }
+
+    #[test]
+    fn error_paths() {
+        let freqs = [1.0e3];
+        assert!(matches!(
+            tft_from_snapshots(&[], &[1.0], &[1.0], &freqs, 1, 1),
+            Err(TftError::NoSnapshots)
+        ));
+        let snap = JacobianSnapshot {
+            t: 0.0,
+            u: 0.0,
+            y: 0.0,
+            x: vec![0.0],
+            g: rvf_numerics::Mat::identity(1),
+            c: rvf_numerics::Mat::zeros(1, 1),
+        };
+        assert!(matches!(
+            tft_from_snapshots(&[snap.clone()], &[1.0], &[1.0], &[], 1, 1),
+            Err(TftError::BadFrequencyGrid)
+        ));
+        assert!(matches!(
+            tft_from_snapshots(&[snap], &[1.0, 0.0], &[1.0, 0.0], &freqs, 1, 1),
+            Err(TftError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn embedding_depth_adds_lagged_states() {
+        let snapmaker = |t: f64, u: f64| JacobianSnapshot {
+            t,
+            u,
+            y: 0.0,
+            x: vec![0.0],
+            g: rvf_numerics::Mat::identity(1),
+            c: rvf_numerics::Mat::zeros(1, 1),
+        };
+        let snaps = vec![snapmaker(0.0, 0.1), snapmaker(1.0, 0.2), snapmaker(2.0, 0.3)];
+        let ds = tft_from_snapshots(&snaps, &[1.0], &[1.0], &[1.0e3], 2, 1).unwrap();
+        // x_embed = (u(t), u(t−Δ)) in trajectory order before sorting.
+        let s0 = ds.samples.iter().find(|s| s.state == 0.2).unwrap();
+        assert_eq!(s0.x_embed, vec![0.2, 0.1]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the vector fitting engine.
+
+use core::fmt;
+
+use rvf_numerics::NumericsError;
+
+/// Errors produced by the vector fitting driver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VecfitError {
+    /// No responses or no sample points were provided.
+    EmptyData,
+    /// A response row has a different length than the sample grid.
+    LengthMismatch {
+        /// Index of the offending response.
+        response: usize,
+        /// Expected length (the sample count).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// Not enough sample points to determine the requested unknowns.
+    TooFewSamples {
+        /// Minimum number of sample points required.
+        needed: usize,
+        /// Number provided.
+        got: usize,
+    },
+    /// Input data contains NaN or infinities.
+    NonFinite,
+    /// The sample grid degenerates (e.g. all frequencies zero).
+    DegenerateGrid,
+    /// An underlying linear-algebra kernel failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for VecfitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyData => write!(f, "no data to fit"),
+            Self::LengthMismatch { response, expected, got } => write!(
+                f,
+                "response {response} has {got} samples, expected {expected}"
+            ),
+            Self::TooFewSamples { needed, got } => {
+                write!(f, "need at least {needed} sample points, got {got}")
+            }
+            Self::NonFinite => write!(f, "input data contains non-finite values"),
+            Self::DegenerateGrid => write!(f, "sample grid is degenerate"),
+            Self::Numerics(e) => write!(f, "numerical kernel failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VecfitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for VecfitError {
+    fn from(e: NumericsError) -> Self {
+        Self::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(VecfitError::EmptyData.to_string().contains("no data"));
+        let e = VecfitError::LengthMismatch { response: 2, expected: 10, got: 7 };
+        assert!(e.to_string().contains('2') && e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn from_numerics_preserves_source() {
+        use std::error::Error;
+        let e = VecfitError::from(NumericsError::Singular { pivot: 0 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,560 @@
+//! The vector fitting driver.
+//!
+//! Implements relaxed vector fitting (Gustavsen 2006) with the fast
+//! per-response QR compression of Deschrijver, Mrozowski, Dhaene &
+//! De Zutter (2008) — the paper's reference \[9\] — generalized over the
+//! sample axis so the same engine fits frequency responses (`s = jω`)
+//! and residue trajectories over the real state variable.
+//!
+//! One relocation round:
+//!
+//! 1. For every response `k`, assemble the block
+//!    `[ W_k·Φ_loc  |  −W_k·H_k·Φ_σ ]` (plus RHS for classic VF), where
+//!    `Φ_loc` carries the per-response unknowns (residues, optional `d`,
+//!    `e`) and `Φ_σ` the shared sigma unknowns.
+//! 2. QR-factor each block and keep only the `R₂₂` rows — the influence
+//!    of response `k` on the shared unknowns after eliminating its local
+//!    ones.
+//! 3. Stack all `R₂₂` blocks (plus the relaxation row), solve a small
+//!    least-squares system for the sigma coefficients.
+//! 4. New poles are the zeros of `σ`: eigenvalues of `A − b·c̃ᵀ/d̃` in
+//!    real block form, post-processed per axis (stability flipping on the
+//!    frequency axis, conjugate-pair enforcement on the state axis).
+
+use rvf_numerics::{eigenvalues, lstsq_ridge, Complex, Mat, NumericsError, Qr};
+
+use crate::basis::{basis_matrix, Residues};
+use crate::error::VecfitError;
+use crate::model::{RationalModel, ResponseTerms};
+use crate::options::{Axis, VfOptions, Weighting};
+use crate::poles::{PoleEntry, PoleSet};
+
+/// Result of a vector fitting run.
+#[derive(Debug, Clone)]
+pub struct VfFit {
+    /// The fitted common-pole rational model.
+    pub model: RationalModel,
+    /// Absolute RMS error over all responses and samples.
+    pub rms_error: f64,
+    /// Pole-relocation rounds actually performed.
+    pub iterations_run: usize,
+    /// Relative pole displacement in the final round (convergence
+    /// indicator; small values mean the poles have settled).
+    pub final_displacement: f64,
+}
+
+/// Fits `K` responses sampled on a common grid with common poles.
+///
+/// `samples` are the `L` sample points (on `jω` for
+/// [`Axis::Imaginary`], real values for [`Axis::Real`]); `data[k]` is the
+/// `k`-th response evaluated on that grid.
+///
+/// # Errors
+///
+/// Returns a [`VecfitError`] for empty/mismatched/non-finite data, a
+/// degenerate grid, too few samples for the requested pole count, or a
+/// numerical kernel failure.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_numerics::{c, Complex};
+/// use rvf_vecfit::{fit_single, VfOptions};
+///
+/// # fn main() -> Result<(), rvf_vecfit::VecfitError> {
+/// // Synthesize H(s) = 3/(s+2) on the jω axis and recover it.
+/// let samples: Vec<Complex> = (1..=60)
+///     .map(|i| c(0.0, 0.2 * i as f64))
+///     .collect();
+/// let data: Vec<Complex> = samples
+///     .iter()
+///     .map(|&s| (s + 2.0).inv() * 3.0)
+///     .collect();
+/// let fit = fit_single(&samples, &data, &VfOptions::frequency(2))?;
+/// assert!(fit.rms_error < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit(
+    samples: &[Complex],
+    data: &[Vec<Complex>],
+    opts: &VfOptions,
+) -> Result<VfFit, VecfitError> {
+    validate(samples, data, opts)?;
+    let weights = compute_weights(data, opts);
+    let (lo, hi) = sample_range(samples, opts.axis)?;
+    let min_imag_abs = match opts.axis {
+        Axis::Real => (opts.real_axis_min_imag * (hi - lo)).max(1e-12),
+        Axis::Imaginary => 0.0,
+    };
+    let clamp = match opts.axis {
+        Axis::Real => Some((lo, hi)),
+        Axis::Imaginary => None,
+    };
+    let mut poles = PoleSet::initial_for(opts, lo, hi);
+    let mut displacement = f64::INFINITY;
+    let mut iterations_run = 0;
+    for _ in 0..opts.iterations {
+        let new_poles =
+            relocate_once(samples, data, &weights, &poles, opts, min_imag_abs, clamp)?;
+        displacement = new_poles.displacement(&poles);
+        poles = new_poles;
+        iterations_run += 1;
+        if displacement < 1e-10 {
+            break;
+        }
+    }
+    let model = identify_residues(samples, data, &weights, poles, opts)?;
+    let rms_error = model_rms(&model, samples, data);
+    Ok(VfFit { model, rms_error, iterations_run, final_displacement: displacement })
+}
+
+/// Convenience wrapper for a single response.
+///
+/// # Errors
+///
+/// See [`fit`].
+pub fn fit_single(
+    samples: &[Complex],
+    data: &[Complex],
+    opts: &VfOptions,
+) -> Result<VfFit, VecfitError> {
+    fit(samples, &[data.to_vec()], opts)
+}
+
+fn validate(
+    samples: &[Complex],
+    data: &[Vec<Complex>],
+    opts: &VfOptions,
+) -> Result<(), VecfitError> {
+    if samples.is_empty() || data.is_empty() {
+        return Err(VecfitError::EmptyData);
+    }
+    let l = samples.len();
+    for (k, row) in data.iter().enumerate() {
+        if row.len() != l {
+            return Err(VecfitError::LengthMismatch { response: k, expected: l, got: row.len() });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(VecfitError::NonFinite);
+        }
+    }
+    if samples.iter().any(|v| !v.is_finite()) {
+        return Err(VecfitError::NonFinite);
+    }
+    let n_loc = opts.n_poles
+        + usize::from(opts.include_const)
+        + usize::from(opts.include_linear);
+    let n_sig = opts.n_poles + usize::from(opts.relaxed);
+    let rows_per_sample = match opts.axis {
+        Axis::Imaginary => 2,
+        Axis::Real => 1,
+    };
+    let needed = (n_loc + n_sig).div_ceil(rows_per_sample);
+    if l < needed {
+        return Err(VecfitError::TooFewSamples { needed, got: l });
+    }
+    Ok(())
+}
+
+fn compute_weights(data: &[Vec<Complex>], opts: &VfOptions) -> Vec<Vec<f64>> {
+    let peak = data
+        .iter()
+        .flat_map(|row| row.iter())
+        .fold(0.0_f64, |m, v| m.max(v.abs()));
+    let floor = (peak * 1e-12).max(f64::MIN_POSITIVE);
+    data.iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| match opts.weighting {
+                    Weighting::Uniform => 1.0,
+                    Weighting::InverseMagnitude => 1.0 / v.abs().max(floor),
+                    Weighting::InverseSqrtMagnitude => 1.0 / v.abs().max(floor).sqrt(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn sample_range(samples: &[Complex], axis: Axis) -> Result<(f64, f64), VecfitError> {
+    match axis {
+        Axis::Imaginary => {
+            let mut lo = f64::INFINITY;
+            let mut hi: f64 = 0.0;
+            for s in samples {
+                let w = s.im.abs();
+                if w > 0.0 {
+                    lo = lo.min(w);
+                    hi = hi.max(w);
+                }
+            }
+            if hi == 0.0 || !lo.is_finite() {
+                return Err(VecfitError::DegenerateGrid);
+            }
+            if lo == hi {
+                // Single frequency: spread the starting poles a decade around it.
+                return Ok((hi / 3.0, hi * 3.0));
+            }
+            Ok((lo, hi))
+        }
+        Axis::Real => {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for s in samples {
+                lo = lo.min(s.re);
+                hi = hi.max(s.re);
+            }
+            if !(hi > lo) {
+                return Err(VecfitError::DegenerateGrid);
+            }
+            Ok((lo, hi))
+        }
+    }
+}
+
+/// Augmented local basis: partial fractions plus optional `1` and `s`
+/// columns.
+fn local_columns(
+    poles: &PoleSet,
+    samples: &[Complex],
+    opts: &VfOptions,
+) -> Vec<Vec<Complex>> {
+    let mut rows = basis_matrix(poles, samples);
+    for (row, &s) in rows.iter_mut().zip(samples) {
+        if opts.include_const {
+            row.push(Complex::ONE);
+        }
+        if opts.include_linear {
+            row.push(s);
+        }
+    }
+    rows
+}
+
+/// Sigma basis: partial fractions plus (relaxed) the free constant.
+fn sigma_columns(poles: &PoleSet, samples: &[Complex], opts: &VfOptions) -> Vec<Vec<Complex>> {
+    let mut rows = basis_matrix(poles, samples);
+    if opts.relaxed {
+        for row in rows.iter_mut() {
+            row.push(Complex::ONE);
+        }
+    }
+    rows
+}
+
+/// Converts complex equations into real ones. On the imaginary axis each
+/// complex equation yields a (Re, Im) row pair; on the real axis the data
+/// and basis are real so only the real part is kept.
+fn realify_rows(axis: Axis, row: &[Complex], rhs: Complex, out_m: &mut Vec<f64>, out_b: &mut Vec<f64>) {
+    match axis {
+        Axis::Imaginary => {
+            out_m.extend(row.iter().map(|v| v.re));
+            out_b.push(rhs.re);
+            out_m.extend(row.iter().map(|v| v.im));
+            out_b.push(rhs.im);
+        }
+        Axis::Real => {
+            out_m.extend(row.iter().map(|v| v.re));
+            out_b.push(rhs.re);
+        }
+    }
+}
+
+/// Least squares with a ridge fallback: over-parameterized fits (more
+/// poles than the data supports) produce nearly dependent basis columns;
+/// a tiny ridge picks the minimum-norm-flavoured solution instead of
+/// failing, which is the behaviour vector fitting needs when the pole
+/// count exceeds the underlying system order.
+fn solve_lstsq_robust(m: &Mat, rhs: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    match Qr::factor(m).solve_lstsq(rhs) {
+        Ok(x) => Ok(x),
+        Err(NumericsError::RankDeficient { .. }) => {
+            // Floor the ridge absolutely: an all-zero block (e.g. fitting
+            // an identically zero trajectory) must still yield the
+            // minimum-norm solution 0 instead of a singular system.
+            let scale = (1e-10 * m.norm_fro()).max(1e-120);
+            lstsq_ridge(m, rhs, scale * scale)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Scales each column of `m` to unit 2-norm (skipping zero columns);
+/// returns the scale factors applied (divide solutions by them).
+fn equilibrate_columns(m: &mut Mat) -> Vec<f64> {
+    let (rows, cols) = m.shape();
+    let mut norms = vec![0.0_f64; cols];
+    for i in 0..rows {
+        for (j, nj) in norms.iter_mut().enumerate() {
+            let v = m[(i, j)];
+            *nj += v * v;
+        }
+    }
+    for n in &mut norms {
+        *n = n.sqrt();
+        if *n == 0.0 {
+            *n = 1.0;
+        }
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            m[(i, j)] /= norms[j];
+        }
+    }
+    norms
+}
+
+/// One sigma-identification + pole-relocation round.
+fn relocate_once(
+    samples: &[Complex],
+    data: &[Vec<Complex>],
+    weights: &[Vec<f64>],
+    poles: &PoleSet,
+    opts: &VfOptions,
+    min_imag_abs: f64,
+    clamp: Option<(f64, f64)>,
+) -> Result<PoleSet, VecfitError> {
+    let l = samples.len();
+    let k_count = data.len();
+    let n_basis = poles.n_basis();
+    let n_loc = n_basis + usize::from(opts.include_const) + usize::from(opts.include_linear);
+    let n_sig = n_basis + usize::from(opts.relaxed);
+    let n_cols = n_loc + n_sig;
+
+    let loc = local_columns(poles, samples, opts);
+    let sig = sigma_columns(poles, samples, opts);
+
+    // Global scaling of the sigma columns must be shared across k blocks;
+    // accumulate their norms first.
+    let mut sig_norms = vec![0.0_f64; n_sig];
+    for k in 0..k_count {
+        for li in 0..l {
+            let w = weights[k][li];
+            let h = data[k][li];
+            for (j, nj) in sig_norms.iter_mut().enumerate() {
+                let v = sig[li][j] * h * w;
+                *nj += v.norm_sqr();
+            }
+        }
+    }
+    for n in &mut sig_norms {
+        *n = n.sqrt();
+        if *n == 0.0 {
+            *n = 1.0;
+        }
+    }
+
+    // Per-response QR compression.
+    let rows_per_sample = match opts.axis {
+        Axis::Imaginary => 2,
+        Axis::Real => 1,
+    };
+    let block_rows = rows_per_sample * l;
+    let kept = block_rows.min(n_cols).saturating_sub(n_loc);
+    let mut stacked = Mat::zeros(k_count * kept + usize::from(opts.relaxed), n_sig);
+    let mut stacked_rhs = vec![0.0; k_count * kept + usize::from(opts.relaxed)];
+
+    let mut mdata: Vec<f64> = Vec::with_capacity(block_rows * n_cols);
+    let mut bdata: Vec<f64> = Vec::with_capacity(block_rows);
+    let mut crow: Vec<Complex> = Vec::with_capacity(n_cols);
+    for k in 0..k_count {
+        mdata.clear();
+        bdata.clear();
+        for li in 0..l {
+            let w = weights[k][li];
+            let h = data[k][li];
+            crow.clear();
+            for v in &loc[li] {
+                crow.push(v.scale(w));
+            }
+            for (j, v) in sig[li].iter().enumerate() {
+                crow.push(*v * h * (-w / sig_norms[j]));
+            }
+            let rhs = if opts.relaxed {
+                Complex::ZERO
+            } else {
+                // Classic VF: σ = 1 + Σ c̃φ moves H·1 to the RHS.
+                h.scale(w)
+            };
+            realify_rows(opts.axis, &crow, rhs, &mut mdata, &mut bdata);
+        }
+        let mut block = Mat::from_vec(block_rows, n_cols, mdata.clone());
+        // Equilibrate the local columns only (sigma columns already share
+        // the global scaling; rescaling them per-block would break the
+        // stacking).
+        let mut loc_norms = vec![0.0_f64; n_loc];
+        for i in 0..block_rows {
+            for (j, nj) in loc_norms.iter_mut().enumerate() {
+                let v = block[(i, j)];
+                *nj += v * v;
+            }
+        }
+        for n in &mut loc_norms {
+            *n = n.sqrt().max(f64::MIN_POSITIVE);
+        }
+        for i in 0..block_rows {
+            for j in 0..n_loc {
+                block[(i, j)] /= loc_norms[j];
+            }
+        }
+        let f = Qr::factor(&block);
+        let r = f.r();
+        let y = f.qt_mul(&bdata);
+        for (ri, row_out) in (n_loc..n_loc + kept).enumerate() {
+            for j in 0..n_sig {
+                stacked[(k * kept + ri, j)] = r[(row_out, n_loc + j)];
+            }
+            stacked_rhs[k * kept + ri] = y[row_out];
+        }
+    }
+
+    // Relaxation constraint: Σ_l Re{σ(s_l)} = L, scaled to the data norm.
+    if opts.relaxed {
+        let mut scale = 0.0;
+        for k in 0..k_count {
+            for li in 0..l {
+                scale += (data[k][li] * weights[k][li]).norm_sqr();
+            }
+        }
+        let scale = scale.sqrt() / (k_count as f64 * l as f64);
+        let row = k_count * kept;
+        for j in 0..n_sig {
+            let mut acc = 0.0;
+            for si in sig.iter() {
+                acc += si[j].re;
+            }
+            stacked[(row, j)] = scale * acc / sig_norms[j];
+        }
+        stacked_rhs[row] = scale * l as f64;
+    }
+
+    let sol = solve_lstsq_robust(&stacked, &stacked_rhs)?;
+    // Undo the global sigma scaling.
+    let mut c_sigma: Vec<f64> = sol
+        .iter()
+        .zip(&sig_norms)
+        .map(|(v, n)| v / n)
+        .collect();
+    let d_sigma = if opts.relaxed {
+        let d = c_sigma.pop().expect("relaxed sigma has a constant column");
+        // Guard against a vanishing sigma constant (Gustavsen's TOLlow).
+        if d.abs() < 1e-8 {
+            if d < 0.0 {
+                -1e-8
+            } else {
+                1e-8
+            }
+        } else {
+            d
+        }
+    } else {
+        1.0
+    };
+
+    // Zeros of sigma: eigenvalues of A − b·c̃ᵀ/d̃ in real block form.
+    let mut a = Mat::zeros(n_basis, n_basis);
+    let mut i = 0;
+    for e in poles.entries() {
+        match e {
+            PoleEntry::Real(p) => {
+                a[(i, i)] = *p;
+                for j in 0..n_basis {
+                    a[(i, j)] -= c_sigma[j] / d_sigma;
+                }
+                i += 1;
+            }
+            PoleEntry::Pair(p) => {
+                a[(i, i)] = p.re;
+                a[(i, i + 1)] = p.im;
+                a[(i + 1, i)] = -p.im;
+                a[(i + 1, i + 1)] = p.re;
+                for j in 0..n_basis {
+                    // b = [2, 0]ᵀ for the pair block.
+                    a[(i, j)] -= 2.0 * c_sigma[j] / d_sigma;
+                }
+                i += 2;
+            }
+        }
+    }
+    let eigs = eigenvalues(&a)?;
+    Ok(PoleSet::from_eigenvalues(
+        &eigs,
+        opts.axis,
+        opts.enforce_stability,
+        min_imag_abs,
+        clamp,
+    ))
+}
+
+/// Final residue identification with the poles fixed.
+fn identify_residues(
+    samples: &[Complex],
+    data: &[Vec<Complex>],
+    weights: &[Vec<f64>],
+    poles: PoleSet,
+    opts: &VfOptions,
+) -> Result<RationalModel, VecfitError> {
+    let l = samples.len();
+    let n_basis = poles.n_basis();
+    let n_loc = n_basis + usize::from(opts.include_const) + usize::from(opts.include_linear);
+    let loc = local_columns(&poles, samples, opts);
+    let rows_per_sample = match opts.axis {
+        Axis::Imaginary => 2,
+        Axis::Real => 1,
+    };
+    let block_rows = rows_per_sample * l;
+
+    let mut terms = Vec::with_capacity(data.len());
+    let mut mdata: Vec<f64> = Vec::with_capacity(block_rows * n_loc);
+    let mut bdata: Vec<f64> = Vec::with_capacity(block_rows);
+    let mut crow: Vec<Complex> = Vec::with_capacity(n_loc);
+    for (k, row_k) in data.iter().enumerate() {
+        mdata.clear();
+        bdata.clear();
+        for li in 0..l {
+            let w = weights[k][li];
+            crow.clear();
+            for v in &loc[li] {
+                crow.push(v.scale(w));
+            }
+            realify_rows(opts.axis, &crow, row_k[li].scale(w), &mut mdata, &mut bdata);
+        }
+        let mut m = Mat::from_vec(block_rows, n_loc, mdata.clone());
+        let norms = equilibrate_columns(&mut m);
+        let sol = solve_lstsq_robust(&m, &bdata)?;
+        let flat: Vec<f64> = sol
+            .iter()
+            .zip(&norms)
+            .map(|(v, n)| v / n)
+            .collect();
+        let residues = Residues::from_flat(&poles, &flat[..n_basis]);
+        let mut idx = n_basis;
+        let d = if opts.include_const {
+            let v = flat[idx];
+            idx += 1;
+            v
+        } else {
+            0.0
+        };
+        let e = if opts.include_linear { flat[idx] } else { 0.0 };
+        terms.push(ResponseTerms { residues, d, e });
+    }
+    Ok(RationalModel::new(poles, terms))
+}
+
+/// Absolute RMS error of a model against the training data.
+pub fn model_rms(model: &RationalModel, samples: &[Complex], data: &[Vec<Complex>]) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (k, row) in data.iter().enumerate() {
+        for (s, h) in samples.iter().zip(row) {
+            acc += (model.eval(k, *s) - *h).norm_sqr();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (acc / n as f64).sqrt()
+    }
+}

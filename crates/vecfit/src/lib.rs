@@ -1,0 +1,56 @@
+//! # rvf-vecfit
+//!
+//! Vector fitting for the TFT-RVF reproduction: rational approximation of
+//! many responses with *common poles* and response-dependent residues.
+//!
+//! The engine implements:
+//!
+//! * relaxed vector fitting (Gustavsen 2006) with the fast per-response
+//!   QR compression of Deschrijver et al. 2008 (the paper's ref. \[9\]);
+//! * pole relocation by the zeros-of-sigma eigenproblem with stability
+//!   flipping on the frequency axis ("stable by construction");
+//! * the same machinery on the *real axis* for the recursive
+//!   state-dimension fits of the RVF algorithm, where poles are kept in
+//!   complex conjugate pairs off the axis (the paper's zero-phase base
+//!   functions);
+//! * block-diagonal state-space realizations, including the
+//!   *input-shifted* Hammerstein-compatible form of paper eqs. (12)–(14).
+//!
+//! # Example: recover a known rational function
+//!
+//! ```
+//! use rvf_numerics::{c, Complex};
+//! use rvf_vecfit::{fit_single, VfOptions};
+//!
+//! # fn main() -> Result<(), rvf_vecfit::VecfitError> {
+//! let truth = |s: Complex| {
+//!     (s + 1.0).inv() * 2.0 + (s - c(-3.0, 40.0)).inv() * c(1.0, 0.5)
+//!         + (s - c(-3.0, -40.0)).inv() * c(1.0, -0.5)
+//! };
+//! let samples: Vec<Complex> = (1..=100).map(|i| c(0.0, i as f64)).collect();
+//! let data: Vec<Complex> = samples.iter().map(|&s| truth(s)).collect();
+//! let fit = fit_single(&samples, &data, &VfOptions::frequency(3))?;
+//! assert!(fit.rms_error < 1e-6);
+//! assert!(fit.model.poles().is_stable());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod basis;
+pub mod error;
+pub mod fit;
+pub mod model;
+pub mod options;
+pub mod poles;
+pub mod realization;
+
+pub use basis::{basis_matrix, basis_row, Residues};
+pub use error::VecfitError;
+pub use fit::{fit, fit_single, model_rms, VfFit};
+pub use model::{RationalModel, ResponseTerms};
+pub use options::{Axis, PoleSpread, VfOptions, Weighting};
+pub use poles::{PoleEntry, PoleSet};
+pub use realization::{realize, Block, Form, Realization};

@@ -1,0 +1,199 @@
+//! Configuration for the vector fitting engine.
+
+/// Which axis the sample points live on.
+///
+/// Frequency responses are sampled on the imaginary axis (`s = jω`);
+/// the recursive state-dimension fits of the RVF algorithm run on the
+/// *real* axis (`ξ = x`, the state estimator value). The two axes differ
+/// in their symmetry and stability conventions:
+///
+/// * `Imaginary`: data carries Hermitian symmetry, poles must be stable
+///   (left half-plane) for a causal model, basis rows are complex and are
+///   split into real/imaginary equations.
+/// * `Real`: data is real-valued, basis functions must stay real and
+///   nonsingular on the sampled interval, which requires *complex-pair*
+///   poles kept off the real axis (the paper's "complex pairs whose real
+///   parts have opposite sign" in the `ju` plane — conjugate pairs in the
+///   `x` plane). No stability flipping applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Axis {
+    /// Fit along `s = jω` (frequency responses).
+    #[default]
+    Imaginary,
+    /// Fit along a real variable (residue trajectories over the state).
+    Real,
+}
+
+/// Row weighting applied to the least-squares systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Weighting {
+    /// All samples weighted equally.
+    #[default]
+    Uniform,
+    /// Weight `1/|H|`: relative error fit, emphasizes low-magnitude
+    /// regions (useful when the dynamic part spans many decades).
+    InverseMagnitude,
+    /// Weight `1/√|H|`: compromise between absolute and relative.
+    InverseSqrtMagnitude,
+}
+
+/// Distribution of the starting poles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoleSpread {
+    /// Logarithmically spaced imaginary parts (frequency fitting over
+    /// several decades).
+    #[default]
+    Logarithmic,
+    /// Linearly spaced (state-axis fitting over a bounded interval).
+    Linear,
+}
+
+/// Options controlling a vector fitting run.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_vecfit::{Axis, VfOptions};
+///
+/// let opts = VfOptions::frequency(12).with_iterations(8);
+/// assert_eq!(opts.n_poles, 12);
+/// assert_eq!(opts.axis, Axis::Imaginary);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VfOptions {
+    /// Number of poles `P` (counting each member of a complex pair).
+    pub n_poles: usize,
+    /// Number of pole-relocation iterations.
+    pub iterations: usize,
+    /// Sample axis (see [`Axis`]).
+    pub axis: Axis,
+    /// Flip right-half-plane poles into the left half-plane after each
+    /// relocation (paper: "guaranteed stable by construction").
+    pub enforce_stability: bool,
+    /// Use the relaxed nontriviality constraint of Gustavsen (2006)
+    /// instead of fixing `σ(∞) = 1`.
+    pub relaxed: bool,
+    /// Include a constant term `d` in the fitted model.
+    pub include_const: bool,
+    /// Include a linear term `s·e` in the fitted model.
+    pub include_linear: bool,
+    /// Least-squares row weighting.
+    pub weighting: Weighting,
+    /// Starting pole distribution.
+    pub spread: PoleSpread,
+    /// Real-axis fits only: lower bound on `|Im(pole)|` as a fraction of
+    /// the sampled interval length, keeping the log base functions smooth
+    /// on the interval.
+    pub real_axis_min_imag: f64,
+    /// Ratio `|Re|/|Im|` of the starting complex poles (Gustavsen's
+    /// classic 1/100 recipe).
+    pub initial_damping: f64,
+}
+
+impl VfOptions {
+    /// Preset for frequency-response fitting with `n_poles` stable poles.
+    pub fn frequency(n_poles: usize) -> Self {
+        Self {
+            n_poles,
+            iterations: 10,
+            axis: Axis::Imaginary,
+            enforce_stability: true,
+            relaxed: true,
+            include_const: false,
+            include_linear: false,
+            weighting: Weighting::Uniform,
+            spread: PoleSpread::Logarithmic,
+            real_axis_min_imag: 0.05,
+            initial_damping: 0.01,
+        }
+    }
+
+    /// Preset for real-axis (state-dimension) fitting with `n_poles`
+    /// poles arranged in complex pairs. `n_poles` is rounded up to even.
+    pub fn state(n_poles: usize) -> Self {
+        Self {
+            n_poles: n_poles + n_poles % 2,
+            iterations: 10,
+            axis: Axis::Real,
+            enforce_stability: false,
+            relaxed: true,
+            include_const: true,
+            include_linear: false,
+            weighting: Weighting::Uniform,
+            spread: PoleSpread::Linear,
+            real_axis_min_imag: 0.05,
+            initial_damping: 0.01,
+        }
+    }
+
+    /// Sets the iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the weighting scheme.
+    pub fn with_weighting(mut self, weighting: Weighting) -> Self {
+        self.weighting = weighting;
+        self
+    }
+
+    /// Enables or disables the constant term.
+    pub fn with_const(mut self, include: bool) -> Self {
+        self.include_const = include;
+        self
+    }
+
+    /// Enables or disables the linear (`s·e`) term.
+    pub fn with_linear(mut self, include: bool) -> Self {
+        self.include_linear = include;
+        self
+    }
+
+    /// Switches between relaxed and classic sigma normalization.
+    pub fn with_relaxed(mut self, relaxed: bool) -> Self {
+        self.relaxed = relaxed;
+        self
+    }
+}
+
+impl Default for VfOptions {
+    fn default() -> Self {
+        Self::frequency(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_preset() {
+        let o = VfOptions::frequency(10);
+        assert!(o.enforce_stability);
+        assert!(o.relaxed);
+        assert_eq!(o.axis, Axis::Imaginary);
+    }
+
+    #[test]
+    fn state_preset_rounds_to_even() {
+        let o = VfOptions::state(9);
+        assert_eq!(o.n_poles, 10);
+        assert!(!o.enforce_stability);
+        assert_eq!(o.axis, Axis::Real);
+        assert!(o.include_const);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let o = VfOptions::frequency(4)
+            .with_iterations(3)
+            .with_const(true)
+            .with_linear(true)
+            .with_relaxed(false)
+            .with_weighting(Weighting::InverseMagnitude);
+        assert_eq!(o.iterations, 3);
+        assert!(o.include_const && o.include_linear && !o.relaxed);
+        assert_eq!(o.weighting, Weighting::InverseMagnitude);
+    }
+}

@@ -1,0 +1,229 @@
+//! State-space realizations of fitted pole-residue models.
+//!
+//! Two minimal forms from the paper:
+//!
+//! * **Classic** (eqs. 9–10): output-side residues,
+//!   `H(s) = R̃·(sI − Ã)⁻¹·B̃ + Ẽ` with `B̃ = 1` (real pole) or `[2, 0]ᵀ`
+//!   (pair block).
+//! * **Input-shifted** (eqs. 12–14): residues moved in front of the LTI
+//!   kernel, `T(s) = D̂·(sI − Â)⁻¹·R̂`, the form compatible with the
+//!   parallel Hammerstein structure — the state-dependent residue enters
+//!   as the *input* of each filter block, so replacing `R̂` with a static
+//!   nonlinear function `f̂(x)` yields the time-domain model of eq. (7).
+
+use rvf_numerics::Complex;
+
+use crate::basis::Residues;
+use crate::poles::{PoleEntry, PoleSet};
+
+/// One minimal subsystem of a realization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// First-order block for a real pole.
+    First {
+        /// The pole `a`.
+        a: f64,
+        /// Input weight (classic: 1; shifted: the residue).
+        b: f64,
+        /// Output weight (classic: the residue; shifted: 1).
+        c: f64,
+    },
+    /// Second-order real block for a complex pair, with
+    /// `A = [[σ, ω], [−ω, σ]]`.
+    Second {
+        /// Real part of the pole.
+        sigma: f64,
+        /// Imaginary part of the pole (positive member).
+        omega: f64,
+        /// Input 2-vector.
+        b: [f64; 2],
+        /// Output 2-row.
+        c: [f64; 2],
+    },
+}
+
+impl Block {
+    /// Transfer function of the block at `s` (without feed-through).
+    pub fn eval(&self, s: Complex) -> Complex {
+        match self {
+            Block::First { a, b, c } => (s - *a).inv().scale(b * c),
+            Block::Second { sigma, omega, b, c } => {
+                // (sI − A)⁻¹ for the rotation-scaled block.
+                let d = (s - *sigma) * (s - *sigma) + Complex::from_re(omega * omega);
+                let dinv = d.inv();
+                // c · adj(sI−A) · b with adj = [[s−σ, ω], [−ω, s−σ]].
+                let top = (s - *sigma) * b[0] + Complex::from_re(omega * b[1]);
+                let bot = Complex::from_re(-omega * b[0]) + (s - *sigma) * b[1];
+                (top * c[0] + bot * c[1]) * dinv
+            }
+        }
+    }
+
+    /// State dimension of the block (1 or 2).
+    pub fn dim(&self) -> usize {
+        match self {
+            Block::First { .. } => 1,
+            Block::Second { .. } => 2,
+        }
+    }
+}
+
+/// Which residue placement a realization uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Form {
+    /// Residues at the output (paper eqs. 9–10).
+    Classic,
+    /// Residues shifted to the input (paper eqs. 12–14), Hammerstein
+    /// compatible.
+    InputShifted,
+}
+
+/// A block-diagonal state-space realization of one response of a fitted
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_numerics::c;
+/// use rvf_vecfit::{realize, Form, PoleSet, Residues};
+///
+/// let poles = PoleSet::from_pairs(&[c(-1.0, 5.0)]);
+/// let residues = Residues(vec![c(2.0, 0.3)]);
+/// let classic = realize(&poles, &residues, 0.0, Form::Classic);
+/// let shifted = realize(&poles, &residues, 0.0, Form::InputShifted);
+/// let s = c(0.0, 3.0);
+/// assert!((classic.eval(s) - shifted.eval(s)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Realization {
+    /// The parallel blocks.
+    pub blocks: Vec<Block>,
+    /// Direct feed-through term.
+    pub d: f64,
+    /// The form used to build the blocks.
+    pub form: Form,
+}
+
+impl Realization {
+    /// Total state dimension.
+    pub fn dim(&self) -> usize {
+        self.blocks.iter().map(Block::dim).sum()
+    }
+
+    /// Transfer function at `s` (sum of parallel blocks plus feed-through).
+    pub fn eval(&self, s: Complex) -> Complex {
+        self.blocks
+            .iter()
+            .map(|b| b.eval(s))
+            .fold(Complex::from_re(self.d), |acc, v| acc + v)
+    }
+}
+
+/// Builds a block-diagonal realization of `Σ_p r_p/(s − a_p) + d`.
+///
+/// For [`Form::InputShifted`] with a complex pair, the paper's eq. (14)
+/// applies: `R̂ = [Re r + Im r, Re r − Im r]ᵀ`, `D̂ = [1, 1]`.
+pub fn realize(poles: &PoleSet, residues: &Residues, d: f64, form: Form) -> Realization {
+    let mut blocks = Vec::with_capacity(poles.n_entries());
+    for (e, r) in poles.entries().iter().zip(&residues.0) {
+        match (e, form) {
+            (PoleEntry::Real(a), Form::Classic) => {
+                blocks.push(Block::First { a: *a, b: 1.0, c: r.re });
+            }
+            (PoleEntry::Real(a), Form::InputShifted) => {
+                blocks.push(Block::First { a: *a, b: r.re, c: 1.0 });
+            }
+            (PoleEntry::Pair(a), Form::Classic) => {
+                blocks.push(Block::Second {
+                    sigma: a.re,
+                    omega: a.im,
+                    b: [2.0, 0.0],
+                    c: [r.re, r.im],
+                });
+            }
+            (PoleEntry::Pair(a), Form::InputShifted) => {
+                blocks.push(Block::Second {
+                    sigma: a.re,
+                    omega: a.im,
+                    b: [r.re + r.im, r.re - r.im],
+                    c: [1.0, 1.0],
+                });
+            }
+        }
+    }
+    Realization { blocks, d, form }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvf_numerics::c;
+
+    fn sample_points() -> Vec<Complex> {
+        (1..=7).map(|i| c(0.0, 0.9 * i as f64)).collect()
+    }
+
+    #[test]
+    fn classic_real_pole_matches_partial_fraction() {
+        let poles = PoleSet::from_reals(&[-2.0]);
+        let res = Residues(vec![c(3.0, 0.0)]);
+        let r = realize(&poles, &res, 0.5, Form::Classic);
+        for s in sample_points() {
+            let want = (s + 2.0).inv().scale(3.0) + 0.5;
+            assert!((r.eval(s) - want).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn classic_pair_matches_partial_fraction() {
+        let a = c(-1.0, 4.0);
+        let rr = c(2.0, -0.7);
+        let poles = PoleSet::from_pairs(&[a]);
+        let res = Residues(vec![rr]);
+        let real = realize(&poles, &res, 0.0, Form::Classic);
+        for s in sample_points() {
+            let want = rr * (s - a).inv() + rr.conj() * (s - a.conj()).inv();
+            assert!((real.eval(s) - want).abs() < 1e-12, "at {s:?}");
+        }
+    }
+
+    #[test]
+    fn input_shift_equivalence_paper_eq_14() {
+        // The input-shifted realization must produce the identical
+        // transfer function — the paper's compatibility requirement for
+        // the Hammerstein structure.
+        let poles = PoleSet::new(vec![
+            PoleEntry::Real(-0.5),
+            PoleEntry::Pair(c(-2.0, 7.0)),
+            PoleEntry::Pair(c(-0.1, 0.8)),
+        ]);
+        let res = Residues(vec![c(1.2, 0.0), c(-0.4, 2.2), c(0.9, -0.3)]);
+        let classic = realize(&poles, &res, 0.25, Form::Classic);
+        let shifted = realize(&poles, &res, 0.25, Form::InputShifted);
+        for s in sample_points() {
+            assert!(
+                (classic.eval(s) - shifted.eval(s)).abs() < 1e-12,
+                "forms disagree at {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn realization_matches_residue_eval() {
+        let poles = PoleSet::new(vec![PoleEntry::Pair(c(-3.0, 10.0)), PoleEntry::Real(-1.0)]);
+        let res = Residues(vec![c(0.5, 1.5), c(-2.0, 0.0)]);
+        let r = realize(&poles, &res, 0.0, Form::Classic);
+        for s in sample_points() {
+            assert!((r.eval(s) - res.eval(&poles, s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dims() {
+        let poles = PoleSet::new(vec![PoleEntry::Real(-1.0), PoleEntry::Pair(c(-1.0, 1.0))]);
+        let res = Residues(vec![c(1.0, 0.0), c(1.0, 1.0)]);
+        let r = realize(&poles, &res, 0.0, Form::Classic);
+        assert_eq!(r.dim(), 3);
+        assert_eq!(r.blocks.len(), 2);
+    }
+}

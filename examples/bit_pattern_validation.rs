@@ -1,0 +1,93 @@
+//! Fig. 9 of the paper: validate the extracted buffer model on a
+//! spectrally rich 2.5 GS/s bit pattern it never saw during training,
+//! and measure the simulation speedup (Table I).
+//!
+//! ```sh
+//! cargo run --release -p rvf-core --example bit_pattern_validation
+//! ```
+
+use rvf_circuit::{
+    dc_operating_point, high_speed_buffer, prbs7, transient, BufferParams, DcOptions,
+    TranOptions, Waveform,
+};
+use rvf_core::{extract_model, measure_speedup, time_domain_report, RvfOptions};
+use rvf_tft::TftConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train on the sine (as in the paper).
+    let train = Waveform::Sine {
+        offset: 0.9,
+        amplitude: 0.5,
+        freq_hz: 1.0e5,
+        phase_rad: 0.0,
+        delay: 0.0,
+    };
+    let mut buffer = high_speed_buffer(&BufferParams::default(), train);
+    let tft_cfg = TftConfig::default();
+    let opts = RvfOptions { epsilon: 1e-4, max_state_poles: 20, ..Default::default() };
+    let (report, ..) = extract_model(&mut buffer, &tft_cfg, &opts)?;
+    println!(
+        "model: {} freq poles, freq err {:.2e}",
+        report.diagnostics.n_freq_poles, report.diagnostics.freq_rel_error
+    );
+
+    // Test on a PRBS-7 bit pattern at 2.5 GS/s.
+    let wave = Waveform::BitPattern {
+        v0: 0.5,
+        v1: 1.3,
+        bits: prbs7(0x2f, 20),
+        rate_hz: 2.5e9,
+        rise: 60e-12,
+        delay: 0.0,
+    };
+    let dt = 2.0e-12;
+    let t_stop = 8.0e-9;
+    let mut test_ckt = high_speed_buffer(&BufferParams::default(), wave);
+    let op = dc_operating_point(&mut test_ckt, &DcOptions::default())?;
+    let tran = transient(&mut test_ckt, &op, &TranOptions { dt, t_stop, ..Default::default() })?;
+    let y_model = report.model.simulate(dt, &tran.inputs);
+    let rep = time_domain_report(&tran.outputs, &y_model);
+    println!("--- Fig. 9 / Table I ---");
+    println!("time-domain RMSE : {:.4} (paper RVF: 0.0098)", rep.nrmse);
+    println!("max abs error    : {:.4} V", rep.max_abs);
+
+    // Speedup: transistor-level vs model on the same stimulus.
+    let inputs = tran.inputs.clone();
+    let model = report.model.clone();
+    let speedup = measure_speedup(
+        || {
+            let mut ckt = high_speed_buffer(
+                &BufferParams::default(),
+                Waveform::BitPattern {
+                    v0: 0.5,
+                    v1: 1.3,
+                    bits: prbs7(0x2f, 20),
+                    rate_hz: 2.5e9,
+                    rise: 60e-12,
+                    delay: 0.0,
+                },
+            );
+            let op = dc_operating_point(&mut ckt, &DcOptions::default()).expect("dc");
+            let _ = transient(&mut ckt, &op, &TranOptions { dt, t_stop, ..Default::default() })
+                .expect("transient");
+        },
+        || {
+            std::hint::black_box(model.simulate(dt, &inputs));
+        },
+        3,
+    );
+    println!(
+        "speedup          : {:.1}x (SPICE {:.3} s vs model {:.4} s; paper: 7x)",
+        speedup.factor, speedup.reference_seconds, speedup.model_seconds
+    );
+
+    // A few eye-ball samples of the two waveforms.
+    println!("--- waveform samples (t, circuit, model) ---");
+    for i in (0..tran.times.len()).step_by(tran.times.len() / 16) {
+        println!(
+            "{:9.3e}  {:8.4}  {:8.4}",
+            tran.times[i], tran.outputs[i], y_model[i]
+        );
+    }
+    Ok(())
+}

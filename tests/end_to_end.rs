@@ -1,0 +1,109 @@
+//! The paper's headline experiment as an integration test: extract the
+//! 27-transistor buffer model and check the Table-I-shaped claims
+//! (accuracy, stability-by-construction, automation).
+
+use rvf_circuit::{
+    dc_operating_point, high_speed_buffer, prbs7, transient, transistor_count, BufferParams,
+    DcOptions, TranOptions, Waveform,
+};
+use rvf_core::{extract_model, time_domain_report, RvfOptions};
+use rvf_tft::{error_surface, TftConfig};
+
+fn train_wave() -> Waveform {
+    Waveform::Sine { offset: 0.9, amplitude: 0.5, freq_hz: 1.0e5, phase_rad: 0.0, delay: 0.0 }
+}
+
+fn buffer_cfg() -> TftConfig {
+    TftConfig {
+        f_min_hz: 1.0e0,
+        f_max_hz: 1.0e10,
+        n_freqs: 50,
+        t_train: 1.0e-5,
+        steps: 1500,
+        n_snapshots: 100,
+        embed_depth: 1,
+        threads: 4,
+    }
+}
+
+#[test]
+fn buffer_extraction_reproduces_headline_results() {
+    let mut buffer = high_speed_buffer(&BufferParams::default(), train_wave());
+    assert_eq!(transistor_count(&buffer), 27, "paper circuit externals");
+
+    let opts = RvfOptions { epsilon: 1e-4, max_state_poles: 20, ..Default::default() };
+    let (report, dataset, _train) = extract_model(&mut buffer, &buffer_cfg(), &opts).unwrap();
+
+    // ~100 training snapshots as in the paper.
+    assert!(dataset.n_states() >= 95, "{} states", dataset.n_states());
+
+    // Paper: 12 frequency poles at epsilon 1e-3 — accept the same order.
+    let p = report.diagnostics.n_freq_poles;
+    assert!((4..=24).contains(&p), "{p} frequency poles");
+    assert!(
+        report.diagnostics.freq_rel_error < 5e-3,
+        "freq fit error {:.3e}",
+        report.diagnostics.freq_rel_error
+    );
+
+    // Stability by construction: every LTI pole in the left half-plane.
+    for b in &report.model.blocks {
+        match b {
+            rvf_core::DynBlock::Real { a, .. } => assert!(*a < 0.0, "unstable pole {a}"),
+            rvf_core::DynBlock::Pair { sigma, .. } => {
+                assert!(*sigma < 0.0, "unstable pair {sigma}")
+            }
+        }
+    }
+
+    // Fig. 7 shape: the hyperplane error of the fitted model is small
+    // relative to the ~unit-gain surface.
+    let es = error_surface(&dataset, |x, s| report.model.transfer(x, s));
+    let peak = dataset.peak_magnitude();
+    assert!(
+        es.rms_complex / peak < 2e-2,
+        "hyperplane rel rms {:.3e}",
+        es.rms_complex / peak
+    );
+
+    // Fig. 9 shape: the model tracks an unseen 2.5 GS/s bit pattern.
+    let wave = Waveform::BitPattern {
+        v0: 0.5,
+        v1: 1.3,
+        bits: prbs7(0x2f, 16),
+        rate_hz: 2.5e9,
+        rise: 60e-12,
+        delay: 0.0,
+    };
+    let dt = 2.0e-12;
+    let mut test_ckt = high_speed_buffer(&BufferParams::default(), wave);
+    let op = dc_operating_point(&mut test_ckt, &DcOptions::default()).unwrap();
+    let tran = transient(
+        &mut test_ckt,
+        &op,
+        &TranOptions { dt, t_stop: 6.4e-9, ..Default::default() },
+    )
+    .unwrap();
+    let y_model = report.model.simulate(dt, &tran.inputs);
+    let rep = time_domain_report(&tran.outputs, &y_model);
+    assert!(
+        rep.nrmse < 0.08,
+        "bit-pattern nrmse {:.4} (paper: 0.0098 on their testbed)",
+        rep.nrmse
+    );
+}
+
+#[test]
+fn model_is_stable_under_extreme_stimulus() {
+    // Stability by construction: drive the extracted model far outside
+    // its training range with a huge step — states must stay finite.
+    let mut buffer = high_speed_buffer(&BufferParams::default(), train_wave());
+    let opts = RvfOptions { epsilon: 3e-3, ..Default::default() };
+    let cfg = TftConfig { n_freqs: 30, steps: 800, n_snapshots: 60, ..buffer_cfg() };
+    let (report, ..) = extract_model(&mut buffer, &cfg, &opts).unwrap();
+    let mut inputs = vec![0.9; 10];
+    inputs.extend(vec![5.0; 500]); // far beyond the 0.4-1.4 V training range
+    inputs.extend(vec![-3.0; 500]);
+    let y = report.model.simulate(1.0e-11, &inputs);
+    assert!(y.iter().all(|v| v.is_finite()), "model blew up");
+}
