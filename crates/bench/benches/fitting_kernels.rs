@@ -32,13 +32,18 @@ fn bench_eigensolver(c: &mut Criterion) {
 fn bench_complex_solve(c: &mut Criterion) {
     // One TFT frequency point on a buffer-sized MNA system.
     let n = 36;
-    let g = Mat::from_fn(n, n, |i, j| {
-        if i == j {
-            2.0e-3
-        } else {
-            1.0e-4 * ((i * 31 + j * 17) as f64).sin()
-        }
-    });
+    let g =
+        Mat::from_fn(
+            n,
+            n,
+            |i, j| {
+                if i == j {
+                    2.0e-3
+                } else {
+                    1.0e-4 * ((i * 31 + j * 17) as f64).sin()
+                }
+            },
+        );
     let cc = Mat::from_fn(n, n, |i, j| if i == j { 2.0e-14 } else { 0.0 });
     let s = Complex::from_im(2.0 * core::f64::consts::PI * 1.0e9);
     let b_vec = vec![1.0; n];

@@ -7,7 +7,9 @@ use rvf_bench::{
     buffer_circuit, caffeine_options, paper_rvf_options, paper_tft_config, test_pattern,
 };
 use rvf_caffeine::build_caffeine_hammerstein;
-use rvf_circuit::{dc_operating_point, high_speed_buffer, transient, BufferParams, DcOptions, TranOptions};
+use rvf_circuit::{
+    dc_operating_point, high_speed_buffer, transient, BufferParams, DcOptions, TranOptions,
+};
 use rvf_core::{fit_frequency_stage, fit_tft};
 use rvf_tft::extract_from_circuit;
 
@@ -37,16 +39,13 @@ fn bench_simulation(c: &mut Criterion) {
                 (ckt, op)
             },
             |(mut ckt, op)| {
-                transient(&mut ckt, &op, &TranOptions { dt, t_stop, ..Default::default() })
-                    .unwrap()
+                transient(&mut ckt, &op, &TranOptions { dt, t_stop, ..Default::default() }).unwrap()
             },
             BatchSize::LargeInput,
         )
     });
 
-    c.bench_function("rvf_model_bit_pattern", |b| {
-        b.iter(|| rvf.model.simulate(dt, &inputs))
-    });
+    c.bench_function("rvf_model_bit_pattern", |b| b.iter(|| rvf.model.simulate(dt, &inputs)));
 
     c.bench_function("caffeine_model_bit_pattern", |b| {
         b.iter(|| caff.simulate(dt, &inputs).unwrap())

@@ -46,9 +46,7 @@ fn bench_tft_transform(c: &mut Criterion) {
     let d_row = ckt.output_row().unwrap();
     let freqs = paper_tft_config().freq_grid();
     c.bench_function("tft_transform_20snapshots_60freqs", |b| {
-        b.iter(|| {
-            tft_from_snapshots(&tran.snapshots, &b_col, &d_row, &freqs, 1, 4).unwrap()
-        })
+        b.iter(|| tft_from_snapshots(&tran.snapshots, &b_col, &d_row, &freqs, 1, 4).unwrap())
     });
 }
 

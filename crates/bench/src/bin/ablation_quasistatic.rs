@@ -16,18 +16,10 @@ use rvf_core::fit_tft;
 use rvf_tft::{error_surface, extract_from_circuit, TftConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!(
-        "{:>12} {:>14} {:>16} {:>14}",
-        "pump [Hz]", "hysteresis", "surface RMS", "freq poles"
-    );
+    println!("{:>12} {:>14} {:>16} {:>14}", "pump [Hz]", "hysteresis", "surface RMS", "freq poles");
     for &f in &[5.0e7, 1.0e7, 2.0e6, 4.0e5, 1.0e5, 2.0e4] {
-        let train = Waveform::Sine {
-            offset: 0.9,
-            amplitude: 0.5,
-            freq_hz: f,
-            phase_rad: 0.0,
-            delay: 0.0,
-        };
+        let train =
+            Waveform::Sine { offset: 0.9, amplitude: 0.5, freq_hz: f, phase_rad: 0.0, delay: 0.0 };
         let mut buffer = high_speed_buffer(&BufferParams::default(), train);
         let cfg = TftConfig { t_train: 1.0 / f, ..TftConfig::default() };
         let (dataset, _) = extract_from_circuit(&mut buffer, &cfg)?;

@@ -33,9 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &(relaxed, label) in &[(true, "relaxed"), (false, "classic")] {
         for &p in &[4usize, 6, 8] {
             for &iters in &[3usize, 10] {
-                let opts = VfOptions::frequency(p)
-                    .with_iterations(iters)
-                    .with_relaxed(relaxed);
+                let opts = VfOptions::frequency(p).with_iterations(iters).with_relaxed(relaxed);
                 let f = fit(&s_grid, &dynamic, &opts)?;
                 println!(
                     "{:>9} {:>8} {:>12} {:>16.3e} {:>14.3e}",

@@ -15,19 +15,12 @@ use rvf_tft::{error_surface, extract_from_circuit};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut circuit = buffer_circuit();
     let (dataset, _) = extract_from_circuit(&mut circuit, &paper_tft_config())?;
-    println!(
-        "{:>6} {:>8} {:>16} {:>22}",
-        "thin", "states", "surface RMS", "state poles"
-    );
+    println!("{:>6} {:>8} {:>16} {:>22}", "thin", "states", "surface RMS", "state poles");
     for &thin in &[1usize, 2, 4, 8] {
         let train_set = dataset.thin_states(thin);
         // Cap the state-pole budget to what the thinned set supports.
         let max_sp = ((train_set.n_states().saturating_sub(2)) / 2).clamp(2, 20);
-        let opts = RvfOptions {
-            epsilon: 1e-4,
-            max_state_poles: max_sp,
-            ..Default::default()
-        };
+        let opts = RvfOptions { epsilon: 1e-4, max_state_poles: max_sp, ..Default::default() };
         let report = fit_tft(&train_set, &opts)?;
         // Score on the full dataset (generalization over the state).
         let es = error_surface(&dataset, |x, s| report.model.transfer(x, s));

@@ -59,12 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hf_gain_mid = hp.gain_db[(k_mid, hp.freqs_hz.len() - 1)];
     println!();
     println!("shape checks (paper Fig. 6):");
-    println!(
-        "  mid-state DC gain  : {dc_gain_mid:.1} dB (paper: ~6 dB for gain 2)"
-    );
-    println!(
-        "  saturated DC gain  : {dc_gain_lo:.1} dB (collapses at the state edge)"
-    );
+    println!("  mid-state DC gain  : {dc_gain_mid:.1} dB (paper: ~6 dB for gain 2)");
+    println!("  saturated DC gain  : {dc_gain_lo:.1} dB (collapses at the state edge)");
     println!("  mid-state 10 GHz   : {hf_gain_mid:.1} dB (low-pass rolloff)");
     println!(
         "  phase at 10 GHz    : {:.0} deg (multi-pole accumulation)",

@@ -65,14 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("summary (paper reference):");
     println!("  max gain error           : {:.1} dB   (paper: about -60 dB)", es.max_gain_err_db);
-    println!(
-        "  max phase error          : {:.1} deg  (paper: <= 150 deg)",
-        es.max_phase_err_deg
-    );
+    println!("  max phase error          : {:.1} deg  (paper: <= 150 deg)", es.max_phase_err_deg);
     println!(
         "  max phase err (gain>-70dB): {:.1} deg  (paper: negligible where gain matters)",
         es.max_phase_err_deg_significant
     );
-    println!("  complex RMS over surface : {:.1} dB   (Table I 'TFT RMSE': -62 dB)", es.rms_complex_db);
+    println!(
+        "  complex RMS over surface : {:.1} dB   (Table I 'TFT RMSE': -62 dB)",
+        es.rms_complex_db
+    );
     Ok(())
 }

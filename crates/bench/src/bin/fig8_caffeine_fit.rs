@@ -42,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s_grid = dataset.s_grid();
     let dynamic = dataset.dynamic_responses();
     let freq_stage = fit_frequency_stage(&s_grid, &dynamic, &rvf_opts)?;
-    println!(
-        "frequency poles: {} (shared with the RVF model)",
-        freq_stage.n_poles
-    );
+    println!("frequency poles: {} (shared with the RVF model)", freq_stage.n_poles);
 
     let caff = build_caffeine_hammerstein(&dataset, &freq_stage.fit.model, &caffeine_options());
     let es = error_surface(&dataset, |x, s| caff.transfer(x, s));
@@ -58,22 +55,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rvf_report = fit_tft(&dataset, &rvf_opts)?;
     let rvf_es = error_surface(&dataset, |x, s| rvf_report.model.transfer(x, s));
     println!("summary (paper reference):");
-    println!(
-        "  CAFFEINE max gain error : {:.1} dB  (paper: about -20 dB)",
-        es.max_gain_err_db
-    );
+    println!("  CAFFEINE max gain error : {:.1} dB  (paper: about -20 dB)", es.max_gain_err_db);
     println!(
         "  CAFFEINE max phase error: {:.1} deg (paper: 200-300 deg wrapped to <=180)",
         es.max_phase_err_deg
     );
-    println!(
-        "  CAFFEINE surface RMS    : {:.1} dB  (Table I: -22 dB)",
-        es.rms_complex_db
-    );
-    println!(
-        "  RVF surface RMS         : {:.1} dB  (Table I: -62 dB)",
-        rvf_es.rms_complex_db
-    );
+    println!("  CAFFEINE surface RMS    : {:.1} dB  (Table I: -22 dB)", es.rms_complex_db);
+    println!("  RVF surface RMS         : {:.1} dB  (Table I: -62 dB)", rvf_es.rms_complex_db);
     println!(
         "  accuracy gap            : {:.1} dB in favour of RVF (paper: ~40 dB)",
         es.rms_complex_db - rvf_es.rms_complex_db

@@ -20,11 +20,7 @@ pub struct PaperSetup {
 
 impl Default for PaperSetup {
     fn default() -> Self {
-        Self {
-            tft: paper_tft_config(),
-            rvf: paper_rvf_options(),
-            caffeine: caffeine_options(),
-        }
+        Self { tft: paper_tft_config(), rvf: paper_rvf_options(), caffeine: caffeine_options() }
     }
 }
 

@@ -45,13 +45,8 @@ impl UnaryOp {
     }
 
     /// All operators (for random choice).
-    pub const ALL: [UnaryOp; 5] = [
-        UnaryOp::Log10Abs,
-        UnaryOp::Exp,
-        UnaryOp::Inv,
-        UnaryOp::SqrtAbs,
-        UnaryOp::Tanh,
-    ];
+    pub const ALL: [UnaryOp; 5] =
+        [UnaryOp::Log10Abs, UnaryOp::Exp, UnaryOp::Inv, UnaryOp::SqrtAbs, UnaryOp::Tanh];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -170,13 +165,9 @@ impl BasisTerm {
             .map(|f| match f {
                 Factor::Power(1) => "x".to_string(),
                 Factor::Power(p) => format!("x^{p}"),
-                Factor::Op(op, c) => format!(
-                    "{}({:.3e} + {:.3e}*x + {:.3e}*x^2)",
-                    op.name(),
-                    c[0],
-                    c[1],
-                    c[2]
-                ),
+                Factor::Op(op, c) => {
+                    format!("{}({:.3e} + {:.3e}*x + {:.3e}*x^2)", op.name(), c[0], c[1], c[2])
+                }
             })
             .collect::<Vec<_>>()
             .join("*")
@@ -210,11 +201,7 @@ impl CanonicalForm {
     /// Panics if weights and terms disagree in length.
     pub fn eval(&self, x: f64) -> f64 {
         assert_eq!(self.terms.len(), self.weights.len(), "weights not solved");
-        self.terms
-            .iter()
-            .zip(&self.weights)
-            .map(|(t, w)| w * t.eval(x))
-            .sum()
+        self.terms.iter().zip(&self.weights).map(|(t, w)| w * t.eval(x)).sum()
     }
 
     /// Total structural complexity.
@@ -237,12 +224,9 @@ impl CanonicalForm {
         if self.integrability() != Integrability::Closed {
             return None;
         }
-        let max_pow = self
-            .terms
-            .iter()
-            .map(|t| t.total_power().expect("polynomial"))
-            .max()
-            .unwrap_or(0) as usize;
+        let max_pow =
+            self.terms.iter().map(|t| t.total_power().expect("polynomial")).max().unwrap_or(0)
+                as usize;
         let mut coeffs = vec![0.0; max_pow + 1];
         for (t, w) in self.terms.iter().zip(&self.weights) {
             let p = t.total_power().expect("polynomial") as usize;
@@ -314,9 +298,7 @@ mod tests {
     #[test]
     fn operator_blocks_integration() {
         let cf = CanonicalForm {
-            terms: vec![BasisTerm {
-                factors: vec![Factor::Op(UnaryOp::Exp, [0.0, 1.0, 0.0])],
-            }],
+            terms: vec![BasisTerm { factors: vec![Factor::Op(UnaryOp::Exp, [0.0, 1.0, 0.0])] }],
             weights: vec![1.0],
         };
         assert_eq!(cf.integrability(), Integrability::ManualRequired);
@@ -334,10 +316,7 @@ mod tests {
 
     #[test]
     fn string_repr_is_readable() {
-        let cf = CanonicalForm {
-            terms: vec![BasisTerm::power(1)],
-            weights: vec![2.5],
-        };
+        let cf = CanonicalForm { terms: vec![BasisTerm::power(1)], weights: vec![2.5] };
         let s = cf.to_string_repr();
         assert!(s.contains("x") && s.contains("2.5"));
     }

@@ -118,7 +118,9 @@ pub fn evolve(xs: &[f64], ys: &[f64], opts: &GpOptions) -> Individual {
         let best_rmse = population
             .iter()
             .enumerate()
-            .min_by(|(_, p), (_, q)| p.rmse.partial_cmp(&q.rmse).unwrap_or(core::cmp::Ordering::Equal))
+            .min_by(|(_, p), (_, q)| {
+                p.rmse.partial_cmp(&q.rmse).unwrap_or(core::cmp::Ordering::Equal)
+            })
             .map(|(i, _)| i)
             .unwrap_or(0);
         if best_rmse >= opts.population {
@@ -228,10 +230,10 @@ fn mutate(parent: &CanonicalForm, rng: &mut StdRng, opts: &GpOptions, xs: &[f64]
             if let Some(f) = terms[i].factors.first_mut() {
                 match f {
                     Factor::Power(p) => {
-                        *p = (*p + rng.gen_range(0..=2)).clamp(1, opts.max_power);
+                        *p = (*p + rng.gen_range(0..=2u32)).clamp(1, opts.max_power);
                     }
                     Factor::Op(_, c) => {
-                        let j = rng.gen_range(0..3);
+                        let j = rng.gen_range(0..3usize);
                         c[j] += rng.gen_range(-0.3..0.3) * (1.0 + c[j].abs());
                     }
                 }
@@ -320,11 +322,7 @@ mod tests {
     fn complexity_pressure_prefers_simpler_models() {
         let xs = linspace(-1.0, 1.0, 60);
         let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x).collect();
-        let heavy = GpOptions {
-            complexity_pressure: 1.0,
-            generations: 25,
-            ..Default::default()
-        };
+        let heavy = GpOptions { complexity_pressure: 1.0, generations: 25, ..Default::default() };
         let best = evolve(&xs, &ys, &heavy);
         // A line fits exactly; pressure should keep the model tiny.
         assert!(best.complexity <= 6, "complexity {}", best.complexity);

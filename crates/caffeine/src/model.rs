@@ -46,9 +46,8 @@ impl CaffeineStage {
     /// would otherwise swamp the GP's structural constants) and the
     /// weights are rescaled afterwards.
     pub fn fit(xs: &[f64], ys: &[f64], gp: &GpOptions, u0: f64, anchor: f64) -> Self {
-        let scale = (ys.iter().map(|v| v * v).sum::<f64>() / ys.len().max(1) as f64)
-            .sqrt()
-            .max(1e-300);
+        let scale =
+            (ys.iter().map(|v| v * v).sum::<f64>() / ys.len().max(1) as f64).sqrt().max(1e-300);
         let normalized: Vec<f64> = ys.iter().map(|v| v / scale).collect();
         let mut best = evolve(xs, &normalized, gp);
         for w in &mut best.form.weights {
@@ -151,10 +150,7 @@ impl CaffeineHammerstein {
                 }
             }
         }
-        if stages
-            .iter()
-            .all(|s| s.form.integrability() == Integrability::Closed)
-        {
+        if stages.iter().all(|s| s.form.integrability() == Integrability::Closed) {
             Integrability::Closed
         } else {
             Integrability::ManualRequired
@@ -250,9 +246,7 @@ impl CaffeineHammerstein {
         for b in &self.blocks {
             match b {
                 CafBlock::Real { f, .. } => worst = worst.max(f.fit_rmse),
-                CafBlock::Pair { f1, f2, .. } => {
-                    worst = worst.max(f1.fit_rmse).max(f2.fit_rmse)
-                }
+                CafBlock::Pair { f1, f2, .. } => worst = worst.max(f1.fit_rmse).max(f2.fit_rmse),
             }
         }
         worst
@@ -348,12 +342,7 @@ mod tests {
             weights: vec![1.0],
         };
         let stage = CaffeineStage { form, primitive: None, fit_rmse: 0.0 };
-        let m = CaffeineHammerstein {
-            static_path: stage,
-            blocks: Vec::new(),
-            u0: 0.0,
-            y0: 0.0,
-        };
+        let m = CaffeineHammerstein { static_path: stage, blocks: Vec::new(), u0: 0.0, y0: 0.0 };
         assert_eq!(m.integrability(), Integrability::ManualRequired);
         assert!(m.simulate(1e-11, &[0.0, 1.0]).is_none());
     }

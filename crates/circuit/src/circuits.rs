@@ -108,8 +108,7 @@ pub fn high_speed_buffer(params: &BufferParams, input: Waveform) -> Circuit {
 
     // Bias chain: RB + diode-connected MB.
     ckt.add(Resistor::new("RB", vdd, nb, p.r_bias)).expect("fresh name");
-    ckt.add(Mosfet::new("MB", nb, nb, 0, MosType::Nmos, p.mos(p.kp_tail)))
-        .expect("fresh name");
+    ckt.add(Mosfet::new("MB", nb, nb, 0, MosType::Nmos, p.mos(p.kp_tail))).expect("fresh name");
 
     let mut gate_p = inp;
     let mut gate_n = inn;
@@ -143,15 +142,8 @@ pub fn high_speed_buffer(params: &BufferParams, input: Waveform) -> Circuit {
         ))
         .expect("fresh");
         // Tail sink mirrored from the bias chain.
-        ckt.add(Mosfet::new(
-            format!("M{stage}T"),
-            tail,
-            nb,
-            0,
-            MosType::Nmos,
-            p.mos(p.kp_tail),
-        ))
-        .expect("fresh");
+        ckt.add(Mosfet::new(format!("M{stage}T"), tail, nb, 0, MosType::Nmos, p.mos(p.kp_tail)))
+            .expect("fresh");
 
         if stage < 4 {
             // Source-follower level shifters feeding the next stage.
@@ -197,24 +189,10 @@ pub fn high_speed_buffer(params: &BufferParams, input: Waveform) -> Circuit {
             gate_n = fn_;
         } else {
             // Output follower from the positive output.
-            ckt.add(Mosfet::new(
-                "MOF",
-                vdd,
-                op,
-                out,
-                MosType::Nmos,
-                p.mos(p.kp_follower),
-            ))
-            .expect("fresh");
-            ckt.add(Mosfet::new(
-                "MOFT",
-                out,
-                nb,
-                0,
-                MosType::Nmos,
-                p.mos(p.kp_follower_tail),
-            ))
-            .expect("fresh");
+            ckt.add(Mosfet::new("MOF", vdd, op, out, MosType::Nmos, p.mos(p.kp_follower)))
+                .expect("fresh");
+            ckt.add(Mosfet::new("MOFT", out, nb, 0, MosType::Nmos, p.mos(p.kp_follower_tail)))
+                .expect("fresh");
             ckt.add(Capacitor::new("COUT", out, 0, p.c_out)).expect("fresh");
         }
     }
@@ -289,11 +267,7 @@ mod tests {
         // All node voltages within the rails.
         let n_nodes = ckt.n_nodes();
         for (i, v) in x[..n_nodes].iter().enumerate() {
-            assert!(
-                (-0.1..=1.6).contains(v),
-                "node {} = {v}",
-                ckt.node_name(i + 1)
-            );
+            assert!((-0.1..=1.6).contains(v), "node {} = {v}", ckt.node_name(i + 1));
         }
         let out = ckt.output_value(&x);
         assert!((0.3..1.2).contains(&out), "output DC {out}");
@@ -330,7 +304,8 @@ mod tests {
         }
         assert!(
             (1.0e9..6.0e9).contains(&f3db),
-            "bandwidth {f3db:.3e} Hz outside the calibration window (paper: 3 GHz); dc gain {:.3}", db20(dc_gain)
+            "bandwidth {f3db:.3e} Hz outside the calibration window (paper: 3 GHz); dc gain {:.3}",
+            db20(dc_gain)
         );
     }
 

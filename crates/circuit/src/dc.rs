@@ -52,11 +52,7 @@ pub fn dc_operating_point(
     let dim = circuit.dim();
     let mut x = vec![0.0; dim];
     let mut last_err = None;
-    let seq = if opts.gmin_sequence.is_empty() {
-        &[0.0][..]
-    } else {
-        &opts.gmin_sequence[..]
-    };
+    let seq = if opts.gmin_sequence.is_empty() { &[0.0][..] } else { &opts.gmin_sequence[..] };
     for (step, &gmin) in seq.iter().enumerate() {
         match newton_dc(circuit, &mut x, gmin, opts) {
             Ok(()) => {
@@ -104,11 +100,7 @@ fn newton_dc(
             return Ok(());
         }
     }
-    Err(CircuitError::NewtonDiverged {
-        iterations: opts.max_iterations,
-        residual,
-        time: f64::NAN,
-    })
+    Err(CircuitError::NewtonDiverged { iterations: opts.max_iterations, residual, time: f64::NAN })
 }
 
 #[cfg(test)]

@@ -116,16 +116,8 @@ impl Device for Bjt {
         ctx.add_f_node(self.e, ie_p);
         // Chain rule to terminal voltages: ∂vbe/∂vb = pol, ∂vbe/∂ve = −pol,
         // ∂vbc/∂vb = pol, ∂vbc/∂vc = −pol; polarity squares away.
-        let dic = [
-            (self.b, dic_dvbe + dic_dvbc),
-            (self.e, -dic_dvbe),
-            (self.c, -dic_dvbc),
-        ];
-        let dib = [
-            (self.b, dib_dvbe + dib_dvbc),
-            (self.e, -dib_dvbe),
-            (self.c, -dib_dvbc),
-        ];
+        let dic = [(self.b, dic_dvbe + dic_dvbc), (self.e, -dic_dvbe), (self.c, -dic_dvbc)];
+        let dib = [(self.b, dib_dvbe + dib_dvbc), (self.e, -dib_dvbe), (self.c, -dib_dvbc)];
         for (col, g) in dic {
             ctx.add_g_nodes(self.c, col, g);
             ctx.add_g_nodes(self.e, col, -g);

@@ -147,7 +147,12 @@ mod tests {
     use super::*;
     use rvf_numerics::Mat;
 
-    fn eval(dev: &dyn Device, x: &[f64], n_nodes: usize, dim: usize) -> (Vec<f64>, Vec<f64>, Mat, Mat) {
+    fn eval(
+        dev: &dyn Device,
+        x: &[f64],
+        n_nodes: usize,
+        dim: usize,
+    ) -> (Vec<f64>, Vec<f64>, Mat, Mat) {
         let mut f = vec![0.0; dim];
         let mut q = vec![0.0; dim];
         let mut g = Mat::zeros(dim, dim);

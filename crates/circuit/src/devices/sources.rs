@@ -231,8 +231,7 @@ impl Device for Vcvs {
             ctx.add_g_rows(rn, b, -1.0);
         }
         // Branch equation: v_p − v_n − gain·(v_cp − v_cn) = 0.
-        let res = ctx.v(self.p) - ctx.v(self.n)
-            - self.gain * (ctx.v(self.cp) - ctx.v(self.cn));
+        let res = ctx.v(self.p) - ctx.v(self.n) - self.gain * (ctx.v(self.cp) - ctx.v(self.cn));
         ctx.add_f_row(b, res);
         if let Some(r) = ctx.node_row(self.p) {
             ctx.add_g_rows(b, r, 1.0);
@@ -294,7 +293,13 @@ mod tests {
             "V1",
             1,
             0,
-            Waveform::Sine { offset: 0.0, amplitude: 1.0, freq_hz: 1.0, phase_rad: 0.0, delay: 0.0 },
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                freq_hz: 1.0,
+                phase_rad: 0.0,
+                delay: 0.0,
+            },
         );
         v.set_branch_base(1);
         let (f, _) = eval(&v, &[0.0, 0.0], 1, 2, 0.25);

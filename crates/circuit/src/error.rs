@@ -67,7 +67,9 @@ impl fmt::Display for CircuitError {
                     )
                 }
             }
-            Self::Parse { line, message } => write!(f, "netlist parse error at line {line}: {message}"),
+            Self::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
             Self::MissingPort { which } => write!(f, "circuit has no {which} configured"),
             Self::Numerics(e) => write!(f, "numerical kernel failed: {e}"),
         }

@@ -238,9 +238,7 @@ impl Circuit {
     /// Returns [`CircuitError::MissingPort`] when no input is set.
     pub fn input_value(&self, t: f64) -> Result<f64, CircuitError> {
         let idx = self.input.ok_or(CircuitError::MissingPort { which: "input" })?;
-        Ok(self.devices[idx]
-            .source_value(t)
-            .expect("input device is a source"))
+        Ok(self.devices[idx].source_value(t).expect("input device is a source"))
     }
 
     /// The dense `B` column of the linearized system `(G + sC)x = B·u`.
@@ -255,9 +253,8 @@ impl Circuit {
     pub fn input_column(&self) -> Result<Vec<f64>, CircuitError> {
         assert!(self.finalized, "circuit must be finalized");
         let idx = self.input.ok_or(CircuitError::MissingPort { which: "input" })?;
-        let entries = self.devices[idx]
-            .input_column()
-            .ok_or(CircuitError::MissingPort { which: "input" })?;
+        let entries =
+            self.devices[idx].input_column().ok_or(CircuitError::MissingPort { which: "input" })?;
         let mut b = vec![0.0; self.n_nodes() + self.n_branches];
         for (row, w) in entries {
             b[row] += w;

@@ -377,9 +377,7 @@ fn parse_waveform(line: usize, tokens: &[String]) -> Result<Waveform, CircuitErr
                 if args.len() < 2 || args.len() % 2 != 0 {
                     return Err(err(line, "PWL needs pairs of (t v)"));
                 }
-                Ok(Waveform::Pwl(
-                    args.chunks_exact(2).map(|c| (c[0], c[1])).collect(),
-                ))
+                Ok(Waveform::Pwl(args.chunks_exact(2).map(|c| (c[0], c[1])).collect()))
             }
             "BIT" => {
                 let parts: Vec<&str> = inner.split_whitespace().collect();

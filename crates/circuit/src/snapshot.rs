@@ -54,8 +54,15 @@ impl JacobianSnapshot {
         if data.remaining() < 32 {
             return None;
         }
-        let dim = data.get_u64_le() as usize;
-        let need = 24 + 8 * (dim + 2 * dim * dim);
+        let dim = usize::try_from(data.get_u64_le()).ok()?;
+        // Checked arithmetic: a corrupt header must yield None, not an
+        // overflow-wrapped size check and a giant allocation.
+        let need = dim
+            .checked_mul(dim)
+            .and_then(|d2| d2.checked_mul(2))
+            .and_then(|d2| d2.checked_add(dim))
+            .and_then(|n| n.checked_mul(8))
+            .and_then(|n| n.checked_add(24))?;
         if data.remaining() < need {
             return None;
         }
@@ -74,14 +81,7 @@ impl JacobianSnapshot {
         for _ in 0..dim * dim {
             cv.push(data.get_f64_le());
         }
-        Some(Self {
-            t,
-            u,
-            y,
-            x,
-            g: Mat::from_vec(dim, dim, gv),
-            c: Mat::from_vec(dim, dim, cv),
-        })
+        Some(Self { t, u, y, x, g: Mat::from_vec(dim, dim, gv), c: Mat::from_vec(dim, dim, cv) })
     }
 }
 
@@ -118,5 +118,20 @@ mod tests {
         let cut = bytes.slice(0..bytes.len() - 4);
         assert!(JacobianSnapshot::from_bytes(cut).is_none());
         assert!(JacobianSnapshot::from_bytes(Bytes::new()).is_none());
+    }
+
+    #[test]
+    fn corrupt_dim_header_rejected_without_overflow() {
+        // dim chosen so 8·(2·dim² + dim) + 24 wraps a u64/usize: the
+        // size check must fail via checked arithmetic, not wrap small
+        // and attempt a giant allocation.
+        for dim in [u64::MAX, 3_037_000_499u64, 1u64 << 62] {
+            let mut buf = BytesMut::with_capacity(40);
+            buf.put_u64_le(dim);
+            for _ in 0..4 {
+                buf.put_f64_le(0.0);
+            }
+            assert!(JacobianSnapshot::from_bytes(buf.freeze()).is_none(), "dim {dim}");
+        }
     }
 }

@@ -106,11 +106,7 @@ pub fn transient(
     let record = |res: &mut TranResult, circuit: &Circuit, t: f64, x: &[f64]| {
         res.times.push(t);
         res.inputs.push(circuit.input_value(t).unwrap_or(0.0));
-        res.outputs.push(if circuit.output_row().is_ok() {
-            circuit.output_value(x)
-        } else {
-            0.0
-        });
+        res.outputs.push(if circuit.output_row().is_ok() { circuit.output_value(x) } else { 0.0 });
         res.states.push(x.to_vec());
     };
     record(&mut result, circuit, 0.0, &x);
@@ -130,9 +126,8 @@ pub fn transient(
             let (res_vec, jac) = match opts.integrator {
                 Integrator::BackwardEuler => {
                     let inv_h = 1.0 / opts.dt;
-                    let r: Vec<f64> = (0..dim)
-                        .map(|i| ev.f[i] + (ev.q[i] - q_prev[i]) * inv_h)
-                        .collect();
+                    let r: Vec<f64> =
+                        (0..dim).map(|i| ev.f[i] + (ev.q[i] - q_prev[i]) * inv_h).collect();
                     (r, g.axpy(inv_h, &c))
                 }
                 Integrator::Trapezoidal => {
@@ -242,7 +237,15 @@ mod tests {
         let (mut ckt, out) = rc_lowpass(
             1e3,
             1e-9,
-            Waveform::Pulse { v0: 0.0, v1: 1.0, delay: 0.0, rise: 1e-15, fall: 1e-15, width: 1.0, period: 0.0 },
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-15,
+                fall: 1e-15,
+                width: 1.0,
+                period: 0.0,
+            },
         );
         let x0 = vec![0.0; ckt.dim()];
         let opts = TranOptions { dt: 1e-8 / 400.0, t_stop: 5e-6 / 1000.0, ..Default::default() };
@@ -288,7 +291,15 @@ mod tests {
             "Vin",
             a,
             0,
-            Waveform::Pulse { v0: 0.0, v1: 1.0, delay: 0.0, rise: 1e-12, fall: 1e-12, width: 1.0, period: 0.0 },
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-12,
+                fall: 1e-12,
+                width: 1.0,
+                period: 0.0,
+            },
         ))
         .unwrap();
         ckt.add(Resistor::new("R1", a, b, 1.0)).unwrap();
@@ -310,10 +321,7 @@ mod tests {
         }
         assert!(crossings.len() >= 2, "no ringing detected");
         let measured = crossings[1] - crossings[0];
-        assert!(
-            (measured - period).abs() < 0.05 * period,
-            "period {measured:.3e} vs {period:.3e}"
-        );
+        assert!((measured - period).abs() < 0.05 * period, "period {measured:.3e} vs {period:.3e}");
     }
 
     #[test]
@@ -321,15 +329,17 @@ mod tests {
         let (mut ckt, _) = rc_lowpass(
             1e3,
             1e-9,
-            Waveform::Sine { offset: 0.5, amplitude: 0.4, freq_hz: 1e5, phase_rad: 0.0, delay: 0.0 },
+            Waveform::Sine {
+                offset: 0.5,
+                amplitude: 0.4,
+                freq_hz: 1e5,
+                phase_rad: 0.0,
+                delay: 0.0,
+            },
         );
         let x0 = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
-        let opts = TranOptions {
-            dt: 1e-8,
-            t_stop: 1e-5,
-            snapshot_every: Some(100),
-            ..Default::default()
-        };
+        let opts =
+            TranOptions { dt: 1e-8, t_stop: 1e-5, snapshot_every: Some(100), ..Default::default() };
         let res = transient(&mut ckt, &x0, &opts).unwrap();
         assert_eq!(res.snapshots.len(), 1000 / 100 + 1); // incl. t=0
         for s in &res.snapshots {
@@ -344,7 +354,15 @@ mod tests {
         let (mut ckt, out) = rc_lowpass(
             1e3,
             1e-9,
-            Waveform::Pulse { v0: 0.0, v1: 1.0, delay: 0.0, rise: 1e-15, fall: 1e-15, width: 1.0, period: 0.0 },
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-15,
+                fall: 1e-15,
+                width: 1.0,
+                period: 0.0,
+            },
         );
         let x0 = vec![0.0; ckt.dim()];
         let opts = TranOptions {

@@ -193,7 +193,13 @@ mod tests {
 
     #[test]
     fn sine_basics() {
-        let w = Waveform::Sine { offset: 0.9, amplitude: 0.5, freq_hz: 1.0, phase_rad: 0.0, delay: 0.0 };
+        let w = Waveform::Sine {
+            offset: 0.9,
+            amplitude: 0.5,
+            freq_hz: 1.0,
+            phase_rad: 0.0,
+            delay: 0.0,
+        };
         assert!((w.value(0.0) - 0.9).abs() < 1e-15);
         assert!((w.value(0.25) - 1.4).abs() < 1e-12);
         assert!((w.value(0.75) - 0.4).abs() < 1e-12);
@@ -202,13 +208,27 @@ mod tests {
 
     #[test]
     fn sine_holds_before_delay() {
-        let w = Waveform::Sine { offset: 1.0, amplitude: 2.0, freq_hz: 5.0, phase_rad: 0.0, delay: 1.0 };
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            freq_hz: 5.0,
+            phase_rad: 0.0,
+            delay: 1.0,
+        };
         assert_eq!(w.value(0.5), 1.0);
     }
 
     #[test]
     fn pulse_phases() {
-        let w = Waveform::Pulse { v0: 0.0, v1: 1.0, delay: 1.0, rise: 1.0, fall: 1.0, width: 2.0, period: 10.0 };
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 10.0,
+        };
         assert_eq!(w.value(0.5), 0.0); // before delay
         assert!((w.value(1.5) - 0.5).abs() < 1e-15); // mid-rise
         assert_eq!(w.value(3.0), 1.0); // high

@@ -3,19 +3,14 @@
 //! high-amplitude sine, with ~100 Jacobian snapshots captured.
 
 use rvf_circuit::{
-    dc_operating_point, high_speed_buffer, prbs7, transient, BufferParams, DcOptions,
-    TranOptions, Waveform,
+    dc_operating_point, high_speed_buffer, prbs7, transient, BufferParams, DcOptions, TranOptions,
+    Waveform,
 };
 
 #[test]
 fn one_period_sine_with_snapshots() {
-    let sine = Waveform::Sine {
-        offset: 0.9,
-        amplitude: 0.5,
-        freq_hz: 50.0e6,
-        phase_rad: 0.0,
-        delay: 0.0,
-    };
+    let sine =
+        Waveform::Sine { offset: 0.9, amplitude: 0.5, freq_hz: 50.0e6, phase_rad: 0.0, delay: 0.0 };
     let mut buf = high_speed_buffer(&BufferParams::default(), sine);
     let op = dc_operating_point(&mut buf, &DcOptions::default()).unwrap();
     let period = 1.0 / 50.0e6;
@@ -53,21 +48,11 @@ fn one_period_sine_with_snapshots() {
 fn bit_pattern_drive_converges() {
     // The validation workload: 2.5 GS/s PRBS-7 pattern (paper Fig. 9).
     let bits = prbs7(0x2f, 20);
-    let wave = Waveform::BitPattern {
-        v0: 0.5,
-        v1: 1.3,
-        bits,
-        rate_hz: 2.5e9,
-        rise: 60e-12,
-        delay: 0.0,
-    };
+    let wave =
+        Waveform::BitPattern { v0: 0.5, v1: 1.3, bits, rate_hz: 2.5e9, rise: 60e-12, delay: 0.0 };
     let mut buf = high_speed_buffer(&BufferParams::default(), wave);
     let op = dc_operating_point(&mut buf, &DcOptions::default()).unwrap();
-    let opts = TranOptions {
-        dt: 2.0e-12,
-        t_stop: 8.0e-9,
-        ..Default::default()
-    };
+    let opts = TranOptions { dt: 2.0e-12, t_stop: 8.0e-9, ..Default::default() };
     let res = transient(&mut buf, &op, &opts).unwrap();
     // The buffer output must track the pattern with swing.
     let (ymin, ymax) = res
@@ -108,8 +93,5 @@ fn bit_pattern_is_spectrally_rich_vs_training_sine() {
     };
     let occ_pattern = spectral_occupancy(&pattern, dt, 0.02);
     let occ_sine = spectral_occupancy(&sine, dt, 0.02);
-    assert!(
-        occ_pattern > 3.0 * occ_sine,
-        "pattern occupancy {occ_pattern} vs sine {occ_sine}"
-    );
+    assert!(occ_pattern > 3.0 * occ_sine, "pattern occupancy {occ_pattern} vs sine {occ_sine}");
 }

@@ -5,13 +5,14 @@ use rvf_circuit::devices::passive::{Capacitor, Resistor};
 use rvf_circuit::devices::sources::Vsource;
 use rvf_circuit::parser::parse_value;
 use rvf_circuit::{
-    ac_sweep, dc_operating_point, rc_ladder, transient, Circuit, DcOptions, TranOptions,
-    Waveform,
+    ac_sweep, dc_operating_point, rc_ladder, transient, Circuit, DcOptions, TranOptions, Waveform,
 };
 use rvf_numerics::Complex;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Pinned case count AND rng seed: tier-1 CI must generate the exact
+    // same circuit instances on every run, on every machine.
+    #![proptest_config(ProptestConfig::with_cases(24).with_rng_seed(0xDA7E_2013))]
 
     #[test]
     fn divider_chain_dc_solution(r1 in 10.0..1e5f64, r2 in 10.0..1e5f64, v in -10.0..10.0f64) {

@@ -72,10 +72,7 @@ fn integral_expr(f: &StateFn, var: &str) -> String {
     for t in &p.terms {
         let (a, b) = (t.pole.re, t.pole.im);
         let (c, d) = (t.rho.re, t.rho.im);
-        let _ = write!(
-            out,
-            " + ({c:.17e})*log(({var}-({a:.17e})).^2 + ({b:.17e})^2)"
-        );
+        let _ = write!(out, " + ({c:.17e})*log(({var}-({a:.17e})).^2 + ({b:.17e})^2)");
         let _ = write!(out, " - (2.0*({d:.17e}))*atan2(-({b:.17e}), {var}-({a:.17e}))");
     }
     out
@@ -86,7 +83,7 @@ mod tests {
     use super::*;
     use crate::integrated::{IntegratedStateFn, LogTerm};
     use rvf_numerics::c;
-    use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, ResponseTerms, Residues};
+    use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, Residues, ResponseTerms};
 
     fn toy_statefn() -> StateFn {
         let pole = c(0.9, 0.3);
@@ -110,7 +107,12 @@ mod tests {
         let model = HammersteinModel {
             static_path: toy_statefn(),
             blocks: vec![
-                DynBlock::Pair { sigma: -1.0e9, omega: 5.0e9, f1: toy_statefn(), f2: toy_statefn() },
+                DynBlock::Pair {
+                    sigma: -1.0e9,
+                    omega: 5.0e9,
+                    f1: toy_statefn(),
+                    f2: toy_statefn(),
+                },
                 DynBlock::Real { a: -2.0e9, f: toy_statefn() },
             ],
             u0: 0.9,

@@ -19,7 +19,7 @@
 //! ```
 
 use rvf_numerics::Complex;
-use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, ResponseTerms, Residues};
+use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, Residues, ResponseTerms};
 
 use crate::error::RvfError;
 use crate::hammerstein::{DynBlock, HammersteinModel, StateFn};
@@ -265,10 +265,7 @@ mod tests {
 
     #[test]
     fn decode_errors_are_located() {
-        assert!(matches!(
-            decode("wrong header\n"),
-            Err(RvfError::Decode { line: 1, .. })
-        ));
+        assert!(matches!(decode("wrong header\n"), Err(RvfError::Decode { line: 1, .. })));
         let mut text = encode(&toy_model());
         text = text.replace("blocks 2", "blocks two");
         assert!(matches!(decode(&text), Err(RvfError::Decode { .. })));

@@ -60,10 +60,8 @@ pub fn to_verilog_a(model: &HammersteinModel, module_name: &str) -> String {
             DynBlock::Real { a, f } => {
                 let _ = writeln!(s, "    v{i}_1 = {};", integral_expr(f, "u"));
                 let _ = writeln!(s, "    // block {i}: real pole a = {a:.9e}");
-                let _ = writeln!(
-                    s,
-                    "    I(x{i}_1) <+ ddt(V(x{i}_1)) - ({a:.17e})*V(x{i}_1) - v{i}_1;"
-                );
+                let _ =
+                    writeln!(s, "    I(x{i}_1) <+ ddt(V(x{i}_1)) - ({a:.17e})*V(x{i}_1) - v{i}_1;");
             }
             DynBlock::Pair { sigma, omega, f1, f2 } => {
                 let _ = writeln!(s, "    v{i}_1 = {};", integral_expr(f1, "u"));
@@ -121,10 +119,7 @@ fn integral_expr(f: &StateFn, var: &str) -> String {
             out,
             " + ({c:.17e})*ln(({var}-({a:.17e}))*({var}-({a:.17e})) + ({b:.17e})*({b:.17e}))"
         );
-        let _ = write!(
-            out,
-            " - (2.0*({d:.17e}))*atan2(-({b:.17e}), {var}-({a:.17e}))"
-        );
+        let _ = write!(out, " - (2.0*({d:.17e}))*atan2(-({b:.17e}), {var}-({a:.17e}))");
     }
     out
 }
@@ -134,7 +129,7 @@ mod tests {
     use super::*;
     use crate::integrated::{IntegratedStateFn, LogTerm};
     use rvf_numerics::c;
-    use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, ResponseTerms, Residues};
+    use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, Residues, ResponseTerms};
 
     fn toy_statefn() -> StateFn {
         let pole = c(0.9, 0.3);
@@ -158,7 +153,12 @@ mod tests {
             static_path: toy_statefn(),
             blocks: vec![
                 DynBlock::Real { a: -3.0e9, f: toy_statefn() },
-                DynBlock::Pair { sigma: -1.0e9, omega: 5.0e9, f1: toy_statefn(), f2: toy_statefn() },
+                DynBlock::Pair {
+                    sigma: -1.0e9,
+                    omega: 5.0e9,
+                    f1: toy_statefn(),
+                    f2: toy_statefn(),
+                },
             ],
             u0: 0.9,
             y0: 0.5,

@@ -103,9 +103,7 @@ impl DynBlock {
     /// Transfer contribution at `(u, s)`.
     pub fn transfer(&self, u: f64, s: Complex) -> Complex {
         match self {
-            DynBlock::Real { a, .. } => {
-                self.residue_at(u) * (s - Complex::from_re(*a)).inv()
-            }
+            DynBlock::Real { a, .. } => self.residue_at(u) * (s - Complex::from_re(*a)).inv(),
             DynBlock::Pair { sigma, omega, .. } => {
                 let a = Complex::new(*sigma, *omega);
                 let r = self.residue_at(u);
@@ -193,11 +191,7 @@ impl HammersteinModel {
             .map(|b| match b {
                 DynBlock::Real { a, f } => {
                     let v = f.integral(inputs[0]);
-                    BlockState::Real {
-                        prop: FohScalar::new(*a, dt),
-                        x: -v / a,
-                        v_prev: v,
-                    }
+                    BlockState::Real { prop: FohScalar::new(*a, dt), x: -v / a, v_prev: v }
                 }
                 DynBlock::Pair { sigma, omega, f1, f2 } => {
                     let v = [f1.integral(inputs[0]), f2.integral(inputs[0])];
@@ -234,10 +228,7 @@ impl HammersteinModel {
                         *x = prop.step(*x, *v_prev, v1);
                         *v_prev = v1;
                     }
-                    (
-                        BlockState::Pair { prop, z, v_prev, .. },
-                        DynBlock::Pair { f1, f2, .. },
-                    ) => {
+                    (BlockState::Pair { prop, z, v_prev, .. }, DynBlock::Pair { f1, f2, .. }) => {
                         let v1 = [f1.integral(u1), f2.integral(u1)];
                         let next = prop.step([z.re, z.im], *v_prev, v1);
                         *z = Complex::new(next[0], next[1]);
@@ -289,12 +280,7 @@ pub fn build_hammerstein(
     let block_scale = |poles: &[Complex]| -> f64 {
         let min_dist = s_grid
             .iter()
-            .map(|&s| {
-                poles
-                    .iter()
-                    .map(move |&a| (s - a).abs())
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|&s| poles.iter().map(move |&a| (s - a).abs()).fold(f64::INFINITY, f64::min))
             .fold(f64::INFINITY, f64::min);
         peak_dyn * min_dist.max(1e-300)
     };
@@ -446,12 +432,7 @@ mod tests {
     #[test]
     fn empty_input_simulation() {
         let zero = state_fn_for(|_x| 0.0, 0.0, 0.0);
-        let model = HammersteinModel {
-            static_path: zero,
-            blocks: Vec::new(),
-            u0: 0.0,
-            y0: 0.0,
-        };
+        let model = HammersteinModel { static_path: zero, blocks: Vec::new(), u0: 0.0, y0: 0.0 };
         assert!(model.simulate(1e-12, &[]).is_empty());
     }
 }

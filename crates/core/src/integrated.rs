@@ -66,12 +66,7 @@ impl IntegratedStateFn {
                 }
             })
             .collect();
-        Self {
-            terms,
-            linear: model.terms()[k].d,
-            quadratic: model.terms()[k].e,
-            constant: 0.0,
-        }
+        Self { terms, linear: model.terms()[k].d, quadratic: model.terms()[k].e, constant: 0.0 }
     }
 
     /// Evaluates the primitive at `u`.
@@ -131,11 +126,7 @@ mod tests {
         for &u in &[-1.0, -0.2, 0.0, 0.4, 0.9, 1.5] {
             let h = 1e-6;
             let fd = (f.eval(u + h) - f.eval(u - h)) / (2.0 * h);
-            assert!(
-                (f.derivative(u) - fd).abs() < 1e-7,
-                "at {u}: {} vs {fd}",
-                f.derivative(u)
-            );
+            assert!((f.derivative(u) - fd).abs() < 1e-7, "at {u}: {} vs {fd}", f.derivative(u));
         }
     }
 
@@ -195,16 +186,13 @@ mod tests {
                 .sum()
         };
         let analytic = prim.eval(1.4) - prim.eval(0.4);
-        assert!(
-            (analytic - numeric).abs() < 2e-4,
-            "integral {analytic} vs {numeric}"
-        );
+        assert!((analytic - numeric).abs() < 2e-4, "integral {analytic} vs {numeric}");
     }
 
     #[test]
     #[should_panic(expected = "real pole")]
     fn real_pole_rejected() {
-        use rvf_vecfit::{PoleSet, RationalModel, ResponseTerms, Residues};
+        use rvf_vecfit::{PoleSet, RationalModel, Residues, ResponseTerms};
         let model = RationalModel::new(
             PoleSet::from_reals(&[-1.0]),
             vec![ResponseTerms { residues: Residues(vec![c(1.0, 0.0)]), d: 0.0, e: 0.0 }],

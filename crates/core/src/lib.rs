@@ -58,9 +58,7 @@ pub mod rvf;
 
 pub use error::RvfError;
 pub use export::{matlab::to_matlab, text, verilog_a::to_verilog_a};
-pub use hammerstein::{
-    build_hammerstein, BuildDiagnostics, DynBlock, HammersteinModel, StateFn,
-};
+pub use hammerstein::{build_hammerstein, BuildDiagnostics, DynBlock, HammersteinModel, StateFn};
 pub use integrated::{IntegratedStateFn, LogTerm};
 pub use metrics::{measure_speedup, time_domain_report, Speedup, TimeDomainReport};
 pub use pipeline::{extract_model, fit_tft, ExtractionReport};

@@ -34,11 +34,7 @@ pub fn fit_tft(dataset: &TftDataset, opts: &RvfOptions) -> Result<ExtractionRepo
     let dynamic = dataset.dynamic_responses();
     let freq_stage = fit_frequency_stage(&s_grid, &dynamic, opts)?;
     let (model, diagnostics) = build_hammerstein(dataset, &freq_stage, opts)?;
-    Ok(ExtractionReport {
-        model,
-        diagnostics,
-        build_seconds: start.elapsed().as_secs_f64(),
-    })
+    Ok(ExtractionReport { model, diagnostics, build_seconds: start.elapsed().as_secs_f64() })
 }
 
 /// Full flow from a circuit: DC + training transient + TFT transform +
@@ -74,7 +70,13 @@ mod tests {
             1,
             r,
             c,
-            Waveform::Sine { offset: 0.5, amplitude: 0.4, freq_hz: 1.0e4, phase_rad: 0.0, delay: 0.0 },
+            Waveform::Sine {
+                offset: 0.5,
+                amplitude: 0.4,
+                freq_hz: 1.0e4,
+                phase_rad: 0.0,
+                delay: 0.0,
+            },
         );
         let cfg = TftConfig {
             f_min_hz: 1.0e3,
@@ -149,8 +151,8 @@ mod tests {
         let op = dc_operating_point(&mut ckt2, &DcOptions::default()).unwrap();
         let dt = 2.0e-8;
         let t_stop = 3.0e-5;
-        let tran = transient(&mut ckt2, &op, &TranOptions { dt, t_stop, ..Default::default() })
-            .unwrap();
+        let tran =
+            transient(&mut ckt2, &op, &TranOptions { dt, t_stop, ..Default::default() }).unwrap();
         let y_model = report.model.simulate(dt, &tran.inputs);
         let err = rvf_numerics::nrmse(&tran.outputs, &y_model);
         assert!(err < 0.02, "time-domain nrmse {err}");

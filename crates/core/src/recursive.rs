@@ -74,12 +74,7 @@ impl Rvf2d {
 
     /// Total pole counts `(x₂ poles, max x₁ poles)`.
     pub fn pole_counts(&self) -> (usize, usize) {
-        let inner = self
-            .coefficient_fits
-            .iter()
-            .map(|f| f.poles().n_poles())
-            .max()
-            .unwrap_or(0);
+        let inner = self.coefficient_fits.iter().map(|f| f.poles().n_poles()).max().unwrap_or(0);
         (self.x2_poles.n_poles(), inner)
     }
 }
@@ -107,18 +102,13 @@ pub fn fit_recursive_2d(
     }
     // Level 1: common poles along x₂ across all x₁ rows.
     let x2_samples: Vec<Complex> = x2_grid.iter().map(|&v| Complex::from_re(v)).collect();
-    let data: Vec<Vec<Complex>> = values
-        .iter()
-        .map(|row| row.iter().map(|&v| Complex::from_re(v)).collect())
-        .collect();
-    let vf2 = VfOptions::state(opts.start_state_poles.max(2))
-        .with_iterations(opts.state_vf_iterations);
+    let data: Vec<Vec<Complex>> =
+        values.iter().map(|row| row.iter().map(|&v| Complex::from_re(v)).collect()).collect();
+    let vf2 =
+        VfOptions::state(opts.start_state_poles.max(2)).with_iterations(opts.state_vf_iterations);
     // Grow the outer pole count until the bound is met (Algorithm 1).
-    let peak = values
-        .iter()
-        .flat_map(|r| r.iter())
-        .fold(0.0_f64, |m, v| m.max(v.abs()))
-        .max(1e-300);
+    let peak =
+        values.iter().flat_map(|r| r.iter()).fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
     let mut best: Option<(rvf_vecfit::VfFit, usize)> = None;
     let mut p = opts.start_state_poles.max(2);
     while p <= opts.max_state_poles {
@@ -146,12 +136,7 @@ pub fn fit_recursive_2d(
     // Level 2 (the recursion): each outer basis coefficient is a
     // trajectory over x₁ — fit them with common x₁ poles.
     let n_basis = outer.model.poles().n_basis();
-    let has_const = outer
-        .model
-        .terms()
-        .iter()
-        .any(|t| t.d != 0.0)
-        || true; // VfOptions::state always carries the constant column
+    let has_const = true; // VfOptions::state always carries the constant column
     let mut trajectories: Vec<Vec<f64>> = vec![Vec::with_capacity(x1_grid.len()); n_basis + 1];
     for terms in outer.model.terms() {
         let flat = terms.residues.to_flat(outer.model.poles());
@@ -160,20 +145,12 @@ pub fn fit_recursive_2d(
         }
         trajectories[n_basis].push(terms.d);
     }
-    let scale = trajectories
-        .iter()
-        .flat_map(|t| t.iter())
-        .fold(0.0_f64, |m, v| m.max(v.abs()))
-        .max(1e-300);
+    let scale =
+        trajectories.iter().flat_map(|t| t.iter()).fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
     let inner_stage = crate::rvf::fit_state_stage(x1_grid, &trajectories, scale, opts)?;
-    let coefficient_fits: Vec<RationalModel> = (0..trajectories.len())
-        .map(|k| single_response(&inner_stage.fit.model, k))
-        .collect();
-    Ok(Rvf2d {
-        x2_poles: outer.model.poles().clone(),
-        x2_has_const: has_const,
-        coefficient_fits,
-    })
+    let coefficient_fits: Vec<RationalModel> =
+        (0..trajectories.len()).map(|k| single_response(&inner_stage.fit.model, k)).collect();
+    Ok(Rvf2d { x2_poles: outer.model.poles().clone(), x2_has_const: has_const, coefficient_fits })
 }
 
 #[cfg(test)]
@@ -181,14 +158,8 @@ mod tests {
     use super::*;
     use rvf_numerics::linspace;
 
-    fn grid_values(
-        x1: &[f64],
-        x2: &[f64],
-        f: impl Fn(f64, f64) -> f64,
-    ) -> Vec<Vec<f64>> {
-        x1.iter()
-            .map(|&a| x2.iter().map(|&b| f(a, b)).collect())
-            .collect()
+    fn grid_values(x1: &[f64], x2: &[f64], f: impl Fn(f64, f64) -> f64) -> Vec<Vec<f64>> {
+        x1.iter().map(|&a| x2.iter().map(|&b| f(a, b)).collect()).collect()
     }
 
     #[test]
@@ -243,14 +214,10 @@ mod tests {
         for &b in &[0.1, 0.5, 0.9] {
             let n = 4000;
             let h = 1.0 / n as f64;
-            let numeric: f64 = (0..n)
-                .map(|i| 0.5 * h * (f(i as f64 * h, b) + f((i + 1) as f64 * h, b)))
-                .sum();
+            let numeric: f64 =
+                (0..n).map(|i| 0.5 * h * (f(i as f64 * h, b) + f((i + 1) as f64 * h, b))).sum();
             let analytic = model.integral_x1(1.0, b) - model.integral_x1(0.0, b);
-            assert!(
-                (analytic - numeric).abs() < 2e-3,
-                "at x2={b}: {analytic} vs {numeric}"
-            );
+            assert!((analytic - numeric).abs() < 2e-3, "at x2={b}: {analytic} vs {numeric}");
         }
     }
 

@@ -73,11 +73,8 @@ pub fn fit_frequency_stage(
     responses: &[Vec<Complex>],
     opts: &RvfOptions,
 ) -> Result<StageFit, RvfError> {
-    let peak = responses
-        .iter()
-        .flat_map(|r| r.iter())
-        .fold(0.0_f64, |m, v| m.max(v.abs()))
-        .max(1e-300);
+    let peak =
+        responses.iter().flat_map(|r| r.iter()).fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
     let mut best: Option<StageFit> = None;
     let mut p = opts.start_freq_poles.max(2);
     while p <= opts.max_freq_poles {
@@ -125,10 +122,8 @@ pub fn fit_state_stage(
     opts: &RvfOptions,
 ) -> Result<StageFit, RvfError> {
     let xs: Vec<Complex> = states.iter().map(|&x| Complex::from_re(x)).collect();
-    let data: Vec<Vec<Complex>> = trajectories
-        .iter()
-        .map(|t| t.iter().map(|&v| Complex::from_re(v)).collect())
-        .collect();
+    let data: Vec<Vec<Complex>> =
+        trajectories.iter().map(|t| t.iter().map(|&v| Complex::from_re(v)).collect()).collect();
     let scale = scale.max(1e-300);
     let mut best: Option<StageFit> = None;
     let mut p = opts.start_state_poles.max(2);
@@ -200,13 +195,7 @@ mod tests {
         let s_grid = jw_grid(&logspace(2.0, 7.5, 120));
         let data: Vec<Vec<Complex>> = vec![s_grid
             .iter()
-            .map(|&s| {
-                poles
-                    .iter()
-                    .zip(&residues)
-                    .map(|(&a, &r)| r * (s - a).inv())
-                    .sum()
-            })
+            .map(|&s| poles.iter().zip(&residues).map(|(&a, &r)| r * (s - a).inv()).sum())
             .collect()];
         let opts = RvfOptions { epsilon: 1e-6, start_freq_poles: 4, ..Default::default() };
         let stage = fit_frequency_stage(&s_grid, &data, &opts).unwrap();
@@ -221,7 +210,8 @@ mod tests {
         let data: Vec<Vec<Complex>> = vec![s_grid
             .iter()
             .map(|&s| {
-                (s - c(-0.1, 30.0)).inv() + (s - c(-0.1, -30.0)).inv()
+                (s - c(-0.1, 30.0)).inv()
+                    + (s - c(-0.1, -30.0)).inv()
                     + (s - c(-0.2, 70.0)).inv()
                     + (s - c(-0.2, -70.0)).inv()
             })
@@ -240,8 +230,10 @@ mod tests {
     #[test]
     fn state_stage_fits_multiple_components_with_common_poles() {
         let states = linspace(0.4, 1.4, 101);
-        let t1: Vec<f64> = states.iter().map(|&x| 1.0 / (1.0 + 16.0 * (x - 0.9) * (x - 0.9))).collect();
-        let t2: Vec<f64> = states.iter().map(|&x| (x - 0.9) / (1.0 + 16.0 * (x - 0.9) * (x - 0.9))).collect();
+        let t1: Vec<f64> =
+            states.iter().map(|&x| 1.0 / (1.0 + 16.0 * (x - 0.9) * (x - 0.9))).collect();
+        let t2: Vec<f64> =
+            states.iter().map(|&x| (x - 0.9) / (1.0 + 16.0 * (x - 0.9) * (x - 0.9))).collect();
         let scale = 1.0;
         let opts = RvfOptions { epsilon: 1e-4, ..Default::default() };
         let stage = fit_state_stage(&states, &[t1.clone(), t2], scale, &opts).unwrap();
@@ -276,7 +268,7 @@ mod tests {
 
     #[test]
     fn single_response_extraction() {
-        use rvf_vecfit::{PoleSet, ResponseTerms, Residues};
+        use rvf_vecfit::{PoleSet, Residues, ResponseTerms};
         let model = RationalModel::new(
             PoleSet::from_reals(&[-1.0]),
             vec![

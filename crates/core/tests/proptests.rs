@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use rvf_core::{text, DynBlock, HammersteinModel, IntegratedStateFn, LogTerm, StateFn};
 use rvf_numerics::{c, Complex};
-use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, ResponseTerms, Residues};
+use rvf_vecfit::{PoleEntry, PoleSet, RationalModel, Residues, ResponseTerms};
 
 fn statefn(pole: Complex, rho: Complex, d: f64, constant: f64) -> StateFn {
     let pole = Complex::new(pole.re, pole.im.abs().max(1e-3));
@@ -23,14 +23,7 @@ fn statefn(pole: Complex, rho: Complex, d: f64, constant: f64) -> StateFn {
 }
 
 fn arb_statefn() -> impl Strategy<Value = StateFn> {
-    (
-        -2.0..2.0f64,
-        0.01..2.0f64,
-        -3.0..3.0f64,
-        -3.0..3.0f64,
-        -2.0..2.0f64,
-        -5.0..5.0f64,
-    )
+    (-2.0..2.0f64, 0.01..2.0f64, -3.0..3.0f64, -3.0..3.0f64, -2.0..2.0f64, -5.0..5.0f64)
         .prop_map(|(pre, pim, rre, rim, d, k)| statefn(c(pre, pim), c(rre, rim), d, k))
 }
 
@@ -38,12 +31,7 @@ fn arb_model() -> impl Strategy<Value = HammersteinModel> {
     (
         arb_statefn(),
         prop::collection::vec(
-            (
-                arb_statefn(),
-                arb_statefn(),
-                -5.0e9..-1.0e6f64,
-                1.0e6..5.0e9f64,
-            ),
+            (arb_statefn(), arb_statefn(), -5.0e9..-1.0e6f64, 1.0e6..5.0e9f64),
             0..3,
         ),
         -1.0..1.0f64,

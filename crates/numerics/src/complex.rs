@@ -284,9 +284,7 @@ impl_binop!(Sub, sub, SubAssign, sub_assign, |a: Complex, b: Complex| {
 impl_binop!(Mul, mul, MulAssign, mul_assign, |a: Complex, b: Complex| {
     Complex::new(a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re)
 });
-impl_binop!(Div, div, DivAssign, div_assign, |a: Complex, b: Complex| {
-    a * b.inv()
-});
+impl_binop!(Div, div, DivAssign, div_assign, |a: Complex, b: Complex| { a * b.inv() });
 
 impl Sum for Complex {
     fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {

@@ -303,8 +303,7 @@ fn hqr_in_place(h: &mut Mat) -> Result<Vec<Complex>, NumericsError> {
                     break;
                 }
                 let u = h[(mu, mu - 1)].abs() * (q.abs() + r.abs());
-                let v =
-                    p.abs() * (h[(mu - 1, mu - 1)].abs() + z.abs() + h[(mu + 1, mu + 1)].abs());
+                let v = p.abs() * (h[(mu - 1, mu - 1)].abs() + z.abs() + h[(mu + 1, mu + 1)].abs());
                 if u <= eps * v {
                     break;
                 }
@@ -398,10 +397,7 @@ mod tests {
         sort_eigenvalues(&mut want);
         assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(&want) {
-            assert!(
-                (*g - *w).abs() < tol,
-                "eigenvalue mismatch: got {got:?}, want {want:?}"
-            );
+            assert!((*g - *w).abs() < tol, "eigenvalue mismatch: got {got:?}, want {want:?}");
         }
     }
 
@@ -417,12 +413,7 @@ mod tests {
         let a = Mat::from_diag(&[1.0, -2.0, 3.5, 0.0]);
         assert_spectrum(
             &a,
-            &[
-                Complex::from_re(1.0),
-                Complex::from_re(-2.0),
-                Complex::from_re(3.5),
-                Complex::ZERO,
-            ],
+            &[Complex::from_re(1.0), Complex::from_re(-2.0), Complex::from_re(3.5), Complex::ZERO],
             1e-10,
         );
     }
@@ -430,11 +421,7 @@ mod tests {
     #[test]
     fn companion_matrix_cubic() {
         // p(x) = (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6.
-        let a = Mat::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        let a = Mat::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         assert_spectrum(
             &a,
             &[Complex::from_re(1.0), Complex::from_re(2.0), Complex::from_re(3.0)],
@@ -530,10 +517,7 @@ mod tests {
         let e = eigenvalues(&a).unwrap();
         let sum: Complex = e.iter().sum();
         let trace = (0..4).map(|i| a[(i, i)]).sum::<f64>();
-        assert!(
-            ((sum.re - trace) / trace).abs() < 1e-10,
-            "sum {sum:?} vs trace {trace}"
-        );
+        assert!(((sum.re - trace) / trace).abs() < 1e-10, "sum {sum:?} vs trace {trace}");
     }
 
     #[test]
@@ -561,7 +545,10 @@ mod tests {
     #[test]
     fn eig_2x2_closed_form() {
         let [a, b] = eig_2x2(0.0, -1.0, 1.0, 0.0);
-        assert!((a - Complex::new(0.0, 1.0)).abs() < 1e-15 || (a - Complex::new(0.0, -1.0)).abs() < 1e-15);
+        assert!(
+            (a - Complex::new(0.0, 1.0)).abs() < 1e-15
+                || (a - Complex::new(0.0, -1.0)).abs() < 1e-15
+        );
         assert!((a.conj() - b).abs() < 1e-15);
         let [a, b] = eig_2x2(3.0, 0.0, 0.0, -5.0);
         let mut v = [a.re, b.re];
@@ -571,10 +558,7 @@ mod tests {
 
     #[test]
     fn non_square_rejected() {
-        assert!(matches!(
-            eigenvalues(&Mat::zeros(2, 3)),
-            Err(NumericsError::NotSquare { .. })
-        ));
+        assert!(matches!(eigenvalues(&Mat::zeros(2, 3)), Err(NumericsError::NotSquare { .. })));
     }
 
     #[test]

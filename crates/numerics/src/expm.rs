@@ -74,11 +74,7 @@ impl FohScalar {
     /// Precomputes the propagator for pole `a` and step `h`.
     pub fn new(a: f64, h: f64) -> Self {
         let x = Complex::from_re(a * h);
-        Self {
-            e: (a * h).exp(),
-            g1: (phi1(x).re) * h,
-            g2: (phi2(x).re) * h,
-        }
+        Self { e: (a * h).exp(), g1: (phi1(x).re) * h, g2: (phi2(x).re) * h }
     }
 
     /// Advances the state one step with inputs `v0 = v(t)`, `v1 = v(t+h)`.
@@ -105,11 +101,7 @@ impl FohPair {
     pub fn new(sigma: f64, omega: f64, h: f64) -> Self {
         let lambda = Complex::new(sigma, -omega);
         let x = lambda.scale(h);
-        Self {
-            e: x.exp(),
-            g1: phi1(x).scale(h),
-            g2: phi2(x).scale(h),
-        }
+        Self { e: x.exp(), g1: phi1(x).scale(h), g2: phi2(x).scale(h) }
     }
 
     /// Advances `(x₁, x₂)` with 2-vector inputs `v0`, `v1`.
@@ -225,10 +217,7 @@ mod tests {
         let e = expm2(sg, om, h);
         let x = [1.0, 2.0];
         let got = p.step(x, [0.0, 0.0], [0.0, 0.0]);
-        let want = [
-            e[0][0] * x[0] + e[0][1] * x[1],
-            e[1][0] * x[0] + e[1][1] * x[1],
-        ];
+        let want = [e[0][0] * x[0] + e[0][1] * x[1], e[1][0] * x[0] + e[1][1] * x[1]];
         assert!((got[0] - want[0]).abs() < 1e-14);
         assert!((got[1] - want[1]).abs() < 1e-14);
     }

@@ -83,10 +83,7 @@ pub fn power_spectrum(signal: &[f64], dt: f64) -> (Vec<f64>, Vec<f64>) {
     let df = 1.0 / (n as f64 * dt);
     let half = n / 2;
     let freqs: Vec<f64> = (0..half).map(|i| i as f64 * df).collect();
-    let mags: Vec<f64> = spec[..half]
-        .iter()
-        .map(|v| v.abs() / n as f64)
-        .collect();
+    let mags: Vec<f64> = spec[..half].iter().map(|v| v.abs() / n as f64).collect();
     (freqs, mags)
 }
 
@@ -142,9 +139,8 @@ mod tests {
 
     #[test]
     fn round_trip_fft_ifft() {
-        let mut data: Vec<Complex> = (0..32)
-            .map(|i| c((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
-            .collect();
+        let mut data: Vec<Complex> =
+            (0..32).map(|i| c((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
         let original = data.clone();
         fft_in_place(&mut data);
         ifft_in_place(&mut data);
@@ -158,8 +154,7 @@ mod tests {
         let signal: Vec<f64> = (0..128).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
         let spec = fft_real(&signal);
         let time_energy: f64 = signal.iter().map(|v| v * v).sum();
-        let freq_energy: f64 =
-            spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / spec.len() as f64;
         assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
     }
 

@@ -61,10 +61,7 @@ pub fn geomspace(a: f64, b: f64, n: usize) -> Vec<f64> {
 /// assert!(s.iter().all(|z| z.re == 0.0 && z.im > 0.0));
 /// ```
 pub fn jw_grid(freqs_hz: &[f64]) -> Vec<Complex> {
-    freqs_hz
-        .iter()
-        .map(|&f| Complex::from_im(2.0 * core::f64::consts::PI * f))
-        .collect()
+    freqs_hz.iter().map(|&f| Complex::from_im(2.0 * core::f64::consts::PI * f)).collect()
 }
 
 #[cfg(test)]

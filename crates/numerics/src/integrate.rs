@@ -69,9 +69,7 @@ pub fn rk4_step(
         tmp[i] = x[i] + h * k3[i];
     }
     f(t + h, &tmp, &mut k4);
-    (0..n)
-        .map(|i| x[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
-        .collect()
+    (0..n).map(|i| x[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i])).collect()
 }
 
 /// Integrates `ẋ = f(t, x)` from `t0` over `n` steps of size `h`,

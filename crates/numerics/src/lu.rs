@@ -101,10 +101,7 @@ impl Lu {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
         let n = self.dim();
         if b.len() != n {
-            return Err(NumericsError::DimensionMismatch {
-                expected: n,
-                got: b.len(),
-            });
+            return Err(NumericsError::DimensionMismatch { expected: n, got: b.len() });
         }
         // Apply permutation.
         let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
@@ -319,11 +316,7 @@ mod tests {
 
     #[test]
     fn real_solve_3x3() {
-        let a = Mat::from_rows(&[
-            &[2.0, 1.0, 1.0],
-            &[4.0, -6.0, 0.0],
-            &[-2.0, 7.0, 2.0],
-        ]);
+        let a = Mat::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
         let lu = Lu::factor(&a).unwrap();
         let b = [5.0, -2.0, 9.0];
         let x = lu.solve(&b).unwrap();

@@ -232,12 +232,7 @@ impl Mat {
     /// Panics if shapes differ.
     pub fn axpy(&self, k: f64, other: &Mat) -> Mat {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + k * b)
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + k * b).collect();
         Mat { rows: self.rows, cols: self.cols, data }
     }
 

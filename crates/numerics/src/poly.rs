@@ -80,10 +80,7 @@ impl Poly {
 
     /// Horner evaluation at a complex point.
     pub fn eval_complex(&self, x: Complex) -> Complex {
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(Complex::ZERO, |acc, &c| acc * x + Complex::from_re(c))
+        self.coeffs.iter().rev().fold(Complex::ZERO, |acc, &c| acc * x + Complex::from_re(c))
     }
 
     /// Derivative.
@@ -91,13 +88,7 @@ impl Poly {
         if self.coeffs.len() <= 1 {
             return Poly::zero();
         }
-        Poly::new(
-            self.coeffs[1..]
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| c * (i + 1) as f64)
-                .collect(),
-        )
+        Poly::new(self.coeffs[1..].iter().enumerate().map(|(i, &c)| c * (i + 1) as f64).collect())
     }
 
     /// Antiderivative with integration constant `c0`.

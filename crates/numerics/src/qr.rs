@@ -294,12 +294,7 @@ mod tests {
 
     #[test]
     fn q_is_orthonormal_and_reconstructs() {
-        let a = Mat::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ]);
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]);
         let f = Qr::factor(&a);
         let q = f.q();
         let r = f.r();
@@ -327,12 +322,7 @@ mod tests {
         let f = Qr::factor(&a);
         let x = f.solve_lstsq(&b).unwrap();
         let ax = a.matvec(&x);
-        let direct: f64 = ax
-            .iter()
-            .zip(&b)
-            .map(|(p, q)| (p - q) * (p - q))
-            .sum::<f64>()
-            .sqrt();
+        let direct: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
         assert!((f.residual_norm(&b) - direct).abs() < 1e-12);
     }
 

@@ -74,9 +74,7 @@ pub fn deg(rad: f64) -> f64 {
 /// Panics if the lengths differ.
 pub fn max_abs_err(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_err needs equal-length inputs");
-    a.iter()
-        .zip(b)
-        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+    a.iter().zip(b).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
 }
 
 /// Normalized RMSE: RMSE divided by the peak-to-peak range of the

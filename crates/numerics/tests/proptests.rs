@@ -14,8 +14,7 @@ fn finite_f64(range: core::ops::Range<f64>) -> impl Strategy<Value = f64> {
 }
 
 fn small_matrix(n: usize) -> impl Strategy<Value = Mat> {
-    prop::collection::vec(-10.0..10.0f64, n * n)
-        .prop_map(move |data| Mat::from_vec(n, n, data))
+    prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |data| Mat::from_vec(n, n, data))
 }
 
 proptest! {

@@ -68,10 +68,7 @@ impl TftDataset {
 
     /// Dynamic responses `H(k)(s_l) − H(k)(0)` as `K` rows.
     pub fn dynamic_responses(&self) -> Vec<Vec<Complex>> {
-        self.samples
-            .iter()
-            .map(|s| s.h.iter().map(|&v| v - s.h0).collect())
-            .collect()
+        self.samples.iter().map(|s| s.h.iter().map(|&v| v - s.h0).collect()).collect()
     }
 
     /// The static conductance trajectory `H(k)(0)` (real parts; the
@@ -82,10 +79,7 @@ impl TftDataset {
 
     /// Peak magnitude over the whole hyperplane (normalization helper).
     pub fn peak_magnitude(&self) -> f64 {
-        self.samples
-            .iter()
-            .flat_map(|s| s.h.iter())
-            .fold(0.0_f64, |m, v| m.max(v.abs()))
+        self.samples.iter().flat_map(|s| s.h.iter()).fold(0.0_f64, |m, v| m.max(v.abs()))
     }
 
     /// Restricts the dataset to every `n`-th state sample (training-set
@@ -143,10 +137,7 @@ mod tests {
 
     #[test]
     fn thinning() {
-        let d = TftDataset::new(
-            vec![1.0],
-            (0..10).map(|i| sample(i as f64, 0.0)).collect(),
-        );
+        let d = TftDataset::new(vec![1.0], (0..10).map(|i| sample(i as f64, 0.0)).collect());
         let t = d.thin_states(3);
         assert_eq!(t.n_states(), 4);
         assert_eq!(t.states(), vec![0.0, 3.0, 6.0, 9.0]);

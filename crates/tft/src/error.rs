@@ -33,10 +33,9 @@ impl fmt::Display for TftError {
         match self {
             Self::NoSnapshots => write!(f, "no jacobian snapshots to transform"),
             Self::BadFrequencyGrid => write!(f, "frequency grid must be non-empty and positive"),
-            Self::DimensionMismatch { snapshot, expected, got } => write!(
-                f,
-                "snapshot {snapshot} has dimension {got}, expected {expected}"
-            ),
+            Self::DimensionMismatch { snapshot, expected, got } => {
+                write!(f, "snapshot {snapshot} has dimension {got}, expected {expected}")
+            }
             Self::Circuit(e) => write!(f, "circuit analysis failed: {e}"),
             Self::Numerics(e) => write!(f, "frequency solve failed: {e}"),
         }

@@ -48,19 +48,12 @@ impl Hyperplane {
 
     /// The TFT hyperplane of a dataset (the paper's Fig. 6 surface).
     pub fn of_dataset(dataset: &TftDataset) -> Self {
-        Self::from_responses(
-            dataset.states(),
-            dataset.freqs_hz.clone(),
-            &dataset.full_responses(),
-        )
+        Self::from_responses(dataset.states(), dataset.freqs_hz.clone(), &dataset.full_responses())
     }
 
     /// Builds a hyperplane by evaluating a model `H(x, s)` over the same
     /// grid as `dataset` (Figs. 7/8 top surfaces).
-    pub fn of_model(
-        dataset: &TftDataset,
-        mut model: impl FnMut(f64, Complex) -> Complex,
-    ) -> Self {
+    pub fn of_model(dataset: &TftDataset, mut model: impl FnMut(f64, Complex) -> Complex) -> Self {
         let s_grid = dataset.s_grid();
         let responses: Vec<Vec<Complex>> = dataset
             .samples

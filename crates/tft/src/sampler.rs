@@ -8,14 +8,14 @@
 //!
 //! The frequency sweep factors one complex matrix per `(k, l)` pair;
 //! sweeps across snapshots are embarrassingly parallel and are spread
-//! over worker threads with `crossbeam` scoped threads.
+//! over worker threads with `std::thread` scoped threads.
 
-use crossbeam::thread;
 use rvf_circuit::{
-    dc_operating_point, transfer_at, transient, Circuit, DcOptions, JacobianSnapshot,
-    TranOptions, TranResult,
+    dc_operating_point, transfer_at, transient, Circuit, DcOptions, JacobianSnapshot, TranOptions,
+    TranResult,
 };
 use rvf_numerics::{logspace, Complex, Lu};
+use std::thread;
 
 use crate::dataset::{StateSample, TftDataset};
 use crate::error::TftError;
@@ -99,10 +99,8 @@ pub fn tft_from_snapshots(
             });
         }
     }
-    let s_grid: Vec<Complex> = freqs_hz
-        .iter()
-        .map(|&f| Complex::from_im(2.0 * core::f64::consts::PI * f))
-        .collect();
+    let s_grid: Vec<Complex> =
+        freqs_hz.iter().map(|&f| Complex::from_im(2.0 * core::f64::consts::PI * f)).collect();
 
     let n = snapshots.len();
     let workers = threads.max(1).min(n);
@@ -114,7 +112,7 @@ pub fn tft_from_snapshots(
         for (w, out_chunk) in results.chunks_mut(chunk).enumerate() {
             let lo = w * chunk;
             let s_grid = &s_grid;
-            let handle = scope.spawn(move |_| -> Result<(), TftError> {
+            let handle = scope.spawn(move || -> Result<(), TftError> {
                 for (off, slot) in out_chunk.iter_mut().enumerate() {
                     let snap = &snapshots[lo + off];
                     let mut h = Vec::with_capacity(s_grid.len());
@@ -145,8 +143,7 @@ pub fn tft_from_snapshots(
             h.join().expect("tft worker panicked")?;
         }
         Ok::<(), TftError>(())
-    })
-    .expect("crossbeam scope")?;
+    })?;
 
     let mut samples: Vec<StateSample> = results.into_iter().map(|s| s.expect("filled")).collect();
     // Delay embedding beyond depth 1: append lagged input values taken
@@ -223,7 +220,13 @@ mod tests {
             1,
             r,
             c,
-            Waveform::Sine { offset: 0.5, amplitude: 0.3, freq_hz: 1.0e4, phase_rad: 0.0, delay: 0.0 },
+            Waveform::Sine {
+                offset: 0.5,
+                amplitude: 0.3,
+                freq_hz: 1.0e4,
+                phase_rad: 0.0,
+                delay: 0.0,
+            },
         );
         let cfg = TftConfig {
             f_min_hz: 1.0e3,
@@ -244,10 +247,7 @@ mod tests {
             for (f, h) in ds.freqs_hz.iter().zip(&sample.h) {
                 let s = Complex::from_im(2.0 * core::f64::consts::PI * f);
                 let want = (Complex::ONE + s.scale(rc)).inv();
-                assert!(
-                    (*h - want).abs() < 1e-9,
-                    "H mismatch at f={f}: {h:?} vs {want:?}"
-                );
+                assert!((*h - want).abs() < 1e-9, "H mismatch at f={f}: {h:?} vs {want:?}");
             }
         }
         // Linear circuit: the hyperplane is flat along the state axis.

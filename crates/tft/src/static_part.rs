@@ -70,20 +70,14 @@ pub fn reconstruct_static(u_traj: &[f64], g_traj: &[f64], u0: f64, y0: f64) -> S
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            (**a - u0)
-                .abs()
-                .partial_cmp(&(**b - u0).abs())
-                .unwrap_or(core::cmp::Ordering::Equal)
+            (**a - u0).abs().partial_cmp(&(**b - u0).abs()).unwrap_or(core::cmp::Ordering::Equal)
         })
         .expect("nonempty");
     let offset = y0 - integral[anchor_idx];
 
     // Sort by u, merging near-duplicate states (retraced trajectory).
-    let mut pairs: Vec<(f64, f64)> = u_traj
-        .iter()
-        .zip(&integral)
-        .map(|(&u, &v)| (u, v + offset))
-        .collect();
+    let mut pairs: Vec<(f64, f64)> =
+        u_traj.iter().zip(&integral).map(|(&u, &v)| (u, v + offset)).collect();
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(core::cmp::Ordering::Equal));
     let span = pairs.last().expect("nonempty").0 - pairs[0].0;
     let merge_tol = (span * 1e-9).max(f64::MIN_POSITIVE);

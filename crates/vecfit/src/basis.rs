@@ -170,11 +170,7 @@ mod tests {
         let s = c(0.0, 1.7);
         let mut row = Vec::new();
         basis_row(&p, s, &mut row);
-        let via_basis: Complex = row
-            .iter()
-            .zip(&flat)
-            .map(|(phi, &w)| *phi * w)
-            .sum();
+        let via_basis: Complex = row.iter().zip(&flat).map(|(phi, &w)| *phi * w).sum();
         assert!((r.eval(&p, s) - via_basis).abs() < 1e-13);
     }
 

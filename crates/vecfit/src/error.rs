@@ -38,10 +38,9 @@ impl fmt::Display for VecfitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::EmptyData => write!(f, "no data to fit"),
-            Self::LengthMismatch { response, expected, got } => write!(
-                f,
-                "response {response} has {got} samples, expected {expected}"
-            ),
+            Self::LengthMismatch { response, expected, got } => {
+                write!(f, "response {response} has {got} samples, expected {expected}")
+            }
             Self::TooFewSamples { needed, got } => {
                 write!(f, "need at least {needed} sample points, got {got}")
             }

@@ -95,8 +95,7 @@ pub fn fit(
     let mut displacement = f64::INFINITY;
     let mut iterations_run = 0;
     for _ in 0..opts.iterations {
-        let new_poles =
-            relocate_once(samples, data, &weights, &poles, opts, min_imag_abs, clamp)?;
+        let new_poles = relocate_once(samples, data, &weights, &poles, opts, min_imag_abs, clamp)?;
         displacement = new_poles.displacement(&poles);
         poles = new_poles;
         iterations_run += 1;
@@ -142,9 +141,7 @@ fn validate(
     if samples.iter().any(|v| !v.is_finite()) {
         return Err(VecfitError::NonFinite);
     }
-    let n_loc = opts.n_poles
-        + usize::from(opts.include_const)
-        + usize::from(opts.include_linear);
+    let n_loc = opts.n_poles + usize::from(opts.include_const) + usize::from(opts.include_linear);
     let n_sig = opts.n_poles + usize::from(opts.relaxed);
     let rows_per_sample = match opts.axis {
         Axis::Imaginary => 2,
@@ -158,10 +155,7 @@ fn validate(
 }
 
 fn compute_weights(data: &[Vec<Complex>], opts: &VfOptions) -> Vec<Vec<f64>> {
-    let peak = data
-        .iter()
-        .flat_map(|row| row.iter())
-        .fold(0.0_f64, |m, v| m.max(v.abs()));
+    let peak = data.iter().flat_map(|row| row.iter()).fold(0.0_f64, |m, v| m.max(v.abs()));
     let floor = (peak * 1e-12).max(f64::MIN_POSITIVE);
     data.iter()
         .map(|row| {
@@ -214,11 +208,7 @@ fn sample_range(samples: &[Complex], axis: Axis) -> Result<(f64, f64), VecfitErr
 
 /// Augmented local basis: partial fractions plus optional `1` and `s`
 /// columns.
-fn local_columns(
-    poles: &PoleSet,
-    samples: &[Complex],
-    opts: &VfOptions,
-) -> Vec<Vec<Complex>> {
+fn local_columns(poles: &PoleSet, samples: &[Complex], opts: &VfOptions) -> Vec<Vec<Complex>> {
     let mut rows = basis_matrix(poles, samples);
     for (row, &s) in rows.iter_mut().zip(samples) {
         if opts.include_const {
@@ -245,7 +235,13 @@ fn sigma_columns(poles: &PoleSet, samples: &[Complex], opts: &VfOptions) -> Vec<
 /// Converts complex equations into real ones. On the imaginary axis each
 /// complex equation yields a (Re, Im) row pair; on the real axis the data
 /// and basis are real so only the real part is kept.
-fn realify_rows(axis: Axis, row: &[Complex], rhs: Complex, out_m: &mut Vec<f64>, out_b: &mut Vec<f64>) {
+fn realify_rows(
+    axis: Axis,
+    row: &[Complex],
+    rhs: Complex,
+    out_m: &mut Vec<f64>,
+    out_b: &mut Vec<f64>,
+) {
     match axis {
         Axis::Imaginary => {
             out_m.extend(row.iter().map(|v| v.re));
@@ -430,11 +426,7 @@ fn relocate_once(
 
     let sol = solve_lstsq_robust(&stacked, &stacked_rhs)?;
     // Undo the global sigma scaling.
-    let mut c_sigma: Vec<f64> = sol
-        .iter()
-        .zip(&sig_norms)
-        .map(|(v, n)| v / n)
-        .collect();
+    let mut c_sigma: Vec<f64> = sol.iter().zip(&sig_norms).map(|(v, n)| v / n).collect();
     let d_sigma = if opts.relaxed {
         let d = c_sigma.pop().expect("relaxed sigma has a constant column");
         // Guard against a vanishing sigma constant (Gustavsen's TOLlow).
@@ -477,13 +469,7 @@ fn relocate_once(
         }
     }
     let eigs = eigenvalues(&a)?;
-    Ok(PoleSet::from_eigenvalues(
-        &eigs,
-        opts.axis,
-        opts.enforce_stability,
-        min_imag_abs,
-        clamp,
-    ))
+    Ok(PoleSet::from_eigenvalues(&eigs, opts.axis, opts.enforce_stability, min_imag_abs, clamp))
 }
 
 /// Final residue identification with the poles fixed.
@@ -522,11 +508,7 @@ fn identify_residues(
         let mut m = Mat::from_vec(block_rows, n_loc, mdata.clone());
         let norms = equilibrate_columns(&mut m);
         let sol = solve_lstsq_robust(&m, &bdata)?;
-        let flat: Vec<f64> = sol
-            .iter()
-            .zip(&norms)
-            .map(|(v, n)| v / n)
-            .collect();
+        let flat: Vec<f64> = sol.iter().zip(&norms).map(|(v, n)| v / n).collect();
         let residues = Residues::from_flat(&poles, &flat[..n_basis]);
         let mut idx = n_basis;
         let d = if opts.include_const {

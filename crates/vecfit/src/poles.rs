@@ -169,9 +169,7 @@ impl PoleSet {
                 opts.initial_damping,
                 matches!(opts.spread, PoleSpread::Logarithmic),
             ),
-            Axis::Real => {
-                Self::initial_real_axis(opts.n_poles, lo, hi, opts.real_axis_min_imag)
-            }
+            Axis::Real => Self::initial_real_axis(opts.n_poles, lo, hi, opts.real_axis_min_imag),
         }
     }
 

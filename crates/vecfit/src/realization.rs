@@ -112,10 +112,7 @@ impl Realization {
 
     /// Transfer function at `s` (sum of parallel blocks plus feed-through).
     pub fn eval(&self, s: Complex) -> Complex {
-        self.blocks
-            .iter()
-            .map(|b| b.eval(s))
-            .fold(Complex::from_re(self.d), |acc, v| acc + v)
+        self.blocks.iter().map(|b| b.eval(s)).fold(Complex::from_re(self.d), |acc, v| acc + v)
     }
 }
 
@@ -201,10 +198,7 @@ mod tests {
         let classic = realize(&poles, &res, 0.25, Form::Classic);
         let shifted = realize(&poles, &res, 0.25, Form::InputShifted);
         for s in sample_points() {
-            assert!(
-                (classic.eval(s) - shifted.eval(s)).abs() < 1e-12,
-                "forms disagree at {s:?}"
-            );
+            assert!((classic.eval(s) - shifted.eval(s)).abs() < 1e-12, "forms disagree at {s:?}");
         }
     }
 

@@ -6,23 +6,19 @@ use rvf_numerics::{c, jw_grid, linspace, logspace, Complex};
 use rvf_vecfit::{fit_single, realize, Form, PoleSet, Residues, VfOptions};
 
 fn pf(poles: &[Complex], residues: &[Complex], s: Complex) -> Complex {
-    poles
-        .iter()
-        .zip(residues)
-        .map(|(&a, &r)| r * (s - a).inv())
-        .sum()
+    poles.iter().zip(residues).map(|(&a, &r)| r * (s - a).inv()).sum()
 }
 
 /// Strategy: a random stable system of one real pole and one complex
 /// pair with bounded residues.
 fn stable_system() -> impl Strategy<Value = (Vec<Complex>, Vec<Complex>)> {
     (
-        0.5..50.0f64,   // real pole magnitude
-        0.1..20.0f64,   // pair damping
-        5.0..80.0f64,   // pair frequency
-        -5.0..5.0f64,   // real residue
-        -3.0..3.0f64,   // pair residue re
-        -3.0..3.0f64,   // pair residue im
+        0.5..50.0f64, // real pole magnitude
+        0.1..20.0f64, // pair damping
+        5.0..80.0f64, // pair frequency
+        -5.0..5.0f64, // real residue
+        -3.0..3.0f64, // pair residue re
+        -3.0..3.0f64, // pair residue im
     )
         .prop_map(|(pr, sg, om, r0, rr, ri)| {
             let poles = vec![c(-pr, 0.0), c(-sg, om), c(-sg, -om)];

@@ -37,20 +37,10 @@ fn recovers_three_pole_siso_frequency_response() {
 #[test]
 fn recovers_poles_across_decades() {
     // Poles spread over five decades, like an analog macromodel.
-    let poles = [
-        c(-1.0e3, 0.0),
-        c(-5.0e4, 3.0e5),
-        c(-5.0e4, -3.0e5),
-        c(-2.0e6, 4.0e7),
-        c(-2.0e6, -4.0e7),
-    ];
-    let residues = [
-        c(2.0e3, 0.0),
-        c(1.0e4, -3.0e4),
-        c(1.0e4, 3.0e4),
-        c(5.0e5, 1.0e6),
-        c(5.0e5, -1.0e6),
-    ];
+    let poles =
+        [c(-1.0e3, 0.0), c(-5.0e4, 3.0e5), c(-5.0e4, -3.0e5), c(-2.0e6, 4.0e7), c(-2.0e6, -4.0e7)];
+    let residues =
+        [c(2.0e3, 0.0), c(1.0e4, -3.0e4), c(1.0e4, 3.0e4), c(5.0e5, 1.0e6), c(5.0e5, -1.0e6)];
     let samples = jw_grid(&logspace(1.0, 8.5, 200));
     let data: Vec<Complex> = samples.iter().map(|&s| pf(&poles, &residues, 0.0, s)).collect();
 
@@ -64,10 +54,8 @@ fn recovers_constant_and_linear_terms() {
     let poles = [c(-10.0, 0.0)];
     let residues = [c(5.0, 0.0)];
     let samples = jw_grid(&linspace(0.1, 20.0, 80));
-    let data: Vec<Complex> = samples
-        .iter()
-        .map(|&s| pf(&poles, &residues, 2.5, s) + s * 0.125)
-        .collect();
+    let data: Vec<Complex> =
+        samples.iter().map(|&s| pf(&poles, &residues, 2.5, s) + s * 0.125).collect();
     let opts = VfOptions::frequency(1).with_const(true).with_linear(true);
     let fit = fit_single(&samples, &data, &opts).unwrap();
     assert!(fit.rms_error < 1e-9, "rms {}", fit.rms_error);
@@ -86,11 +74,8 @@ fn common_pole_fit_with_parameterized_residues() {
     let mut data = Vec::new();
     for k in 0..k_count {
         let x = k as f64 / (k_count - 1) as f64; // "state" in [0, 1]
-        let residues = [
-            c(1.0 + x * x, 0.5 * x),
-            c(1.0 + x * x, -0.5 * x),
-            c(2.0 * (1.0 - 0.3 * x), 0.0),
-        ];
+        let residues =
+            [c(1.0 + x * x, 0.5 * x), c(1.0 + x * x, -0.5 * x), c(2.0 * (1.0 - 0.3 * x), 0.0)];
         data.push(samples.iter().map(|&s| pf(&poles, &residues, 0.0, s)).collect());
     }
     let fit = fit(&samples, &data, &VfOptions::frequency(3).with_iterations(12)).unwrap();
@@ -123,10 +108,7 @@ fn real_axis_fit_of_smooth_nonlinearity() {
     // Fit a real function of a real variable with conjugate-pair poles —
     // the state-dimension step of the RVF recursion. Target: a saturating
     // conductance shape (derivative of tanh).
-    let xs: Vec<Complex> = linspace(0.4, 1.4, 101)
-        .into_iter()
-        .map(Complex::from_re)
-        .collect();
+    let xs: Vec<Complex> = linspace(0.4, 1.4, 101).into_iter().map(Complex::from_re).collect();
     let g = |x: f64| 1.0 - (2.0 * (x - 0.9)).tanh().powi(2); // sech²
     let data: Vec<Complex> = xs.iter().map(|s| Complex::from_re(g(s.re))).collect();
 
@@ -159,10 +141,8 @@ fn real_axis_fit_multiple_trajectories() {
         Box::new(|x: f64| x / (1.0 + 4.0 * x * x)),
         Box::new(|x: f64| (0.7 * x).sin()),
     ];
-    let data: Vec<Vec<Complex>> = fns
-        .iter()
-        .map(|f| xs.iter().map(|s| Complex::from_re(f(s.re))).collect())
-        .collect();
+    let data: Vec<Vec<Complex>> =
+        fns.iter().map(|f| xs.iter().map(|s| Complex::from_re(f(s.re))).collect()).collect();
     let fit = fit(&xs, &data, &VfOptions::state(10).with_iterations(12)).unwrap();
     assert!(fit.rms_error < 1e-5, "rms {}", fit.rms_error);
 }
@@ -229,10 +209,7 @@ fn error_paths() {
     use rvf_vecfit::VecfitError;
     let samples = jw_grid(&linspace(1.0, 10.0, 10));
     // Empty.
-    assert!(matches!(
-        fit(&samples, &[], &VfOptions::frequency(2)),
-        Err(VecfitError::EmptyData)
-    ));
+    assert!(matches!(fit(&samples, &[], &VfOptions::frequency(2)), Err(VecfitError::EmptyData)));
     // Length mismatch.
     assert!(matches!(
         fit(&samples, &[vec![Complex::ZERO; 5]], &VfOptions::frequency(2)),
@@ -246,10 +223,7 @@ fn error_paths() {
     // Non-finite data.
     let mut bad = vec![Complex::ONE; 10];
     bad[3] = c(f64::NAN, 0.0);
-    assert!(matches!(
-        fit(&samples, &[bad], &VfOptions::frequency(2)),
-        Err(VecfitError::NonFinite)
-    ));
+    assert!(matches!(fit(&samples, &[bad], &VfOptions::frequency(2)), Err(VecfitError::NonFinite)));
     // Degenerate grid (all DC) on the imaginary axis.
     let dc = vec![Complex::ZERO; 10];
     assert!(matches!(
@@ -275,23 +249,16 @@ fn state_poles_are_clamped_to_the_interval() {
     // Low-order data (a line) tempts the relocation into sending poles
     // to huge magnitudes; the clamp must keep them near the interval so
     // downstream logarithmic primitives stay well conditioned.
-    let xs: Vec<rvf_numerics::Complex> = linspace(0.0, 1.0, 41)
-        .into_iter()
-        .map(rvf_numerics::Complex::from_re)
-        .collect();
-    let data: Vec<rvf_numerics::Complex> = xs
-        .iter()
-        .map(|x| rvf_numerics::Complex::from_re(1.0 + x.re))
-        .collect();
+    let xs: Vec<rvf_numerics::Complex> =
+        linspace(0.0, 1.0, 41).into_iter().map(rvf_numerics::Complex::from_re).collect();
+    let data: Vec<rvf_numerics::Complex> =
+        xs.iter().map(|x| rvf_numerics::Complex::from_re(1.0 + x.re)).collect();
     let fit = fit_single(&xs, &data, &VfOptions::state(4).with_iterations(10)).unwrap();
     // Clamping trades a little accuracy for primitive conditioning;
     // 1e-3 relative on unit-scale data is ample for a line.
     assert!(fit.rms_error < 1e-3, "rms {}", fit.rms_error);
     for p in fit.model.poles().to_complex() {
-        assert!(
-            p.re >= -0.5 - 1e-9 && p.re <= 1.5 + 1e-9,
-            "pole escaped the interval: {p:?}"
-        );
+        assert!(p.re >= -0.5 - 1e-9 && p.re <= 1.5 + 1e-9, "pole escaped the interval: {p:?}");
         assert!(p.im.abs() <= 2.0 + 1e-9, "pole too far off axis: {p:?}");
     }
 }

@@ -7,21 +7,16 @@
 //! ```
 
 use rvf_circuit::{
-    dc_operating_point, high_speed_buffer, prbs7, transient, BufferParams, DcOptions,
-    TranOptions, Waveform,
+    dc_operating_point, high_speed_buffer, prbs7, transient, BufferParams, DcOptions, TranOptions,
+    Waveform,
 };
 use rvf_core::{extract_model, measure_speedup, time_domain_report, RvfOptions};
 use rvf_tft::TftConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train on the sine (as in the paper).
-    let train = Waveform::Sine {
-        offset: 0.9,
-        amplitude: 0.5,
-        freq_hz: 1.0e5,
-        phase_rad: 0.0,
-        delay: 0.0,
-    };
+    let train =
+        Waveform::Sine { offset: 0.9, amplitude: 0.5, freq_hz: 1.0e5, phase_rad: 0.0, delay: 0.0 };
     let mut buffer = high_speed_buffer(&BufferParams::default(), train);
     let tft_cfg = TftConfig::default();
     let opts = RvfOptions { epsilon: 1e-4, max_state_poles: 20, ..Default::default() };
@@ -84,10 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A few eye-ball samples of the two waveforms.
     println!("--- waveform samples (t, circuit, model) ---");
     for i in (0..tran.times.len()).step_by(tran.times.len() / 16) {
-        println!(
-            "{:9.3e}  {:8.4}  {:8.4}",
-            tran.times[i], tran.outputs[i], y_model[i]
-        );
+        println!("{:9.3e}  {:8.4}  {:8.4}", tran.times[i], tran.outputs[i], y_model[i]);
     }
     Ok(())
 }

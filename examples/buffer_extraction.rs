@@ -11,13 +11,8 @@ use rvf_core::{extract_model, RvfOptions};
 use rvf_tft::{error_surface, Hyperplane, TftConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let train = Waveform::Sine {
-        offset: 0.9,
-        amplitude: 0.5,
-        freq_hz: 1.0e5,
-        phase_rad: 0.0,
-        delay: 0.0,
-    };
+    let train =
+        Waveform::Sine { offset: 0.9, amplitude: 0.5, freq_hz: 1.0e5, phase_rad: 0.0, delay: 0.0 };
     let mut buffer = high_speed_buffer(&BufferParams::default(), train);
     println!(
         "buffer: {} transistors, {} devices total",
@@ -42,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- extraction summary (paper: 12 freq poles, ~10 state poles) ---");
     println!("frequency poles : {}", report.diagnostics.n_freq_poles);
-    println!("freq fit error  : {:.3e} (epsilon {:.1e})", report.diagnostics.freq_rel_error, opts.epsilon);
+    println!(
+        "freq fit error  : {:.3e} (epsilon {:.1e})",
+        report.diagnostics.freq_rel_error, opts.epsilon
+    );
     println!("state poles/res : {:?}", report.diagnostics.state_pole_counts);
     println!("static poles    : {}", report.diagnostics.static_pole_count);
     println!("build time      : {:.2} s (paper: 2 min on 2013 hardware)", report.build_seconds);
@@ -62,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data_surface.gain_db.as_slice().iter().cloned().fold(f64::NEG_INFINITY, f64::max)
     );
     println!("max gain error  : {:.1} dB (paper: about -60 dB)", es.max_gain_err_db);
-    println!("max phase error : {:.1} deg (paper: <= 150 deg at negligible gain)", es.max_phase_err_deg);
+    println!(
+        "max phase error : {:.1} deg (paper: <= 150 deg at negligible gain)",
+        es.max_phase_err_deg
+    );
     println!("TFT RMSE        : {:.1} dB (paper Table I: -62 dB)", es.rms_complex_db);
     Ok(())
 }

@@ -11,13 +11,8 @@ use rvf_tft::TftConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A second-order RC chain keeps the generated code readable.
-    let train = Waveform::Sine {
-        offset: 0.5,
-        amplitude: 0.4,
-        freq_hz: 2.0e4,
-        phase_rad: 0.0,
-        delay: 0.0,
-    };
+    let train =
+        Waveform::Sine { offset: 0.5, amplitude: 0.4, freq_hz: 2.0e4, phase_rad: 0.0, delay: 0.0 };
     let mut circuit = rc_ladder(2, 1.0e3, 1.0e-9, train);
     let cfg = TftConfig {
         f_min_hz: 1.0e3,

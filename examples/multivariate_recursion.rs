@@ -18,10 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = |a: f64, b: f64| (1.0 + 0.4 * b) / (1.0 + (a + 0.5 * b) * (a + 0.5 * b));
     let x1 = linspace(-1.0, 1.0, 41);
     let x2 = linspace(-1.0, 1.0, 41);
-    let values: Vec<Vec<f64>> = x1
-        .iter()
-        .map(|&a| x2.iter().map(|&b| truth(a, b)).collect())
-        .collect();
+    let values: Vec<Vec<f64>> =
+        x1.iter().map(|&a| x2.iter().map(|&b| truth(a, b)).collect()).collect();
 
     let opts = RvfOptions { epsilon: 1e-4, max_state_poles: 16, ..Default::default() };
     let model = fit_recursive_2d(&x1, &x2, &values, &opts)?;

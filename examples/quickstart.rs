@@ -5,22 +5,15 @@
 //! cargo run --release -p rvf-core --example quickstart
 //! ```
 
-use rvf_circuit::{
-    dc_operating_point, diode_clipper, transient, DcOptions, TranOptions, Waveform,
-};
+use rvf_circuit::{dc_operating_point, diode_clipper, transient, DcOptions, TranOptions, Waveform};
 use rvf_core::{extract_model, time_domain_report, RvfOptions};
 use rvf_tft::TftConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A nonlinear circuit: resistively loaded diode clipper, driven
     //    hard enough to clip.
-    let train = Waveform::Sine {
-        offset: 0.0,
-        amplitude: 1.2,
-        freq_hz: 1.0e5,
-        phase_rad: 0.0,
-        delay: 0.0,
-    };
+    let train =
+        Waveform::Sine { offset: 0.0, amplitude: 1.2, freq_hz: 1.0e5, phase_rad: 0.0, delay: 0.0 };
     let mut circuit = diode_clipper(train);
     println!("circuit: {} devices", circuit.n_devices());
 
@@ -48,21 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("build time: {:.2} s", report.build_seconds);
 
     // 3. Validate on a different waveform.
-    let test = Waveform::Sine {
-        offset: 0.2,
-        amplitude: 0.9,
-        freq_hz: 2.5e5,
-        phase_rad: 1.0,
-        delay: 0.0,
-    };
+    let test =
+        Waveform::Sine { offset: 0.2, amplitude: 0.9, freq_hz: 2.5e5, phase_rad: 1.0, delay: 0.0 };
     let mut test_ckt = diode_clipper(test);
     let op = dc_operating_point(&mut test_ckt, &DcOptions::default())?;
     let dt = 5.0e-9;
-    let tran = transient(
-        &mut test_ckt,
-        &op,
-        &TranOptions { dt, t_stop: 2.0e-5, ..Default::default() },
-    )?;
+    let tran =
+        transient(&mut test_ckt, &op, &TranOptions { dt, t_stop: 2.0e-5, ..Default::default() })?;
     let y_model = report.model.simulate(dt, &tran.inputs);
     let rep = time_domain_report(&tran.outputs, &y_model);
     println!(

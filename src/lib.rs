@@ -1,0 +1,29 @@
+//! # rvf — workspace facade
+//!
+//! Umbrella crate for the reproduction of *Extracting Analytical
+//! Nonlinear Models from Analog Circuits by Recursive Vector Fitting of
+//! Transfer Function Trajectories* (De Jonghe, Deschrijver, Dhaene,
+//! Gielen — DATE 2013).
+//!
+//! This package exists to host the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`); it re-exports the
+//! member crates so downstream users can depend on a single crate:
+//!
+//! | re-export | crate | role |
+//! |---|---|---|
+//! | [`numerics`] | `rvf-numerics` | dense LU/QR/eig kernels, complex arithmetic |
+//! | [`vecfit`] | `rvf-vecfit` | common-pole (relaxed) vector fitting |
+//! | [`circuit`] | `rvf-circuit` | MNA simulator with Jacobian snapshot capture |
+//! | [`tft`] | `rvf-tft` | transfer-function-trajectory datasets |
+//! | [`caffeine`] | `rvf-caffeine` | CAFFEINE GP baseline (paper Table I) |
+//! | [`model`] | `rvf-core` | the RVF extraction pipeline + Hammerstein models |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use rvf_caffeine as caffeine;
+pub use rvf_circuit as circuit;
+pub use rvf_core as model;
+pub use rvf_numerics as numerics;
+pub use rvf_tft as tft;
+pub use rvf_vecfit as vecfit;

@@ -60,11 +60,7 @@ fn buffer_extraction_reproduces_headline_results() {
     // relative to the ~unit-gain surface.
     let es = error_surface(&dataset, |x, s| report.model.transfer(x, s));
     let peak = dataset.peak_magnitude();
-    assert!(
-        es.rms_complex / peak < 2e-2,
-        "hyperplane rel rms {:.3e}",
-        es.rms_complex / peak
-    );
+    assert!(es.rms_complex / peak < 2e-2, "hyperplane rel rms {:.3e}", es.rms_complex / peak);
 
     // Fig. 9 shape: the model tracks an unseen 2.5 GS/s bit pattern.
     let wave = Waveform::BitPattern {
@@ -78,12 +74,9 @@ fn buffer_extraction_reproduces_headline_results() {
     let dt = 2.0e-12;
     let mut test_ckt = high_speed_buffer(&BufferParams::default(), wave);
     let op = dc_operating_point(&mut test_ckt, &DcOptions::default()).unwrap();
-    let tran = transient(
-        &mut test_ckt,
-        &op,
-        &TranOptions { dt, t_stop: 6.4e-9, ..Default::default() },
-    )
-    .unwrap();
+    let tran =
+        transient(&mut test_ckt, &op, &TranOptions { dt, t_stop: 6.4e-9, ..Default::default() })
+            .unwrap();
     let y_model = report.model.simulate(dt, &tran.inputs);
     let rep = time_domain_report(&tran.outputs, &y_model);
     assert!(

@@ -8,13 +8,8 @@ use rvf_numerics::Complex;
 use rvf_tft::TftConfig;
 
 fn extracted_model() -> rvf_core::HammersteinModel {
-    let train = Waveform::Sine {
-        offset: 0.5,
-        amplitude: 0.4,
-        freq_hz: 2.0e4,
-        phase_rad: 0.0,
-        delay: 0.0,
-    };
+    let train =
+        Waveform::Sine { offset: 0.5, amplitude: 0.4, freq_hz: 2.0e4, phase_rad: 0.0, delay: 0.0 };
     let mut ckt = rc_ladder(2, 1.0e3, 1.0e-9, train);
     let cfg = TftConfig {
         f_min_hz: 1.0e3,

@@ -2,8 +2,8 @@
 //! circuit simulation → TFT → RVF → Hammerstein → validation.
 
 use rvf_circuit::{
-    dc_operating_point, diode_clipper, parse_netlist, rc_ladder, transient, DcOptions,
-    TranOptions, Waveform,
+    dc_operating_point, diode_clipper, parse_netlist, rc_ladder, transient, DcOptions, TranOptions,
+    Waveform,
 };
 use rvf_core::{extract_model, fit_tft, time_domain_report, RvfOptions};
 use rvf_numerics::Complex;
@@ -24,13 +24,8 @@ fn small_cfg() -> TftConfig {
 
 #[test]
 fn three_section_rc_ladder_model_matches_ac_response() {
-    let train = Waveform::Sine {
-        offset: 0.5,
-        amplitude: 0.4,
-        freq_hz: 1.0e4,
-        phase_rad: 0.0,
-        delay: 0.0,
-    };
+    let train =
+        Waveform::Sine { offset: 0.5, amplitude: 0.4, freq_hz: 1.0e4, phase_rad: 0.0, delay: 0.0 };
     let mut ckt = rc_ladder(3, 1.0e3, 1.0e-9, train);
     let opts = RvfOptions { epsilon: 1e-4, ..Default::default() };
     let (report, dataset, _) = extract_model(&mut ckt, &small_cfg(), &opts).unwrap();
@@ -48,13 +43,8 @@ fn three_section_rc_ladder_model_matches_ac_response() {
 
 #[test]
 fn diode_clipper_model_generalizes_to_unseen_amplitude() {
-    let train = Waveform::Sine {
-        offset: 0.0,
-        amplitude: 1.2,
-        freq_hz: 1.0e5,
-        phase_rad: 0.0,
-        delay: 0.0,
-    };
+    let train =
+        Waveform::Sine { offset: 0.0, amplitude: 1.2, freq_hz: 1.0e5, phase_rad: 0.0, delay: 0.0 };
     let mut ckt = diode_clipper(train);
     let cfg = TftConfig {
         f_min_hz: 1.0e2,
@@ -71,22 +61,14 @@ fn diode_clipper_model_generalizes_to_unseen_amplitude() {
 
     // Validate on a *smaller* amplitude at a different frequency —
     // inside the trained state range but a different trajectory.
-    let test = Waveform::Sine {
-        offset: 0.1,
-        amplitude: 0.8,
-        freq_hz: 2.0e5,
-        phase_rad: 0.5,
-        delay: 0.0,
-    };
+    let test =
+        Waveform::Sine { offset: 0.1, amplitude: 0.8, freq_hz: 2.0e5, phase_rad: 0.5, delay: 0.0 };
     let mut test_ckt = diode_clipper(test);
     let op = dc_operating_point(&mut test_ckt, &DcOptions::default()).unwrap();
     let dt = 4.0e-9;
-    let tran = transient(
-        &mut test_ckt,
-        &op,
-        &TranOptions { dt, t_stop: 1.5e-5, ..Default::default() },
-    )
-    .unwrap();
+    let tran =
+        transient(&mut test_ckt, &op, &TranOptions { dt, t_stop: 1.5e-5, ..Default::default() })
+            .unwrap();
     let y_model = report.model.simulate(dt, &tran.inputs);
     let rep = time_domain_report(&tran.outputs, &y_model);
     assert!(rep.nrmse < 0.05, "clipper validation nrmse {}", rep.nrmse);
@@ -115,25 +97,14 @@ RL  out 0   10k
 
 #[test]
 fn extraction_reports_are_self_consistent() {
-    let train = Waveform::Sine {
-        offset: 0.5,
-        amplitude: 0.4,
-        freq_hz: 1.0e4,
-        phase_rad: 0.0,
-        delay: 0.0,
-    };
+    let train =
+        Waveform::Sine { offset: 0.5, amplitude: 0.4, freq_hz: 1.0e4, phase_rad: 0.0, delay: 0.0 };
     let mut ckt = rc_ladder(2, 1.0e3, 1.0e-9, train);
     let opts = RvfOptions { epsilon: 1e-4, ..Default::default() };
     let (report, dataset, tran) = extract_model(&mut ckt, &small_cfg(), &opts).unwrap();
     // Diagnostics arrays line up with the block structure.
-    assert_eq!(
-        report.diagnostics.state_pole_counts.len(),
-        report.model.blocks.len()
-    );
-    assert_eq!(
-        report.diagnostics.state_rel_errors.len(),
-        report.model.blocks.len()
-    );
+    assert_eq!(report.diagnostics.state_pole_counts.len(), report.model.blocks.len());
+    assert_eq!(report.diagnostics.state_rel_errors.len(), report.model.blocks.len());
     // Dataset states come from the training inputs.
     let (ulo, uhi) = tran
         .inputs
@@ -195,12 +166,9 @@ Q1  c b e NPN IS=1e-15 BF=120
     let mut test_ckt = parse_netlist(test).unwrap();
     let op = dc_operating_point(&mut test_ckt, &DcOptions::default()).unwrap();
     let dt = 2.0e-8;
-    let tran = transient(
-        &mut test_ckt,
-        &op,
-        &TranOptions { dt, t_stop: 8.0e-5, ..Default::default() },
-    )
-    .unwrap();
+    let tran =
+        transient(&mut test_ckt, &op, &TranOptions { dt, t_stop: 8.0e-5, ..Default::default() })
+            .unwrap();
     let y = report.model.simulate(dt, &tran.inputs);
     let rep = time_domain_report(&tran.outputs, &y);
     assert!(rep.nrmse < 0.05, "bjt amp validation nrmse {}", rep.nrmse);

@@ -1,0 +1,225 @@
+//! Offline, API-compatible subset of the [`bytes`] crate.
+//!
+//! The build image has no crates.io access, so the workspace vendors the
+//! small slice of the `bytes` API that `rvf-circuit`'s snapshot
+//! serialization uses: [`Bytes`], [`BytesMut`], and the little-endian
+//! `get_*`/`put_*` accessors of [`Buf`] / [`BufMut`]. Semantics follow
+//! the upstream crate (reads panic past the end; guard with
+//! [`Buf::remaining`]).
+//!
+//! [`bytes`]: https://docs.rs/bytes
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+// Upstream `bytes` compares logical contents, not representation: two
+// views over different allocations/offsets are equal when their bytes
+// are. Deriving would compare (Arc, start, end) and diverge.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Bytes {
+    /// Creates a new empty `Bytes`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a sub-view of `self` covering `range` (panics when out of
+    /// bounds), sharing the underlying allocation.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A growable byte buffer, convertible into [`Bytes`] with
+/// [`BytesMut::freeze`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Creates a new empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read access to a byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Borrows the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes (panics past the end).
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte (panics when exhausted).
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a little-endian `u64` (panics when fewer than 8 bytes remain).
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `f64` (panics when fewer than 8 bytes remain).
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.start += cnt;
+    }
+}
+
+/// Write access to a growable byte buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_slice() {
+        let mut b = BytesMut::with_capacity(24);
+        b.put_u64_le(7);
+        b.put_f64_le(-1.5);
+        b.put_u8(0xAB);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 17);
+
+        let mut r = frozen.clone();
+        assert_eq!(r.get_u64_le(), 7);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.remaining(), 0);
+
+        let cut = frozen.slice(8..16);
+        assert_eq!(cut.len(), 8);
+        let mut cut = cut;
+        assert_eq!(cut.get_f64_le(), -1.5);
+    }
+
+    #[test]
+    fn equality_is_by_contents_not_representation() {
+        // A sliced view and a fresh allocation with the same bytes must
+        // compare equal, as with upstream `bytes`.
+        let sliced = Bytes::from(vec![1u8, 2, 3]).slice(1..3);
+        let fresh = Bytes::from(vec![2u8, 3]);
+        assert_eq!(sliced, fresh);
+        assert_ne!(sliced, Bytes::from(vec![2u8, 4]));
+        assert_eq!(Bytes::new(), Bytes::from(vec![]).slice(0..0));
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline, API-compatible subset of the [`criterion`] benchmark
+//! harness.
+//!
+//! The build image has no crates.io access, so the workspace vendors the
+//! slice of the criterion API that `rvf-bench`'s benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of
+//! criterion's full statistical pipeline it runs a warm-up pass followed
+//! by `sample_size` timed samples and reports min / mean / max per
+//! sample to stdout — enough to compare kernels release-to-release
+//! until the real criterion can be pulled from a registry.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much setup output to batch per measured call in
+/// [`Bencher::iter_batched`]. The shim measures one routine call per
+/// setup call for every variant, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one setup per measurement).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample wall-clock durations.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per call, after a single warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// inside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level benchmark registry (subset of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (min 1).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints a summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut b);
+        report(id, &b.results);
+        self
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{id:<48} time: [{} {} {}]  ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions (both the plain and the
+/// `name/config/targets` forms of upstream criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates the `main` function running the given groups (requires
+/// `harness = false` on the bench target, as with upstream criterion).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_and_routine() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut setups = 0usize;
+        let mut runs = 0usize;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| {
+                    runs += 1;
+                    v * 2
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, runs);
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline, API-compatible subset of the [`proptest`] crate.
+//!
+//! The build image has no crates.io access, so the workspace vendors the
+//! slice of the proptest API that the `rvf-*` property suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, `#[test]`
+//!   attributes, and `pattern in strategy` argument bindings),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges, tuples, `prop::collection::vec`, `prop::num::f64::NORMAL`,
+//!   and a character-class subset of string regex strategies,
+//! * [`test_runner::ProptestConfig`] with `with_cases` and an explicit
+//!   `with_rng_seed` for byte-reproducible CI runs.
+//!
+//! Unlike upstream proptest this shim does **no shrinking**: a failing
+//! case reports its seed and values and panics immediately. Generation
+//! is fully deterministic — the per-case RNG stream is derived from
+//! (config seed, test name, case index) only, so a failure reproduces by
+//! rerunning the same test binary.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import every proptest suite starts with.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Namespace mirror of upstream's `prelude::prop` re-export.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn name(x in -1.0..1.0f64, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run_cases(
+                &config,
+                stringify!($name),
+                |__rng| {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strategy), __rng);
+                    )+
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Non-fatal assertion: on failure the runner reports the seed and
+/// panics (upstream would shrink first).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    }};
+}
+
+/// Discards the current case (it is regenerated, not counted) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

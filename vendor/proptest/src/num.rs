@@ -1,0 +1,48 @@
+//! Numeric special-value strategies (subset of `proptest::num`).
+
+/// Strategies over `f64`.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for *normal* floats: finite, non-zero, non-subnormal,
+    /// either sign, spanning the full exponent range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalF64;
+
+    /// Generates arbitrary normal `f64` values (upstream
+    /// `proptest::num::f64::NORMAL`).
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            loop {
+                let v = ::core::primitive::f64::from_bits(rng.next_u64());
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn only_normal_values() {
+            let mut rng = TestRng::deterministic(9);
+            let mut negatives = 0;
+            for _ in 0..2_000 {
+                let v = NORMAL.generate(&mut rng);
+                assert!(v.is_normal(), "not normal: {v}");
+                if v < 0.0 {
+                    negatives += 1;
+                }
+            }
+            assert!(negatives > 500, "sign not balanced: {negatives}/2000");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest compiles any `&str` into a full regex-derived
+//! generator. This shim supports the subset the workspace's suites use:
+//! a sequence of atoms — character classes `[..]` (with ranges and
+//! `\n`-style escapes) or literal/escaped characters — each followed by
+//! an optional repetition `{m}`, `{m,n}`, `?`, `*` or `+`. Alternation,
+//! groups, `.` and anchors are rejected with a panic at generation
+//! time so that silently-wrong data can't leak into a property.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of candidate characters.
+    Class(Vec<char>),
+    /// A single literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let span = (piece.max - piece.min + 1) as u64;
+            let count = piece.min + if span <= 1 { 0 } else { rng.below(span) as usize };
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(ch) => out.push(*ch),
+                    Atom::Class(chars) => out.push(chars[rng.below(chars.len() as u64) as usize]),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(ch) = chars.next() {
+        let atom = match ch {
+            '[' => Atom::Class(parse_class(&mut chars, pattern)),
+            '\\' => Atom::Literal(unescape(chars.next().unwrap_or_else(|| {
+                panic!("proptest shim: dangling escape in pattern {pattern:?}")
+            }))),
+            '(' | ')' | '|' | '.' | '^' | '$' | '{' | '}' | '*' | '+' | '?' => {
+                panic!(
+                    "proptest shim: unsupported regex construct {ch:?} in pattern \
+                     {pattern:?} (only char classes, literals and repetitions)"
+                )
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_repetition(&mut chars, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut members = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let ch = chars
+            .next()
+            .unwrap_or_else(|| panic!("proptest shim: unterminated class in {pattern:?}"));
+        match ch {
+            ']' => {
+                members.extend(pending.take());
+                break;
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().unwrap();
+                let hi_raw = chars.next().unwrap();
+                let hi = if hi_raw == '\\' { unescape(chars.next().unwrap()) } else { hi_raw };
+                assert!(lo <= hi, "proptest shim: inverted class range in {pattern:?}");
+                members.extend(lo..=hi);
+            }
+            '\\' => {
+                members.extend(pending.take());
+                pending = Some(unescape(chars.next().unwrap_or_else(|| {
+                    panic!("proptest shim: dangling escape in class of {pattern:?}")
+                })));
+            }
+            '^' if members.is_empty() && pending.is_none() => {
+                panic!("proptest shim: negated classes unsupported in {pattern:?}")
+            }
+            other => {
+                members.extend(pending.take());
+                pending = Some(other);
+            }
+        }
+    }
+    assert!(!members.is_empty(), "proptest shim: empty class in {pattern:?}");
+    members
+}
+
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for ch in chars.by_ref() {
+                if ch == '}' {
+                    break;
+                }
+                spec.push(ch);
+            }
+            let parse = |s: &str| {
+                s.trim().parse::<usize>().unwrap_or_else(|_| {
+                    panic!("proptest shim: bad repetition {{{spec}}} in {pattern:?}")
+                })
+            };
+            match spec.split_once(',') {
+                None => {
+                    let n = parse(&spec);
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min = parse(lo);
+                    let max = if hi.trim().is_empty() { min + UNBOUNDED_MAX } else { parse(hi) };
+                    assert!(min <= max, "proptest shim: inverted repetition in {pattern:?}");
+                    (min, max)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_MAX)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_MAX)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn unescape(ch: char) -> char {
+    match ch {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_garbage_class() {
+        // The exact pattern the circuit parser fuzz test uses.
+        let strat = "[ -~\n]{0,200}";
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..500 {
+            let s = strat.generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_ranges_and_quantifiers() {
+        let mut rng = TestRng::deterministic(2);
+        let s = "ab[0-9]{3}c?".generate(&mut rng);
+        assert!(s.starts_with("ab"));
+        let digits: String = s.chars().skip(2).take(3).collect();
+        assert!(digits.chars().all(|c| c.is_ascii_digit()), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_is_rejected() {
+        "(a|b)".generate(&mut TestRng::deterministic(3));
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic case runner and configuration.
+
+/// Outcome signal of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Precondition not met (`prop_assume!`) — regenerate, don't count.
+    Reject,
+    /// Assertion failed — abort the test with the message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Runner configuration (subset of upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated across the
+    /// whole run before the test errors out.
+    pub max_global_rejects: u32,
+    /// Base seed of the deterministic per-case RNG streams.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+            // Fixed by default: CI runs are byte-reproducible.
+            rng_seed: 0x7F4A_7C15_9E37_79B9,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+
+    /// Overrides the base RNG seed (chaining builder).
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+/// Deterministic splitmix64 stream used for value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A standalone stream for direct [`crate::strategy::Strategy`]
+    /// use outside the [`crate::proptest!`] macro.
+    pub fn deterministic(seed: u64) -> Self {
+        TestRng::from_parts(seed, "standalone", 0)
+    }
+
+    fn from_parts(seed: u64, test_name: &str, case: u64) -> Self {
+        let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` (Lemire-style rejection).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        let zone = u64::MAX - u64::MAX.wrapping_rem(bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone || zone == 0 {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Drives `case` until `config.cases` successes, retrying rejected
+/// cases with fresh streams. Called by the [`crate::proptest!`]
+/// expansion; panics (failing the enclosing `#[test]`) on the first
+/// `Fail` outcome, reporting enough to reproduce.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut stream = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::from_parts(config.rng_seed, test_name, stream);
+        stream += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed}/{} passes; seed {:#x})",
+                        config.cases, config.rng_seed
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "{test_name}: property failed on case stream {} \
+                     (seed {:#x}, after {passed} passes): {message}",
+                    stream - 1,
+                    config.rng_seed
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_the_configured_cases() {
+        let mut n = 0u32;
+        run_cases(&ProptestConfig::with_cases(17), "count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejection_regenerates_without_counting() {
+        let mut attempts = 0u32;
+        let mut passes = 0u32;
+        run_cases(&ProptestConfig::with_cases(5), "rej", |rng| {
+            attempts += 1;
+            if rng.next_u64() % 2 == 0 {
+                return Err(TestCaseError::Reject);
+            }
+            passes += 1;
+            Ok(())
+        });
+        assert_eq!(passes, 5);
+        assert!(attempts >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics_with_context() {
+        run_cases(&ProptestConfig::with_cases(3), "fail", |_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = TestRng::from_parts(1, "t", 0);
+        let mut b = TestRng::from_parts(1, "t", 0);
+        let c: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let d: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(c, d);
+        let mut e = TestRng::from_parts(1, "t", 1);
+        assert_ne!(c[0], e.next_u64());
+    }
+}
