@@ -21,7 +21,9 @@
 //!   GP residue regression, with simulation available only for
 //!   integrable stages.
 //!
-//! # Example
+//! # Examples
+//!
+//! Evolve a canonical-form fit of a quadratic:
 //!
 //! ```
 //! use rvf_caffeine::{evolve, GpOptions};

@@ -1,6 +1,15 @@
 //! Small-signal AC analysis around an operating point.
+//!
+//! Two evaluation paths exist for `H(s) = Dᵀ·(G + s·C)⁻¹·B`:
+//!
+//! * [`transfer_at`] — a dense complex LU per frequency, `O(n³)` each;
+//! * [`ReducedTransfer`] / [`transfer_sweep`] — one Hessenberg–triangular
+//!   reduction of the pencil `(G, C)` ([`rvf_numerics::HtPencil`]), then
+//!   `O(n²)` per frequency; the win for sweeps of more than a handful of
+//!   points, which is why [`transfer_sweep`] switches paths at
+//!   [`REDUCTION_CROSSOVER`].
 
-use rvf_numerics::{CLu, CMat, Complex, Mat};
+use rvf_numerics::{CLu, CMat, Complex, HtPencil, Mat};
 
 use crate::error::CircuitError;
 use crate::netlist::Circuit;
@@ -8,6 +17,10 @@ use crate::netlist::Circuit;
 /// Evaluates the transfer function `H(s) = Dᵀ·(G + s·C)⁻¹·B` for one
 /// complex frequency — the same expression the TFT transform applies to
 /// every Jacobian snapshot (paper eq. 3).
+///
+/// For repeated evaluations of the *same* pencil over many frequencies,
+/// prefer [`transfer_sweep`] (or a [`ReducedTransfer`]), which factors
+/// the pencil once instead of once per frequency.
 ///
 /// # Errors
 ///
@@ -29,6 +42,97 @@ pub fn transfer_at(
     Ok(y)
 }
 
+/// Minimum sweep length at which [`transfer_sweep`] switches from the
+/// per-frequency LU to the reduced-pencil path.
+///
+/// The reduction costs roughly two dense factorizations up front (QR of
+/// `C` plus the Givens chase), and each reduced evaluation costs about
+/// a third of a dense LU; a handful of frequency points amortizes it.
+pub const REDUCTION_CROSSOVER: usize = 8;
+
+/// A transfer function `H(s) = Dᵀ·(G + s·C)⁻¹·B` prepared for repeated
+/// evaluation: the pencil is reduced to Hessenberg–triangular form once
+/// and the port vectors are projected into the reduced basis, so every
+/// [`ReducedTransfer::eval`] costs `O(n²)` instead of `O(n³)`.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_circuit::{transfer_at, ReducedTransfer};
+/// use rvf_numerics::{Complex, Mat};
+///
+/// # fn main() -> Result<(), rvf_circuit::CircuitError> {
+/// let g = Mat::from_rows(&[&[1.0, -1.0], &[-1.0, 2.0]]);
+/// let c = Mat::from_rows(&[&[0.0, 0.0], &[0.0, 1.0]]);
+/// let (b, d) = ([1.0, 0.0], [0.0, 1.0]);
+/// let rt = ReducedTransfer::new(&g, &c, &b, &d)?;
+/// let s = Complex::from_im(3.0);
+/// assert!((rt.eval(s)? - transfer_at(&g, &c, &b, &d, s)?).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReducedTransfer {
+    pencil: HtPencil,
+    /// `Qᵀ·B`.
+    bt: Vec<f64>,
+    /// `Zᵀ·D`.
+    dt: Vec<f64>,
+}
+
+impl ReducedTransfer {
+    /// Reduces the pencil and projects the port vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a numerics error if shapes are inconsistent.
+    pub fn new(g: &Mat, c: &Mat, b: &[f64], d: &[f64]) -> Result<Self, CircuitError> {
+        let pencil = HtPencil::reduce(g, c)?;
+        let bt = pencil.project_input(b)?;
+        let dt = pencil.project_output(d)?;
+        Ok(Self { pencil, bt, dt })
+    }
+
+    /// MNA dimension of the underlying pencil.
+    pub fn dim(&self) -> usize {
+        self.pencil.dim()
+    }
+
+    /// Evaluates `H(s)` in `O(n²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a numerics error if `(G + sC)` is singular at `s`.
+    pub fn eval(&self, s: Complex) -> Result<Complex, CircuitError> {
+        Ok(self.pencil.transfer_projected(&self.bt, &self.dt, s)?)
+    }
+}
+
+/// Evaluates `H(s)` over a list of complex frequencies, choosing the
+/// cheaper path: per-frequency LU ([`transfer_at`]) for short sweeps and
+/// tiny systems, the reduced pencil ([`ReducedTransfer`]) once the sweep
+/// is long enough ([`REDUCTION_CROSSOVER`]) to amortize the reduction.
+///
+/// Both paths agree to machine precision (pinned to 1e-10 in tests on
+/// the RC ladder and diode clipper).
+///
+/// # Errors
+///
+/// Returns a numerics error if `(G + sC)` is singular at some `s`.
+pub fn transfer_sweep(
+    g: &Mat,
+    c: &Mat,
+    b: &[f64],
+    d: &[f64],
+    ss: &[Complex],
+) -> Result<Vec<Complex>, CircuitError> {
+    if ss.len() < REDUCTION_CROSSOVER || g.rows() < 2 {
+        return ss.iter().map(|&s| transfer_at(g, c, b, d, s)).collect();
+    }
+    let rt = ReducedTransfer::new(g, c, b, d)?;
+    ss.iter().map(|&s| rt.eval(s)).collect()
+}
+
 /// Sweeps the small-signal transfer function input→output over a list of
 /// frequencies (hertz) at the operating point `x_op`.
 ///
@@ -47,13 +151,9 @@ pub fn ac_sweep(
     let c = ev.c.expect("jacobian requested");
     let b = circuit.input_column()?;
     let d = circuit.output_row()?;
-    freqs_hz
-        .iter()
-        .map(|&f| {
-            let s = Complex::from_im(2.0 * core::f64::consts::PI * f);
-            transfer_at(&g, &c, &b, &d, s)
-        })
-        .collect()
+    let ss: Vec<Complex> =
+        freqs_hz.iter().map(|&f| Complex::from_im(2.0 * core::f64::consts::PI * f)).collect();
+    transfer_sweep(&g, &c, &b, &d, &ss)
 }
 
 #[cfg(test)]
@@ -91,6 +191,71 @@ mod tests {
         assert!((h[1].arg().to_degrees() + 45.0).abs() < 0.5);
         // Far above: −40 dB per 2 decades.
         assert!((db20(h[2].abs()) + 40.0).abs() < 0.1);
+    }
+
+    /// Jacobians of `ckt` at its DC operating point, plus port vectors.
+    fn pencil_at_op(ckt: &mut Circuit) -> (Mat, Mat, Vec<f64>, Vec<f64>) {
+        // dc_operating_point finalizes the circuit, so eval is safe here.
+        let x0 = dc_operating_point(ckt, &DcOptions::default()).unwrap();
+        let ev = ckt.eval(&x0, 0.0, 0.0, true);
+        let b = ckt.input_column().unwrap();
+        let d = ckt.output_row().unwrap();
+        (ev.g.unwrap(), ev.c.unwrap(), b, d)
+    }
+
+    fn assert_paths_agree(ckt: &mut Circuit, what: &str) {
+        let (g, c, b, d) = pencil_at_op(ckt);
+        let ss: Vec<Complex> = (0..40)
+            .map(|i| Complex::from_im(2.0 * core::f64::consts::PI * 10f64.powf(i as f64 * 0.25)))
+            .collect();
+        assert!(ss.len() >= REDUCTION_CROSSOVER, "sweep long enough to take the reduced path");
+        let fast = transfer_sweep(&g, &c, &b, &d, &ss).unwrap();
+        for (s, h_fast) in ss.iter().zip(&fast) {
+            let h_naive = transfer_at(&g, &c, &b, &d, *s).unwrap();
+            assert!(
+                (*h_fast - h_naive).abs() < 1e-10,
+                "{what}: reduced vs naive mismatch at s={s:?}: {h_fast:?} vs {h_naive:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_path_matches_naive_on_rc_ladder() {
+        let mut ckt = crate::circuits::rc_ladder(5, 1.0e3, 1.0e-9, Waveform::Dc(0.5));
+        assert_paths_agree(&mut ckt, "rc_ladder(5)");
+    }
+
+    #[test]
+    fn reduced_path_matches_naive_on_diode_clipper() {
+        // A nonlinear pencil: the clipper's Jacobian at a conducting
+        // operating point has state-dependent conductances.
+        let mut ckt = crate::circuits::diode_clipper(Waveform::Dc(1.2));
+        assert_paths_agree(&mut ckt, "diode_clipper");
+    }
+
+    #[test]
+    fn short_sweep_takes_naive_path_and_agrees() {
+        let (mut ckt, f3db) = rc_lowpass();
+        let (g, c, b, d) = pencil_at_op(&mut ckt);
+        let ss =
+            vec![Complex::from_im(2.0 * core::f64::consts::PI * f3db), Complex::new(-1.0e5, 2.0e5)];
+        let swept = transfer_sweep(&g, &c, &b, &d, &ss).unwrap();
+        for (s, h) in ss.iter().zip(&swept) {
+            assert!((*h - transfer_at(&g, &c, &b, &d, *s).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reduced_transfer_off_axis() {
+        // Off the jω axis too (the RVF real-axis machinery cares).
+        let (mut ckt, _) = rc_lowpass();
+        let (g, c, b, d) = pencil_at_op(&mut ckt);
+        let rt = ReducedTransfer::new(&g, &c, &b, &d).unwrap();
+        assert_eq!(rt.dim(), g.rows());
+        let s = Complex::new(-3.0e5, 7.0e5);
+        let rc = 1.0e3 * 1.0e-9;
+        let want = (Complex::ONE + s.scale(rc)).inv();
+        assert!((rt.eval(s).unwrap() - want).abs() < 1e-9 * want.abs());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod snapshot;
 pub mod transient;
 pub mod waveform;
 
-pub use ac::{ac_sweep, transfer_at};
+pub use ac::{ac_sweep, transfer_at, transfer_sweep, ReducedTransfer, REDUCTION_CROSSOVER};
 pub use circuits::{diode_clipper, high_speed_buffer, rc_ladder, transistor_count, BufferParams};
 pub use dc::{dc_operating_point, DcOptions};
 pub use error::CircuitError;

@@ -21,7 +21,9 @@
 //! 5. **Export** ([`export`]) — lossless text serialization, Verilog-A
 //!    and MATLAB code generation.
 //!
-//! # Quickstart
+//! # Examples
+//!
+//! End-to-end extraction on the paper's buffer test vehicle:
 //!
 //! ```no_run
 //! use rvf_circuit::{high_speed_buffer, BufferParams, Waveform};

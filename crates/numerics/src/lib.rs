@@ -13,6 +13,10 @@
 //! * dense real ([`Mat`]) and complex ([`CMat`]) matrices,
 //! * LU factorizations ([`Lu`], [`CLu`]) for MNA solves and frequency
 //!   sweeps,
+//! * a Hessenberg–triangular pencil reduction ([`HtPencil`]) that turns a
+//!   per-snapshot frequency sweep from `O(L·n³)` into `O(n³ + L·n²)`,
+//! * a work-stealing sweep executor ([`run_sweep`]) that load-balances
+//!   independent tasks (one per snapshot) over scoped threads,
 //! * Householder [`Qr`] least squares for the fitting systems,
 //! * a balanced Hessenberg + Francis-QR [`eigenvalues`] solver for vector
 //!   fitting pole relocation,
@@ -20,7 +24,9 @@
 //!   for simulating the extracted Hammerstein models,
 //! * grids, quadrature, polynomials and error metrics.
 //!
-//! # Example
+//! # Examples
+//!
+//! Least squares and eigenvalues, the two workhorses of vector fitting:
 //!
 //! ```
 //! use rvf_numerics::{eigenvalues, lstsq, Mat};
@@ -33,6 +39,25 @@
 //! let rot = Mat::from_rows(&[&[0.0, -2.0], &[2.0, 0.0]]);
 //! let eigs = eigenvalues(&rot)?;
 //! assert!(eigs.iter().all(|e| e.re.abs() < 1e-12));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Reduce a pencil once, then sweep frequencies at `O(n²)` each — the
+//! kernel behind the TFT stage's fast path:
+//!
+//! ```
+//! use rvf_numerics::{CLu, CMat, Complex, HtPencil, Mat};
+//!
+//! # fn main() -> Result<(), rvf_numerics::NumericsError> {
+//! let g = Mat::from_rows(&[&[1.0, -1.0], &[-1.0, 2.0]]);
+//! let c = Mat::from_rows(&[&[0.0, 0.0], &[0.0, 1.0]]);
+//! let pencil = HtPencil::reduce(&g, &c)?;
+//! for s in [Complex::from_im(1.0), Complex::from_im(100.0)] {
+//!     let fast = pencil.solve(s, &[1.0, 0.0])?;
+//!     let dense = CLu::factor(&CMat::from_real_pair(&g, s, &c))?.solve_real(&[1.0, 0.0])?;
+//!     assert!((fast[1] - dense[1]).abs() < 1e-12);
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -50,9 +75,11 @@ pub mod grid;
 pub mod integrate;
 pub mod lu;
 pub mod matrix;
+pub mod pencil;
 pub mod poly;
 pub mod qr;
 pub mod stats;
+pub mod sweep;
 
 pub use cmatrix::CMat;
 pub use complex::{c, Complex, C64, J};
@@ -64,8 +91,10 @@ pub use grid::{geomspace, jw_grid, linspace, logspace};
 pub use integrate::{cumtrapz, rk4_integrate, rk4_step, trapz};
 pub use lu::{CLu, Lu};
 pub use matrix::Mat;
+pub use pencil::HtPencil;
 pub use poly::{from_roots, Poly};
 pub use qr::{lstsq, lstsq_ridge, Qr};
 pub use stats::{
     db10, db20, deg, from_db20, max_abs_err, mean, nrmse, rms, rmse, rmse_complex, unwrap_phase,
 };
+pub use sweep::{resolve_threads, run_sweep, SweepError};

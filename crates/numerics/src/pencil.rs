@@ -1,0 +1,497 @@
+//! Hessenberg–triangular reduction of a real matrix pencil `(G, C)`.
+//!
+//! The TFT sampler evaluates `Dᵀ·(G + s·C)⁻¹·B` for one snapshot at
+//! many frequencies `s`. Factoring `G + s·C` from scratch at every `s`
+//! costs `O(n³)` per frequency point. [`HtPencil::reduce`] instead pays
+//! one `O(n³)` orthogonal reduction per snapshot — the first phase of
+//! the QZ algorithm (Golub & Van Loan §7.7): orthogonal `Q`, `Z` with
+//!
+//! ```text
+//! Qᵀ·G·Z = H   (upper Hessenberg)
+//! Qᵀ·C·Z = R   (upper triangular)
+//! ```
+//!
+//! so that for *every* frequency `G + s·C = Q·(H + s·R)·Zᵀ`, and
+//! `H + s·R` stays upper Hessenberg. A Hessenberg system solves in
+//! `O(n²)` (one Gaussian elimination sweep along the subdiagonal plus
+//! back-substitution), turning a sweep over `L` frequencies from
+//! `O(L·n³)` into `O(n³ + L·n²)`.
+//!
+//! Unlike the full QZ iteration, the reduction is direct (no
+//! convergence loop) and never divides by a diagonal of `R`, so a
+//! singular `C` — e.g. a pure-resistive snapshot with no dynamic
+//! elements — reduces fine; only a genuinely singular `G + s·C` makes
+//! the subsequent solve fail.
+//!
+//! # Examples
+//!
+//! ```
+//! use rvf_numerics::{Complex, HtPencil, Mat};
+//!
+//! # fn main() -> Result<(), rvf_numerics::NumericsError> {
+//! // A 1-section RC ladder pencil: G + s·C with H(s) = 1/(1 + s).
+//! let g = Mat::from_rows(&[&[1.0, -1.0], &[-1.0, 2.0]]);
+//! let c = Mat::from_rows(&[&[0.0, 0.0], &[0.0, 1.0]]);
+//! let p = HtPencil::reduce(&g, &c)?;
+//! let x = p.solve(Complex::from_im(1.0), &[1.0, 0.0])?;
+//! // Same solution as factoring G + j·C directly.
+//! assert!(x.iter().all(|v| v.is_finite()));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cmatrix::CMat;
+use crate::complex::Complex;
+use crate::error::NumericsError;
+use crate::matrix::Mat;
+use crate::qr::Qr;
+
+/// A pencil `(G, C)` reduced to Hessenberg–triangular form
+/// `(H, R) = (Qᵀ·G·Z, Qᵀ·C·Z)`.
+///
+/// Reduce once per snapshot with [`HtPencil::reduce`], then evaluate
+/// `(G + s·C)⁻¹·b` at any number of frequencies with [`HtPencil::solve`]
+/// (or the projected variants when `b`/`d` are fixed across the sweep)
+/// at `O(n²)` each.
+#[derive(Debug, Clone)]
+pub struct HtPencil {
+    /// `Qᵀ·G·Z`, upper Hessenberg.
+    h: Mat,
+    /// `Qᵀ·C·Z`, upper triangular.
+    r: Mat,
+    /// Left orthogonal factor.
+    q: Mat,
+    /// Right orthogonal factor.
+    z: Mat,
+}
+
+impl HtPencil {
+    /// Reduces `(g, c)` to Hessenberg–triangular form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::NotSquare`] if `g` is rectangular and
+    /// [`NumericsError::DimensionMismatch`] if the shapes differ. The
+    /// reduction itself cannot fail: it is a fixed sequence of
+    /// orthogonal transforms, valid for any pencil including singular
+    /// `C` or `G`.
+    pub fn reduce(g: &Mat, c: &Mat) -> Result<Self, NumericsError> {
+        if !g.is_square() {
+            return Err(NumericsError::NotSquare { rows: g.rows(), cols: g.cols() });
+        }
+        if g.shape() != c.shape() {
+            return Err(NumericsError::DimensionMismatch { expected: g.rows(), got: c.rows() });
+        }
+        let n = g.rows();
+        // Stage 1: C = Q·R (Householder QR), then H ← Qᵀ·G, Z = I.
+        let qr = Qr::factor(c);
+        let q = qr.q();
+        let mut r = qr.r();
+        let mut h = q.transpose().matmul(g);
+        let mut q = q;
+        let mut z = Mat::identity(n);
+
+        // Stage 2: chase the sub-Hessenberg entries of H to zero with
+        // Givens rotations, restoring R's triangularity after each one
+        // (Golub & Van Loan Algorithm 7.7.1).
+        if n >= 3 {
+            for j in 0..n - 2 {
+                for i in (j + 2..n).rev() {
+                    // Left rotation on rows (i-1, i) zeroing H[i][j].
+                    let (gc, gs) = givens(h[(i - 1, j)], h[(i, j)]);
+                    rot_rows(&mut h, i - 1, i, gc, gs, j);
+                    rot_rows(&mut r, i - 1, i, gc, gs, i - 1);
+                    rot_cols_accum(&mut q, i - 1, i, gc, gs);
+                    h[(i, j)] = 0.0;
+                    // That fills R[i][i-1]; a right rotation on columns
+                    // (i-1, i) restores the triangle.
+                    let (zc, zs) = givens_col(r[(i, i - 1)], r[(i, i)]);
+                    rot_cols(&mut r, i - 1, i, zc, zs, i + 1);
+                    rot_cols(&mut h, i - 1, i, zc, zs, n);
+                    rot_cols(&mut z, i - 1, i, zc, zs, n);
+                    r[(i, i - 1)] = 0.0;
+                }
+            }
+        }
+        Ok(Self { h, r, q, z })
+    }
+
+    /// Dimension of the pencil.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.h.rows()
+    }
+
+    /// The upper Hessenberg factor `H = Qᵀ·G·Z`.
+    pub fn hessenberg(&self) -> &Mat {
+        &self.h
+    }
+
+    /// The upper triangular factor `R = Qᵀ·C·Z`.
+    pub fn triangular(&self) -> &Mat {
+        &self.r
+    }
+
+    /// The left orthogonal factor `Q`.
+    pub fn q(&self) -> &Mat {
+        &self.q
+    }
+
+    /// The right orthogonal factor `Z`.
+    pub fn z(&self) -> &Mat {
+        &self.z
+    }
+
+    /// Projects a right-hand side into the reduced basis: `Qᵀ·b`.
+    ///
+    /// Hoist this out of a frequency loop when `b` is fixed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] on a length mismatch.
+    pub fn project_input(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if b.len() != self.dim() {
+            return Err(NumericsError::DimensionMismatch { expected: self.dim(), got: b.len() });
+        }
+        Ok(self.q.matvec_t(b))
+    }
+
+    /// Projects an output row into the reduced basis: `Zᵀ·d`, so that
+    /// `dᵀ·x = (Zᵀ·d)ᵀ·y` for a reduced solution `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] on a length mismatch.
+    pub fn project_output(&self, d: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if d.len() != self.dim() {
+            return Err(NumericsError::DimensionMismatch { expected: self.dim(), got: d.len() });
+        }
+        Ok(self.z.matvec_t(d))
+    }
+
+    /// Solves the reduced Hessenberg system `(H + s·R)·y = bt` in
+    /// `O(n²)`, where `bt` is a projected right-hand side from
+    /// [`HtPencil::project_input`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::Singular`] when `G + s·C` is singular at
+    /// this frequency and [`NumericsError::DimensionMismatch`] on a
+    /// length mismatch.
+    pub fn solve_reduced(&self, s: Complex, bt: &[f64]) -> Result<Vec<Complex>, NumericsError> {
+        let n = self.dim();
+        if bt.len() != n {
+            return Err(NumericsError::DimensionMismatch { expected: n, got: bt.len() });
+        }
+        let mut m = CMat::from_real_pair(&self.h, s, &self.r);
+        let mut y: Vec<Complex> = bt.iter().map(|&v| Complex::from_re(v)).collect();
+        hessenberg_solve_in_place(&mut m, &mut y)?;
+        Ok(y)
+    }
+
+    /// Evaluates `dtᵀ·(H + s·R)⁻¹·bt` for projected ports `bt = Qᵀ·b`,
+    /// `dt = Zᵀ·d` — the per-frequency kernel of a transfer sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HtPencil::solve_reduced`].
+    pub fn transfer_projected(
+        &self,
+        bt: &[f64],
+        dt: &[f64],
+        s: Complex,
+    ) -> Result<Complex, NumericsError> {
+        if dt.len() != self.dim() {
+            return Err(NumericsError::DimensionMismatch { expected: self.dim(), got: dt.len() });
+        }
+        let y = self.solve_reduced(s, bt)?;
+        let mut acc = Complex::ZERO;
+        for (di, yi) in dt.iter().zip(&y) {
+            acc += yi.scale(*di);
+        }
+        Ok(acc)
+    }
+
+    /// Solves the original system `(G + s·C)·x = b` through the reduced
+    /// form: project, Hessenberg-solve, rotate back (`x = Z·y`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HtPencil::solve_reduced`].
+    pub fn solve(&self, s: Complex, b: &[f64]) -> Result<Vec<Complex>, NumericsError> {
+        let bt = self.project_input(b)?;
+        let y = self.solve_reduced(s, &bt)?;
+        let n = self.dim();
+        let mut x = vec![Complex::ZERO; n];
+        for (i, xi) in x.iter_mut().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (zij, yj) in self.z.row(i).iter().zip(&y) {
+                acc += yj.scale(*zij);
+            }
+            *xi = acc;
+        }
+        Ok(x)
+    }
+}
+
+/// Givens pair `(c, s)` such that the row rotation
+/// `[c s; -s c]·[a; b] = [r; 0]`.
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    let r = f64::hypot(a, b);
+    if r == 0.0 {
+        (1.0, 0.0)
+    } else {
+        (a / r, b / r)
+    }
+}
+
+/// Givens pair `(c, s)` for a column rotation sending entry `x`
+/// (paired against `y` in the next column) to zero:
+/// `col' = c·col − s·next`, which maps `(x, y)` to `(c·x − s·y, …) = 0`.
+fn givens_col(x: f64, y: f64) -> (f64, f64) {
+    let r = f64::hypot(x, y);
+    if r == 0.0 {
+        (1.0, 0.0)
+    } else {
+        (y / r, x / r)
+    }
+}
+
+/// Applies the left rotation to rows `(i, k)` of `a`, columns `from..`.
+fn rot_rows(a: &mut Mat, i: usize, k: usize, c: f64, s: f64, from: usize) {
+    let n = a.cols();
+    for j in from..n {
+        let u = a[(i, j)];
+        let v = a[(k, j)];
+        a[(i, j)] = c * u + s * v;
+        a[(k, j)] = -s * u + c * v;
+    }
+}
+
+/// Applies the right rotation to columns `(j, k)` of `a`, rows `..upto`.
+fn rot_cols(a: &mut Mat, j: usize, k: usize, c: f64, s: f64, upto: usize) {
+    let m = a.rows().min(upto);
+    for i in 0..m {
+        let u = a[(i, j)];
+        let v = a[(i, k)];
+        a[(i, j)] = c * u - s * v;
+        a[(i, k)] = s * u + c * v;
+    }
+}
+
+/// Accumulates a left row-rotation into `q` (i.e. `Q ← Q·Pᵀ` when the
+/// rotation `P` was applied to the reduced factors from the left).
+fn rot_cols_accum(q: &mut Mat, i: usize, k: usize, c: f64, s: f64) {
+    let n = q.rows();
+    for row in 0..n {
+        let u = q[(row, i)];
+        let v = q[(row, k)];
+        q[(row, i)] = c * u + s * v;
+        q[(row, k)] = -s * u + c * v;
+    }
+}
+
+/// In-place solve of an upper Hessenberg complex system `M·y = rhs`
+/// with adjacent-row partial pivoting: `O(n²)`.
+fn hessenberg_solve_in_place(m: &mut CMat, rhs: &mut [Complex]) -> Result<(), NumericsError> {
+    let n = m.rows();
+    // Forward sweep: eliminate the single subdiagonal entry per column.
+    for k in 0..n.saturating_sub(1) {
+        if m[(k + 1, k)].norm_sqr() > m[(k, k)].norm_sqr() {
+            for j in k..n {
+                let tmp = m[(k, j)];
+                m[(k, j)] = m[(k + 1, j)];
+                m[(k + 1, j)] = tmp;
+            }
+            rhs.swap(k, k + 1);
+        }
+        if m[(k + 1, k)] == Complex::ZERO {
+            continue;
+        }
+        let factor = m[(k + 1, k)] * m[(k, k)].inv();
+        for j in (k + 1)..n {
+            let v = m[(k, j)];
+            m[(k + 1, j)] -= factor * v;
+        }
+        m[(k + 1, k)] = Complex::ZERO;
+        let v = rhs[k];
+        rhs[k + 1] -= factor * v;
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut acc = rhs[i];
+        for j in (i + 1)..n {
+            acc -= m[(i, j)] * rhs[j];
+        }
+        let d = m[(i, i)];
+        if d == Complex::ZERO {
+            return Err(NumericsError::Singular { pivot: i });
+        }
+        rhs[i] = acc * d.inv();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::CLu;
+
+    fn rand_mat(n: usize, seed: u64) -> Mat {
+        // Tiny deterministic LCG; plenty for structural tests.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Mat::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() < tol, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn factors_have_the_advertised_structure() {
+        for n in [1, 2, 3, 5, 8] {
+            let g = rand_mat(n, 7 + n as u64);
+            let c = rand_mat(n, 1000 + n as u64);
+            let p = HtPencil::reduce(&g, &c).unwrap();
+            let h = p.hessenberg();
+            let r = p.triangular();
+            for i in 0..n {
+                for j in 0..n {
+                    if i > j + 1 {
+                        assert_close(h[(i, j)], 0.0, 1e-12, "H sub-Hessenberg");
+                    }
+                    if i > j {
+                        assert_close(r[(i, j)], 0.0, 1e-12, "R sub-triangular");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonal_factors_reconstruct_the_pencil() {
+        let n = 6;
+        let g = rand_mat(n, 42);
+        let c = rand_mat(n, 43);
+        let p = HtPencil::reduce(&g, &c).unwrap();
+        // QᵀQ = I, ZᵀZ = I.
+        let qtq = p.q().transpose().matmul(p.q());
+        let ztz = p.z().transpose().matmul(p.z());
+        for i in 0..n {
+            for j in 0..n {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert_close(qtq[(i, j)], e, 1e-12, "QᵀQ");
+                assert_close(ztz[(i, j)], e, 1e-12, "ZᵀZ");
+            }
+        }
+        // Q·H·Zᵀ = G, Q·R·Zᵀ = C.
+        let g2 = p.q().matmul(p.hessenberg()).matmul(&p.z().transpose());
+        let c2 = p.q().matmul(p.triangular()).matmul(&p.z().transpose());
+        for i in 0..n {
+            for j in 0..n {
+                assert_close(g2[(i, j)], g[(i, j)], 1e-12, "G round-trip");
+                assert_close(c2[(i, j)], c[(i, j)], 1e-12, "C round-trip");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_solve_matches_dense_clu() {
+        let n = 7;
+        let g = rand_mat(n, 11);
+        let c = rand_mat(n, 12);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let p = HtPencil::reduce(&g, &c).unwrap();
+        for s in
+            [Complex::from_im(1.0), Complex::from_im(1.0e4), Complex::new(-0.5, 3.0), Complex::ZERO]
+        {
+            let x_fast = p.solve(s, &b).unwrap();
+            let sys = CMat::from_real_pair(&g, s, &c);
+            let x_ref = CLu::factor(&sys).unwrap().solve_real(&b).unwrap();
+            for (a, r) in x_fast.iter().zip(&x_ref) {
+                assert!((*a - *r).abs() < 1e-10, "solve mismatch at s={s:?}: {a:?} vs {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_projected_matches_direct_dot() {
+        let n = 5;
+        let g = rand_mat(n, 3);
+        let c = rand_mat(n, 4);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let d: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let p = HtPencil::reduce(&g, &c).unwrap();
+        let bt = p.project_input(&b).unwrap();
+        let dt = p.project_output(&d).unwrap();
+        let s = Complex::from_im(2.5);
+        let fast = p.transfer_projected(&bt, &dt, s).unwrap();
+        let x = p.solve(s, &b).unwrap();
+        let direct: Complex =
+            d.iter().zip(&x).fold(Complex::ZERO, |acc, (di, xi)| acc + xi.scale(*di));
+        assert!((fast - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_c_reduces_and_solves() {
+        // Pure-resistive snapshot: C = 0. The reduction must succeed and
+        // the solve must match plain G⁻¹·b at any finite s.
+        let n = 4;
+        let g = rand_mat(n, 99);
+        let c = Mat::zeros(n, n);
+        let p = HtPencil::reduce(&g, &c).unwrap();
+        let b = vec![1.0, -2.0, 0.5, 3.0];
+        let s = Complex::from_im(1.0e6);
+        let x = p.solve(s, &b).unwrap();
+        let x_ref = crate::lu::Lu::factor(&g).unwrap().solve(&b).unwrap();
+        for (a, r) in x.iter().zip(&x_ref) {
+            assert!((a.re - r).abs() < 1e-10 && a.im.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_pencil_point_is_detected() {
+        // G = I, C = I: G + s·C singular exactly at s = −1.
+        let g = Mat::identity(3);
+        let c = Mat::identity(3);
+        let p = HtPencil::reduce(&g, &c).unwrap();
+        let err = p.solve(Complex::from_re(-1.0), &[1.0, 0.0, 0.0]);
+        assert!(matches!(err, Err(NumericsError::Singular { .. })));
+        assert!(p.solve(Complex::from_re(-0.5), &[1.0, 0.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(matches!(
+            HtPencil::reduce(&Mat::zeros(2, 3), &Mat::zeros(2, 3)),
+            Err(NumericsError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            HtPencil::reduce(&Mat::zeros(2, 2), &Mat::zeros(3, 3)),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+        let p = HtPencil::reduce(&Mat::identity(2), &Mat::identity(2)).unwrap();
+        assert!(matches!(
+            p.solve(Complex::ZERO, &[1.0]),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+        assert!(p.project_input(&[1.0]).is_err());
+        assert!(p.project_output(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        // n = 0 and n = 1 take the no-rotation paths.
+        let p = HtPencil::reduce(&Mat::zeros(0, 0), &Mat::zeros(0, 0)).unwrap();
+        assert!(p.solve(Complex::ONE, &[]).unwrap().is_empty());
+        let g = Mat::from_rows(&[&[2.0]]);
+        let c = Mat::from_rows(&[&[0.5]]);
+        let p = HtPencil::reduce(&g, &c).unwrap();
+        let x = p.solve(Complex::from_re(2.0), &[3.0]).unwrap();
+        // (2 + 2·0.5)⁻¹·3 = 1.
+        assert!((x[0] - Complex::ONE).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,333 @@
+//! Work-stealing sweep executor.
+//!
+//! The TFT stage evaluates one transfer function per Jacobian snapshot;
+//! snapshots are independent but *not* uniformly priced: one near a
+//! singular operating point (slow pivoting, retries upstream) or with a
+//! larger MNA dimension can cost many times its neighbours. A fixed
+//! `chunks_mut` partition then leaves every other worker idle while one
+//! chunk drags. [`run_sweep`] instead drains an atomic-index task queue:
+//! each scoped worker claims the next unclaimed index with a
+//! `fetch_add`, so load balances itself at task granularity with no
+//! channels, no `Arc`, and no dependency beyond `std`.
+//!
+//! Failure semantics:
+//!
+//! * the first task error aborts the sweep — remaining queued tasks are
+//!   dropped, in-flight tasks finish their current item — and is
+//!   returned as [`SweepError::Task`] with the index that failed;
+//! * a panicking task is caught at the call site, aborts the sweep the
+//!   same way, and surfaces as [`SweepError::WorkerPanicked`] instead
+//!   of tearing down the caller — on the inline single-worker path too.
+//!
+//! # Examples
+//!
+//! ```
+//! use rvf_numerics::sweep::run_sweep;
+//!
+//! // Square 0..8 on 3 workers; results come back in task order.
+//! let squares = run_sweep(8, 3, |i| Ok::<_, ()>(i * i)).unwrap();
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+
+/// Error produced by a [`run_sweep`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError<E> {
+    /// A task returned an error; the sweep was aborted.
+    Task {
+        /// Index of the failing task.
+        index: usize,
+        /// The task's error.
+        error: E,
+    },
+    /// A worker thread panicked while running a task.
+    WorkerPanicked {
+        /// Index of the worker whose task panicked.
+        worker: usize,
+    },
+}
+
+impl<E: core::fmt::Display> core::fmt::Display for SweepError<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Task { index, error } => write!(f, "sweep task {index} failed: {error}"),
+            Self::WorkerPanicked { worker } => write!(f, "sweep worker {worker} panicked"),
+        }
+    }
+}
+
+impl<E: core::fmt::Debug + core::fmt::Display> std::error::Error for SweepError<E> {}
+
+/// Runs `n_tasks` independent tasks over `threads` scoped workers using
+/// an atomic-index task queue and returns the results in task order.
+///
+/// `task(i)` is called exactly once for every `i` in `0..n_tasks`
+/// (unless an earlier task fails — see below). Workers claim indices
+/// with a relaxed `fetch_add` on a shared counter, so a slow task only
+/// occupies one worker while the rest keep draining the queue; there is
+/// no up-front partition to go stale.
+///
+/// `threads == 0` resolves to [`std::thread::available_parallelism`];
+/// the worker count is additionally clamped to `n_tasks`. With one
+/// worker (or one task) the sweep runs inline on the calling thread,
+/// so single-threaded callers pay no spawn overhead.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Task`] wrapping the first task error observed
+/// (by claim order, not necessarily the lowest failing index — ties
+/// across workers are raced) and [`SweepError::WorkerPanicked`] if a
+/// task panicked. In both cases the queue is drained early: tasks not
+/// yet claimed when the failure is flagged are never started.
+pub fn run_sweep<T, E, F>(n_tasks: usize, threads: usize, task: F) -> Result<Vec<T>, SweepError<E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let workers = resolve_threads(threads).min(n_tasks.max(1));
+    if n_tasks == 0 {
+        return Ok(Vec::new());
+    }
+    if workers <= 1 {
+        // Inline fast path: no spawn, same semantics — including panic
+        // containment, so a single-snapshot sweep behaves like a
+        // multi-worker one.
+        let mut out = Vec::with_capacity(n_tasks);
+        for i in 0..n_tasks {
+            match catch_task(&task, i) {
+                Ok(v) => out.push(v),
+                Err(e) => return Err(e.into_error(0)),
+            }
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let outcome = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (next, abort, task) = (&next, &abort, &task);
+            handles.push(scope.spawn(move || {
+                // Each worker returns its claimed (index, value) pairs;
+                // the first failure (error or panic) wins and flags the
+                // others down before they claim more work.
+                let mut got: Vec<(usize, T)> = Vec::new();
+                loop {
+                    if abort.load(Ordering::Acquire) {
+                        return Ok(got);
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_tasks {
+                        return Ok(got);
+                    }
+                    match catch_task(task, i) {
+                        Ok(v) => got.push((i, v)),
+                        Err(e) => {
+                            abort.store(true, Ordering::Release);
+                            return Err(e.into_error(w));
+                        }
+                    }
+                }
+            }));
+        }
+        let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+        let mut first_err: Option<SweepError<E>> = None;
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(pairs)) => {
+                    for (i, v) in pairs {
+                        slots[i] = Some(v);
+                    }
+                }
+                Ok(Err(e)) => {
+                    abort.store(true, Ordering::Release);
+                    first_err.get_or_insert(e);
+                }
+                // Backstop: a panic escaping catch_task (e.g. from a
+                // panicking Drop) still stays contained at the join.
+                Err(_panic) => {
+                    abort.store(true, Ordering::Release);
+                    first_err.get_or_insert(SweepError::WorkerPanicked { worker: w });
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(slots),
+        }
+    })?;
+    // All workers exited cleanly and no error was flagged, so every
+    // index was claimed and filled exactly once.
+    Ok(outcome.into_iter().map(|s| s.expect("sweep slot filled")).collect())
+}
+
+/// Outcome of one guarded task invocation.
+enum TaskFailure<E> {
+    Error { index: usize, error: E },
+    Panicked,
+}
+
+impl<E> TaskFailure<E> {
+    fn into_error(self, worker: usize) -> SweepError<E> {
+        match self {
+            Self::Error { index, error } => SweepError::Task { index, error },
+            Self::Panicked => SweepError::WorkerPanicked { worker },
+        }
+    }
+}
+
+/// Runs `task(i)` with panics caught at the call site, so a poisoned
+/// task flags the sweep down immediately instead of surfacing only when
+/// its worker is joined. `AssertUnwindSafe` is sound here: on panic the
+/// whole sweep is aborted and every partial result is discarded.
+fn catch_task<T, E, F>(task: &F, i: usize) -> Result<T, TaskFailure<E>>
+where
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(error)) => Err(TaskFailure::Error { index: i, error }),
+        Err(_payload) => Err(TaskFailure::Panicked),
+    }
+}
+
+/// Resolves a requested thread count: `0` means "use every available
+/// core" via [`std::thread::available_parallelism`] (falling back to 1
+/// if the parallelism cannot be queried).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_in_task_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_sweep(17, threads, |i| Ok::<_, ()>(2 * i + 1)).unwrap();
+            assert_eq!(out, (0..17).map(|i| 2 * i + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert_eq!(run_sweep(0, 4, |_| Ok::<usize, ()>(0)).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = run_sweep(100, 7, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok::<_, ()>(i)
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn uneven_task_cost_still_completes() {
+        // One deliberately slow task must not starve the rest.
+        let out = run_sweep(32, 4, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Ok::<_, ()>(i * i)
+        })
+        .unwrap();
+        assert_eq!(out[31], 31 * 31);
+    }
+
+    #[test]
+    fn task_error_aborts_and_reports_index() {
+        let err = run_sweep(64, 3, |i| if i == 5 { Err("boom") } else { Ok(i) }).unwrap_err();
+        match err {
+            SweepError::Task { index, error } => {
+                assert_eq!(index, 5);
+                assert_eq!(error, "boom");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_skips_unclaimed_tasks() {
+        // With one worker the queue is strictly sequential: nothing
+        // after the failing index may run.
+        let calls = AtomicUsize::new(0);
+        let err = run_sweep(100, 1, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if i == 3 {
+                Err(())
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, SweepError::Task { index: 3, .. }));
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panicking_task_is_contained() {
+        let err = run_sweep(16, 4, |i| if i == 7 { panic!("poisoned") } else { Ok::<_, ()>(i) })
+            .unwrap_err();
+        assert!(matches!(err, SweepError::WorkerPanicked { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn panicking_task_is_contained_on_inline_path() {
+        // A single worker (or single task) runs inline on the calling
+        // thread; the panic must still become WorkerPanicked there.
+        let err = run_sweep(4, 1, |i| if i == 2 { panic!("inline") } else { Ok::<_, ()>(i) })
+            .unwrap_err();
+        assert!(matches!(err, SweepError::WorkerPanicked { worker: 0 }), "got {err:?}");
+        let err = run_sweep(1, 8, |_| -> Result<usize, ()> { panic!("single task") }).unwrap_err();
+        assert!(matches!(err, SweepError::WorkerPanicked { worker: 0 }), "got {err:?}");
+    }
+
+    #[test]
+    fn panic_aborts_unclaimed_tasks() {
+        // Sequential single worker: nothing after the panicking index
+        // may run, mirroring error_skips_unclaimed_tasks.
+        let calls = AtomicUsize::new(0);
+        let err = run_sweep(100, 1, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if i == 3 {
+                panic!("stop here");
+            }
+            Ok::<_, ()>(i)
+        })
+        .unwrap_err();
+        assert!(matches!(err, SweepError::WorkerPanicked { .. }));
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        // And the sweep accepts it.
+        let out = run_sweep(9, 0, |i| Ok::<_, ()>(i)).unwrap();
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e: SweepError<&str> = SweepError::Task { index: 2, error: "bad" };
+        assert!(e.to_string().contains("task 2"));
+        let e: SweepError<&str> = SweepError::WorkerPanicked { worker: 1 };
+        assert!(e.to_string().contains("panicked"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the Hessenberg–triangular pencil reduction — the
+//! eig-style suite for `rvf_numerics::pencil`.
+
+use proptest::prelude::*;
+use rvf_numerics::{c, CLu, CMat, Complex, HtPencil, Lu, Mat};
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |data| Mat::from_vec(n, n, data))
+}
+
+/// A pencil whose `G` is diagonally dominant (hence nonsingular) and
+/// whose `C` is an arbitrary dense matrix — the stable-snapshot shape
+/// the TFT sampler produces (MNA conductance + capacitance Jacobians).
+fn stable_pencil(n: usize) -> impl Strategy<Value = (Mat, Mat)> {
+    (small_matrix(n), small_matrix(n)).prop_map(move |(mut g, c)| {
+        for i in 0..n {
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| g[(i, j)].abs()).sum();
+            g[(i, i)] = row_sum + 1.0 + g[(i, i)].abs();
+        }
+        (g, c)
+    })
+}
+
+fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
+    a.as_slice().iter().zip(b.as_slice()).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_pencils_round_trip_through_reduction((g, cm) in stable_pencil(5)) {
+        let p = HtPencil::reduce(&g, &cm).unwrap();
+        // Structure: H upper Hessenberg, R upper triangular.
+        for i in 0..5 {
+            for j in 0..5 {
+                if i > j + 1 {
+                    prop_assert!(p.hessenberg()[(i, j)].abs() < 1e-12);
+                }
+                if i > j {
+                    prop_assert!(p.triangular()[(i, j)].abs() < 1e-12);
+                }
+            }
+        }
+        // Orthogonality of both factors.
+        let qtq = p.q().transpose().matmul(p.q());
+        let ztz = p.z().transpose().matmul(p.z());
+        prop_assert!(max_abs_diff(&qtq, &Mat::identity(5)) < 1e-12);
+        prop_assert!(max_abs_diff(&ztz, &Mat::identity(5)) < 1e-12);
+        // Round-trip: Q·H·Zᵀ = G and Q·R·Zᵀ = C to high relative accuracy.
+        let scale = g.norm_max().max(cm.norm_max()).max(1.0);
+        let g2 = p.q().matmul(p.hessenberg()).matmul(&p.z().transpose());
+        let c2 = p.q().matmul(p.triangular()).matmul(&p.z().transpose());
+        prop_assert!(max_abs_diff(&g2, &g) < 1e-11 * scale);
+        prop_assert!(max_abs_diff(&c2, &cm) < 1e-11 * scale);
+    }
+
+    #[test]
+    fn reduced_solve_matches_real_lu_solve(
+        (g, cm) in stable_pencil(4),
+        b in prop::collection::vec(-5.0..5.0f64, 4),
+        sigma in -0.4..0.4f64,
+    ) {
+        // At a real frequency σ the pencil system (G + σ·C)·x = b is a
+        // plain real system: the reduced path must match Lu::factor.
+        let p = HtPencil::reduce(&g, &cm).unwrap();
+        let sys = g.axpy(sigma, &cm);
+        if let Ok(lu) = Lu::factor(&sys) {
+            prop_assume!(lu.rcond_estimate() > 1e-8);
+            let x_ref = lu.solve(&b).unwrap();
+            let x = p.solve(Complex::from_re(sigma), &b).unwrap();
+            for (xi, ri) in x.iter().zip(&x_ref) {
+                prop_assert!((xi.re - ri).abs() < 1e-8, "re mismatch: {} vs {}", xi.re, ri);
+                prop_assert!(xi.im.abs() < 1e-8, "imaginary leak: {}", xi.im);
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_solve_matches_complex_lu_solve(
+        (g, cm) in stable_pencil(6),
+        b in prop::collection::vec(-5.0..5.0f64, 6),
+        w in 0.1..100.0f64,
+    ) {
+        let p = HtPencil::reduce(&g, &cm).unwrap();
+        let s = Complex::from_im(w);
+        let sys = CMat::from_real_pair(&g, s, &cm);
+        if let Ok(clu) = CLu::factor(&sys) {
+            let x_ref = clu.solve_real(&b).unwrap();
+            prop_assume!(x_ref.iter().all(|v| v.abs() < 1e6));
+            let x = p.solve(s, &b).unwrap();
+            for (xi, ri) in x.iter().zip(&x_ref) {
+                prop_assert!((*xi - *ri).abs() < 1e-8 * ri.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn projected_transfer_equals_unprojected_dot(
+        (g, cm) in stable_pencil(5),
+        b in prop::collection::vec(-3.0..3.0f64, 5),
+        d in prop::collection::vec(-3.0..3.0f64, 5),
+        w in 0.5..50.0f64,
+    ) {
+        let p = HtPencil::reduce(&g, &cm).unwrap();
+        let s = c(0.0, w);
+        let bt = p.project_input(&b).unwrap();
+        let dt = p.project_output(&d).unwrap();
+        let fast = p.transfer_projected(&bt, &dt, s).unwrap();
+        let x = p.solve(s, &b).unwrap();
+        let direct = d.iter().zip(&x).fold(Complex::ZERO, |acc, (di, xi)| acc + xi.scale(*di));
+        prop_assert!((fast - direct).abs() < 1e-9 * direct.abs().max(1.0));
+    }
+}
+
+#[test]
+fn singular_c_pure_resistive_snapshot() {
+    // A resistive snapshot has C = 0 (rank 0) — and partially dynamic
+    // snapshots have rank-deficient C. Both must reduce and solve.
+    let g = Mat::from_rows(&[
+        &[3.0, -1.0, 0.0, -1.0],
+        &[-1.0, 4.0, -2.0, 0.0],
+        &[0.0, -2.0, 5.0, -1.0],
+        &[-1.0, 0.0, -1.0, 3.0],
+    ]);
+    for cm in [
+        Mat::zeros(4, 4),                         // no dynamic elements at all
+        Mat::from_diag(&[0.0, 1.0e-9, 0.0, 0.0]), // one capacitor
+        Mat::from_diag(&[0.0, 1.0e-9, 2.0e-9, 0.0]),
+    ] {
+        let p = HtPencil::reduce(&g, &cm).unwrap();
+        let b = [1.0, 0.0, -2.0, 0.5];
+        for s in [Complex::ZERO, Complex::from_im(1.0e9), Complex::new(-1.0e8, 5.0e8)] {
+            let x = p.solve(s, &b).unwrap();
+            let x_ref =
+                CLu::factor(&CMat::from_real_pair(&g, s, &cm)).unwrap().solve_real(&b).unwrap();
+            for (a, r) in x.iter().zip(&x_ref) {
+                assert!((*a - *r).abs() < 1e-10, "C rank-deficient mismatch: {a:?} vs {r:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn reduction_is_reusable_across_many_frequencies() {
+    // One reduction serves an entire log grid — the TFT access pattern.
+    let g = Mat::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]);
+    let cm = Mat::from_diag(&[1.0e-9, 2.0e-9, 0.5e-9]);
+    let p = HtPencil::reduce(&g, &cm).unwrap();
+    let b = [1.0, 0.0, 0.0];
+    let d = [0.0, 0.0, 1.0];
+    let bt = p.project_input(&b).unwrap();
+    let dt = p.project_output(&d).unwrap();
+    for i in 0..60 {
+        let s = Complex::from_im(2.0 * core::f64::consts::PI * 10f64.powf(i as f64 / 6.0));
+        let fast = p.transfer_projected(&bt, &dt, s).unwrap();
+        let clu = CLu::factor(&CMat::from_real_pair(&g, s, &cm)).unwrap();
+        let x = clu.solve_real(&b).unwrap();
+        let naive = d.iter().zip(&x).fold(Complex::ZERO, |acc, (di, xi)| acc + xi.scale(*di));
+        assert!((fast - naive).abs() < 1e-10 * naive.abs().max(1e-30));
+    }
+}

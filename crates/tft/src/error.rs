@@ -3,7 +3,7 @@
 use core::fmt;
 
 use rvf_circuit::CircuitError;
-use rvf_numerics::NumericsError;
+use rvf_numerics::{NumericsError, SweepError};
 
 /// Errors produced while building transfer function trajectories.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +26,12 @@ pub enum TftError {
     Circuit(CircuitError),
     /// A frequency-domain solve failed (singular system matrix).
     Numerics(NumericsError),
+    /// A sweep worker thread panicked; the extraction was aborted
+    /// cleanly instead of propagating the panic to the caller.
+    WorkerPanicked {
+        /// Index of the worker whose task panicked.
+        worker: usize,
+    },
 }
 
 impl fmt::Display for TftError {
@@ -38,6 +44,9 @@ impl fmt::Display for TftError {
             }
             Self::Circuit(e) => write!(f, "circuit analysis failed: {e}"),
             Self::Numerics(e) => write!(f, "frequency solve failed: {e}"),
+            Self::WorkerPanicked { worker } => {
+                write!(f, "tft sweep worker {worker} panicked")
+            }
         }
     }
 }
@@ -61,6 +70,15 @@ impl From<CircuitError> for TftError {
 impl From<NumericsError> for TftError {
     fn from(e: NumericsError) -> Self {
         Self::Numerics(e)
+    }
+}
+
+impl From<SweepError<TftError>> for TftError {
+    fn from(e: SweepError<TftError>) -> Self {
+        match e {
+            SweepError::Task { error, .. } => error,
+            SweepError::WorkerPanicked { worker } => Self::WorkerPanicked { worker },
+        }
     }
 }
 

@@ -6,16 +6,24 @@
 //! H(k)(s_l) = Dᵀ·(G(k) + s_l·C(k))⁻¹·B
 //! ```
 //!
-//! The frequency sweep factors one complex matrix per `(k, l)` pair;
-//! sweeps across snapshots are embarrassingly parallel and are spread
-//! over worker threads with `std::thread` scoped threads.
+//! Two layers of structure keep the `K snapshots × L frequencies` sweep
+//! cheap:
+//!
+//! * per snapshot, the pencil `(G, C)` is reduced once to
+//!   Hessenberg–triangular form (via [`rvf_circuit::transfer_sweep`]),
+//!   so each frequency point is an `O(n²)` back-substitution instead of
+//!   an `O(n³)` dense LU — `O(K·(n³ + L·n²))` overall instead of
+//!   `O(K·L·n³)`;
+//! * across snapshots, the work is spread over scoped worker threads by
+//!   the work-stealing executor [`rvf_numerics::run_sweep`], so a slow
+//!   snapshot (near-singular operating point, pivoting churn) occupies
+//!   one worker while the rest keep draining the queue.
 
 use rvf_circuit::{
-    dc_operating_point, transfer_at, transient, Circuit, DcOptions, JacobianSnapshot, TranOptions,
-    TranResult,
+    dc_operating_point, transfer_sweep, transient, Circuit, DcOptions, JacobianSnapshot,
+    TranOptions, TranResult,
 };
-use rvf_numerics::{logspace, Complex, Lu};
-use std::thread;
+use rvf_numerics::{logspace, run_sweep, Complex, Lu};
 
 use crate::dataset::{StateSample, TftDataset};
 use crate::error::TftError;
@@ -38,6 +46,13 @@ pub struct TftConfig {
     /// Delay-embedding depth `q` of the state estimator (1 = `u(t)` only).
     pub embed_depth: usize,
     /// Worker threads for the frequency sweep.
+    ///
+    /// Snapshots are distributed over this many scoped threads by a
+    /// work-stealing task queue, so the setting is a cap, not a
+    /// partition: an idle worker always picks up the next pending
+    /// snapshot. `0` means "one worker per available core"
+    /// ([`std::thread::available_parallelism`]); any other value is
+    /// used as-is (clamped to the snapshot count).
     pub threads: usize,
 }
 
@@ -70,11 +85,15 @@ impl TftConfig {
 /// Transforms captured snapshots into a TFT dataset given the circuit's
 /// port vectors `b` (input column) and `d` (output row).
 ///
+/// `threads` follows the [`TftConfig::threads`] convention
+/// (`0` = available parallelism).
+///
 /// # Errors
 ///
 /// Returns [`TftError::NoSnapshots`], [`TftError::BadFrequencyGrid`],
-/// [`TftError::DimensionMismatch`], or a numerics error if a frequency
-/// solve hits a singular matrix.
+/// [`TftError::DimensionMismatch`], a numerics error if a frequency
+/// solve hits a singular matrix, or [`TftError::WorkerPanicked`] if a
+/// sweep worker dies (the panic is contained, not propagated).
 pub fn tft_from_snapshots(
     snapshots: &[JacobianSnapshot],
     b: &[f64],
@@ -102,50 +121,30 @@ pub fn tft_from_snapshots(
     let s_grid: Vec<Complex> =
         freqs_hz.iter().map(|&f| Complex::from_im(2.0 * core::f64::consts::PI * f)).collect();
 
-    let n = snapshots.len();
-    let workers = threads.max(1).min(n);
-    let mut results: Vec<Option<StateSample>> = vec![None; n];
-    let chunk = n.div_ceil(workers);
-    // Scoped threads: borrow snapshots/b/d without Arc.
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (w, out_chunk) in results.chunks_mut(chunk).enumerate() {
-            let lo = w * chunk;
-            let s_grid = &s_grid;
-            let handle = scope.spawn(move || -> Result<(), TftError> {
-                for (off, slot) in out_chunk.iter_mut().enumerate() {
-                    let snap = &snapshots[lo + off];
-                    let mut h = Vec::with_capacity(s_grid.len());
-                    for &s in s_grid {
-                        h.push(
-                            transfer_at(&snap.g, &snap.c, b, d, s)
-                                .map_err(TftError::from_circuit_err)?,
-                        );
-                    }
-                    // Static gain from the real DC solve.
-                    let lu = Lu::factor(&snap.g)?;
-                    let xg = lu.solve(b)?;
-                    let h0: f64 = d.iter().zip(&xg).map(|(di, xi)| di * xi).sum();
-                    *slot = Some(StateSample {
-                        t: snap.t,
-                        state: snap.u,
-                        x_embed: vec![snap.u],
-                        y: snap.y,
-                        h,
-                        h0: Complex::from_re(h0),
-                    });
-                }
-                Ok(())
-            });
-            handles.push(handle);
-        }
-        for h in handles {
-            h.join().expect("tft worker panicked")?;
-        }
-        Ok::<(), TftError>(())
-    })?;
-
-    let mut samples: Vec<StateSample> = results.into_iter().map(|s| s.expect("filled")).collect();
+    // One task per snapshot on the work-stealing executor: scoped
+    // threads borrow snapshots/b/d without Arc, and a slow snapshot no
+    // longer idles the workers that finished their share.
+    let mut samples: Vec<StateSample> =
+        run_sweep(snapshots.len(), threads, |k| -> Result<StateSample, TftError> {
+            let snap = &snapshots[k];
+            // Reduced-pencil sweep: one O(n³) reduction, O(n²) per
+            // frequency (transfer_sweep falls back to per-point LU for
+            // short grids where the reduction doesn't pay).
+            let h = transfer_sweep(&snap.g, &snap.c, b, d, &s_grid)
+                .map_err(TftError::from_circuit_err)?;
+            // Static gain from the real DC solve.
+            let lu = Lu::factor(&snap.g)?;
+            let xg = lu.solve(b)?;
+            let h0: f64 = d.iter().zip(&xg).map(|(di, xi)| di * xi).sum();
+            Ok(StateSample {
+                t: snap.t,
+                state: snap.u,
+                x_embed: vec![snap.u],
+                y: snap.y,
+                h,
+                h0: Complex::from_re(h0),
+            })
+        })?;
     // Delay embedding beyond depth 1: append lagged input values taken
     // from the snapshot sequence (trajectory order).
     if embed_depth > 1 {
@@ -312,6 +311,100 @@ mod tests {
             tft_from_snapshots(&[snap], &[1.0, 0.0], &[1.0, 0.0], &freqs, 1, 1),
             Err(TftError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn worker_panic_becomes_error_not_abort() {
+        // Regression for the old `h.join().expect("tft worker panicked")`:
+        // a poisoned worker must surface as TftError::WorkerPanicked
+        // through the executor's containment, not tear down the caller.
+        let swept = run_sweep(8, 2, |k| -> Result<usize, TftError> {
+            if k == 3 {
+                panic!("poisoned snapshot");
+            }
+            Ok(k)
+        });
+        let err: TftError = swept.unwrap_err().into();
+        assert!(matches!(err, TftError::WorkerPanicked { .. }), "got {err:?}");
+        assert!(err.to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn sweep_task_error_unwraps_to_inner_tft_error() {
+        let swept = run_sweep(4, 2, |k| -> Result<usize, TftError> {
+            if k == 1 {
+                Err(TftError::NoSnapshots)
+            } else {
+                Ok(k)
+            }
+        });
+        let err: TftError = swept.unwrap_err().into();
+        assert!(matches!(err, TftError::NoSnapshots));
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let snap = JacobianSnapshot {
+            t: 0.0,
+            u: 0.25,
+            y: 0.0,
+            x: vec![0.0],
+            g: rvf_numerics::Mat::identity(1),
+            c: rvf_numerics::Mat::zeros(1, 1),
+        };
+        let ds = tft_from_snapshots(&[snap.clone(), snap], &[1.0], &[1.0], &[1.0e3, 1.0e4], 1, 0)
+            .unwrap();
+        assert_eq!(ds.n_freqs(), 2);
+    }
+
+    #[test]
+    fn reduced_sweep_matches_naive_per_point_lu() {
+        // Dataset-level pin of the tentpole equivalence: every H(k)(s_l)
+        // from the reduced-pencil path agrees with a fresh per-point
+        // dense LU to 1e-10 on a nonlinear circuit's snapshots.
+        use rvf_circuit::{diode_clipper, transfer_at};
+        let mut ckt = diode_clipper(Waveform::Sine {
+            offset: 0.0,
+            amplitude: 1.5,
+            freq_hz: 1.0e5,
+            phase_rad: 0.0,
+            delay: 0.0,
+        });
+        let cfg = TftConfig {
+            f_min_hz: 1.0e3,
+            f_max_hz: 1.0e8,
+            n_freqs: 30,
+            t_train: 1.0e-5,
+            steps: 200,
+            n_snapshots: 10,
+            embed_depth: 1,
+            threads: 2,
+        };
+        let op = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let opts = TranOptions {
+            dt: cfg.t_train / cfg.steps as f64,
+            t_stop: cfg.t_train,
+            snapshot_every: Some((cfg.steps / cfg.n_snapshots).max(1)),
+            ..Default::default()
+        };
+        let tran = transient(&mut ckt, &op, &opts).unwrap();
+        let b = ckt.input_column().unwrap();
+        let d = ckt.output_row().unwrap();
+        let ds =
+            tft_from_snapshots(&tran.snapshots, &b, &d, &cfg.freq_grid(), 1, cfg.threads).unwrap();
+        // Samples come back sorted by state; match them to their
+        // snapshot through the capture timestamp.
+        for snap in &tran.snapshots {
+            let sample = ds.samples.iter().find(|s| s.t == snap.t).expect("snapshot sample");
+            for (f, h) in ds.freqs_hz.iter().zip(&sample.h) {
+                let s = Complex::from_im(2.0 * core::f64::consts::PI * f);
+                let naive = transfer_at(&snap.g, &snap.c, &b, &d, s).unwrap();
+                assert!(
+                    (*h - naive).abs() < 1e-10,
+                    "reduced vs naive mismatch at f={f}: {h:?} vs {naive:?}"
+                );
+            }
+        }
     }
 
     #[test]

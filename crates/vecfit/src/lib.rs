@@ -16,7 +16,9 @@
 //! * block-diagonal state-space realizations, including the
 //!   *input-shifted* Hammerstein-compatible form of paper eqs. (12)–(14).
 //!
-//! # Example: recover a known rational function
+//! # Examples
+//!
+//! Recover a known rational function from samples on the jω axis:
 //!
 //! ```
 //! use rvf_numerics::{c, Complex};

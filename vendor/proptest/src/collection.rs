@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Length specification accepted by [`vec`]: an exact `usize` or a
+/// Length specification accepted by [`vec()`]: an exact `usize` or a
 /// half-open `Range<usize>`.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -26,7 +26,7 @@ impl From<Range<usize>> for SizeRange {
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
