@@ -68,19 +68,19 @@ fn bench_qr_compression(c: &mut Criterion) {
     });
 }
 
-fn bench_vf_fit(c: &mut Criterion) {
-    // A full common-pole VF fit at the experiment's size: 100 responses,
-    // 60 frequencies, 6 poles.
-    let samples = jw_grid(&logspace(0.0, 10.0, 60));
+/// Synthetic 4-pole trajectory data: `k_responses` responses whose
+/// residues drift with the normalized state `k/(K-1)` — the shape of a
+/// TFT dataset after the frequency stage.
+fn synth_responses(k_responses: usize, samples: &[Complex]) -> Vec<Vec<Complex>> {
     let poles = [
         Complex::new(-1.0e8, 2.0e9),
         Complex::new(-1.0e8, -2.0e9),
         Complex::new(-5.0e9, 1.5e10),
         Complex::new(-5.0e9, -1.5e10),
     ];
-    let data: Vec<Vec<Complex>> = (0..100)
+    (0..k_responses)
         .map(|k| {
-            let x = k as f64 / 99.0;
+            let x = k as f64 / (k_responses - 1).max(1) as f64;
             samples
                 .iter()
                 .map(|&s| {
@@ -96,16 +96,44 @@ fn bench_vf_fit(c: &mut Criterion) {
                 })
                 .collect()
         })
-        .collect();
+        .collect()
+}
+
+fn bench_vf_fit(c: &mut Criterion) {
+    // A full common-pole VF fit at the experiment's size: 100 responses,
+    // 60 frequencies, 6 poles.
+    let samples = jw_grid(&logspace(0.0, 10.0, 60));
+    let data = synth_responses(100, &samples);
     let opts = VfOptions::frequency(4).with_iterations(5);
     c.bench_function("vector_fit_100responses_60freqs_4poles", |b| {
         b.iter(|| fit(&samples, &data, &opts).unwrap())
     });
 }
 
+fn bench_vf_k_scaling(c: &mut Criterion) {
+    // Serial vs parallel per-response compression at growing response
+    // counts. `threads: 1` pins the serial path; `threads: 0` takes one
+    // worker per core (but stays serial below the engine's 8-response
+    // crossover, so K = 4 documents the dispatch heuristic). Outputs
+    // are bit-identical between the two paths; only wall-clock differs.
+    let samples = jw_grid(&logspace(0.0, 10.0, 60));
+    for &k_responses in &[4usize, 16, 64, 256] {
+        let data = synth_responses(k_responses, &samples);
+        let serial = VfOptions::frequency(4).with_iterations(5).with_threads(1);
+        let parallel = VfOptions::frequency(4).with_iterations(5).with_threads(0);
+        c.bench_function(&format!("vf_k_scaling_k{k_responses:03}_serial"), |b| {
+            b.iter(|| fit(&samples, &data, &serial).unwrap())
+        });
+        c.bench_function(&format!("vf_k_scaling_k{k_responses:03}_parallel"), |b| {
+            b.iter(|| fit(&samples, &data, &parallel).unwrap())
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_eigensolver, bench_complex_solve, bench_qr_compression, bench_vf_fit
+    targets = bench_eigensolver, bench_complex_solve, bench_qr_compression, bench_vf_fit,
+        bench_vf_k_scaling
 }
 criterion_main!(benches);

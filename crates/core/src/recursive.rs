@@ -17,7 +17,7 @@
 //! and the product-form closed integral of eq. 18.
 
 use rvf_numerics::Complex;
-use rvf_vecfit::{fit, PoleSet, RationalModel, VfOptions};
+use rvf_vecfit::{fit_with_initial, PoleSet, RationalModel, VfOptions};
 
 use crate::error::RvfError;
 use crate::integrated::IntegratedStateFn;
@@ -104,12 +104,16 @@ pub fn fit_recursive_2d(
     let x2_samples: Vec<Complex> = x2_grid.iter().map(|&v| Complex::from_re(v)).collect();
     let data: Vec<Vec<Complex>> =
         values.iter().map(|row| row.iter().map(|&v| Complex::from_re(v)).collect()).collect();
-    let vf2 =
-        VfOptions::state(opts.start_state_poles.max(2)).with_iterations(opts.state_vf_iterations);
-    // Grow the outer pole count until the bound is met (Algorithm 1).
+    let vf2 = VfOptions::state(opts.start_state_poles.max(2))
+        .with_iterations(opts.state_vf_iterations)
+        .with_threads(opts.threads)
+        .with_stop_displacement(opts.vf_stop_displacement);
+    // Grow the outer pole count until the bound is met (Algorithm 1),
+    // warm-starting each increment from the previous relocated poles.
     let peak =
         values.iter().flat_map(|r| r.iter()).fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
     let mut best: Option<(rvf_vecfit::VfFit, usize)> = None;
+    let mut warm: Option<PoleSet> = None;
     let mut p = opts.start_state_poles.max(2);
     while p <= opts.max_state_poles {
         if x2_grid.len() < 2 * p + 2 {
@@ -117,7 +121,10 @@ pub fn fit_recursive_2d(
         }
         let mut o = vf2.clone();
         o.n_poles = p;
-        let f = fit(&x2_samples, &data, &o)?;
+        let f = fit_with_initial(&x2_samples, &data, &o, warm.as_ref())?;
+        if opts.warm_start {
+            warm = Some(f.model.poles().clone());
+        }
         let better = best.as_ref().map_or(true, |(b, _)| f.rms_error < b.rms_error);
         let done = f.rms_error / peak <= opts.epsilon;
         if better {

@@ -7,7 +7,7 @@
 //! state variable, again growing the pole count until `ε` is met.
 
 use rvf_numerics::Complex;
-use rvf_vecfit::{fit, RationalModel, VfFit, VfOptions};
+use rvf_vecfit::{fit_with_initial, PoleSet, RationalModel, VfFit, VfOptions};
 
 use crate::error::RvfError;
 
@@ -32,6 +32,24 @@ pub struct RvfOptions {
     /// Abort instead of accepting the best effort when the pole budget
     /// is exhausted before `ε` is met.
     pub strict: bool,
+    /// Warm-start each pole-count increment from the previous fit's
+    /// relocated poles (augmented to the new count) instead of
+    /// re-seeding from the generic spread — already-settled poles need
+    /// few further relocation rounds, so the growth loop performs
+    /// strictly fewer total rounds on well-behaved data.
+    pub warm_start: bool,
+    /// Worker threads for the per-response stages of every vector fit
+    /// (see [`rvf_vecfit::VfOptions::threads`]): `0` = one per core
+    /// above the engine's response-count crossover, `1` = serial. The
+    /// fit results are bit-identical for every setting.
+    pub threads: usize,
+    /// Per-fit relocation convergence threshold (see
+    /// [`rvf_vecfit::VfOptions::stop_displacement`]): once a round's
+    /// maximum relative pole displacement drops below it, that fit
+    /// stops iterating. The default `1e-10` effectively always runs the
+    /// full iteration budget; warm-started growth benefits from a
+    /// looser value (e.g. `1e-4`).
+    pub vf_stop_displacement: f64,
 }
 
 impl Default for RvfOptions {
@@ -45,6 +63,9 @@ impl Default for RvfOptions {
             freq_vf_iterations: 10,
             state_vf_iterations: 10,
             strict: false,
+            warm_start: true,
+            threads: 0,
+            vf_stop_displacement: 1e-10,
         }
     }
 }
@@ -58,6 +79,9 @@ pub struct StageFit {
     pub rel_error: f64,
     /// Number of poles used.
     pub n_poles: usize,
+    /// Total pole-relocation rounds performed across *all* pole counts
+    /// the stage tried — the work metric the warm start cuts.
+    pub relocation_rounds: usize,
 }
 
 /// Fits the frequency axis: common stable poles across all state
@@ -76,12 +100,21 @@ pub fn fit_frequency_stage(
     let peak =
         responses.iter().flat_map(|r| r.iter()).fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
     let mut best: Option<StageFit> = None;
+    let mut warm: Option<PoleSet> = None;
+    let mut relocation_rounds = 0;
     let mut p = opts.start_freq_poles.max(2);
     while p <= opts.max_freq_poles {
-        let vf_opts = VfOptions::frequency(p).with_iterations(opts.freq_vf_iterations);
-        let fit = fit(s_grid, responses, &vf_opts)?;
+        let vf_opts = VfOptions::frequency(p)
+            .with_iterations(opts.freq_vf_iterations)
+            .with_threads(opts.threads)
+            .with_stop_displacement(opts.vf_stop_displacement);
+        let fit = fit_with_initial(s_grid, responses, &vf_opts, warm.as_ref())?;
+        relocation_rounds += fit.iterations_run;
+        if opts.warm_start {
+            warm = Some(fit.model.poles().clone());
+        }
         let rel = fit.rms_error / peak;
-        let candidate = StageFit { fit, rel_error: rel, n_poles: p };
+        let candidate = StageFit { fit, rel_error: rel, n_poles: p, relocation_rounds };
         let better = best.as_ref().map_or(true, |b| rel < b.rel_error);
         if better {
             best = Some(candidate);
@@ -91,7 +124,8 @@ pub fn fit_frequency_stage(
         }
         p += 2;
     }
-    let best = best.expect("at least one fit attempted");
+    let mut best = best.expect("at least one fit attempted");
+    best.relocation_rounds = relocation_rounds;
     if opts.strict && best.rel_error > opts.epsilon {
         return Err(RvfError::ToleranceNotReached {
             stage: "frequency",
@@ -126,6 +160,8 @@ pub fn fit_state_stage(
         trajectories.iter().map(|t| t.iter().map(|&v| Complex::from_re(v)).collect()).collect();
     let scale = scale.max(1e-300);
     let mut best: Option<StageFit> = None;
+    let mut warm: Option<PoleSet> = None;
+    let mut relocation_rounds = 0;
     let mut p = opts.start_state_poles.max(2);
     while p <= opts.max_state_poles {
         // Cap the pole count to what the sample count supports:
@@ -133,10 +169,17 @@ pub fn fit_state_stage(
         if states.len() < 2 * p + 2 {
             break;
         }
-        let vf_opts = VfOptions::state(p).with_iterations(opts.state_vf_iterations);
-        let fit = fit(&xs, &data, &vf_opts)?;
+        let vf_opts = VfOptions::state(p)
+            .with_iterations(opts.state_vf_iterations)
+            .with_threads(opts.threads)
+            .with_stop_displacement(opts.vf_stop_displacement);
+        let fit = fit_with_initial(&xs, &data, &vf_opts, warm.as_ref())?;
+        relocation_rounds += fit.iterations_run;
+        if opts.warm_start {
+            warm = Some(fit.model.poles().clone());
+        }
         let rel = fit.rms_error / scale;
-        let candidate = StageFit { fit, rel_error: rel, n_poles: p };
+        let candidate = StageFit { fit, rel_error: rel, n_poles: p, relocation_rounds };
         let better = best.as_ref().map_or(true, |b| rel < b.rel_error);
         if better {
             best = Some(candidate);
@@ -146,10 +189,11 @@ pub fn fit_state_stage(
         }
         p += 2;
     }
-    let best = best.ok_or(RvfError::TooFewStates {
+    let mut best = best.ok_or(RvfError::TooFewStates {
         got: states.len(),
         needed: 2 * opts.start_state_poles.max(2) + 2,
     })?;
+    best.relocation_rounds = relocation_rounds;
     if opts.strict && best.rel_error > opts.epsilon {
         return Err(RvfError::ToleranceNotReached {
             stage: "state",

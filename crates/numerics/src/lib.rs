@@ -93,8 +93,8 @@ pub use lu::{CLu, Lu};
 pub use matrix::Mat;
 pub use pencil::HtPencil;
 pub use poly::{from_roots, Poly};
-pub use qr::{lstsq, lstsq_ridge, Qr};
+pub use qr::{factor_with_rhs_in_place, lstsq, lstsq_ridge, Qr};
 pub use stats::{
     db10, db20, deg, from_db20, max_abs_err, mean, nrmse, rms, rmse, rmse_complex, unwrap_phase,
 };
-pub use sweep::{resolve_threads, run_sweep, SweepError};
+pub use sweep::{resolve_threads, run_sweep, run_sweep_with, SweepConfig, SweepError};

@@ -38,44 +38,30 @@ pub struct Qr {
 impl Qr {
     /// Computes the QR factorization of `a`.
     pub fn factor(a: &Mat) -> Self {
-        let (m, n) = a.shape();
         let mut qr = a.clone();
-        let k = m.min(n);
-        let mut tau = vec![0.0; k];
-        for j in 0..k {
-            // Compute the Householder reflector for column j.
-            let mut norm = 0.0;
-            for i in j..m {
-                norm = f64::hypot(norm, qr[(i, j)]);
-            }
-            if norm == 0.0 {
-                tau[j] = 0.0;
-                continue;
-            }
-            // Choose sign to avoid cancellation.
-            let alpha = if qr[(j, j)] >= 0.0 { -norm } else { norm };
-            // v = x - alpha*e1, normalized so v[0] = 1.
-            let v0 = qr[(j, j)] - alpha;
-            for i in (j + 1)..m {
-                qr[(i, j)] /= v0;
-            }
-            tau[j] = -v0 / alpha;
-            qr[(j, j)] = alpha;
-            // Apply the reflector to the remaining columns.
-            for c in (j + 1)..n {
-                let mut dot = qr[(j, c)];
-                for i in (j + 1)..m {
-                    dot += qr[(i, j)] * qr[(i, c)];
-                }
-                dot *= tau[j];
-                qr[(j, c)] -= dot;
-                for i in (j + 1)..m {
-                    let vij = qr[(i, j)];
-                    qr[(i, c)] -= dot * vij;
-                }
-            }
-        }
+        let mut tau = Vec::new();
+        factor_with_rhs_in_place(&mut qr, &mut tau, &mut []);
         Self { qr, tau }
+    }
+
+    /// Computes the QR factorization of `a` while applying the
+    /// reflectors to `b` as they are formed, returning `(Qr, Qᵀ·b)`.
+    ///
+    /// Numerically identical to [`Qr::factor`] followed by
+    /// [`Qr::qt_mul`] (the reflectors hit `b` in the same order with the
+    /// same coefficients), but in one pass over the data — the fast-VF
+    /// per-response compression uses this to skip the separate
+    /// `qt_mul` sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the row count of `a`.
+    pub fn factor_with_rhs(a: &Mat, b: &[f64]) -> (Self, Vec<f64>) {
+        let mut qr = a.clone();
+        let mut tau = Vec::new();
+        let mut y = b.to_vec();
+        factor_with_rhs_in_place(&mut qr, &mut tau, &mut y);
+        (Self { qr, tau }, y)
     }
 
     /// Shape of the factored matrix.
@@ -199,6 +185,90 @@ impl Qr {
             return 0;
         }
         (0..k).filter(|&i| self.qr[(i, i)].abs() > rel_tol * rmax).count()
+    }
+}
+
+/// In-place fused Householder factorization: on return `a` holds `R` on
+/// and above the diagonal and the reflectors below it, `tau` the
+/// reflector scalars, and `rhs` (when non-empty) is overwritten with
+/// `Qᵀ·rhs`.
+///
+/// This is the allocation-free core behind [`Qr::factor`] /
+/// [`Qr::factor_with_rhs`]: callers that own a reusable block buffer
+/// (the vector-fitting compression loop) factor it in place and read
+/// the rows of `R` straight out of the packed factor — entries `(i, j)`
+/// with `j ≥ i` — without a [`Qr`] handle, a copy of `R`, or a separate
+/// `qt_mul` pass. `tau` is cleared and refilled, retaining its
+/// capacity across calls.
+///
+/// Column norms use a scaled sum of squares (one max pass, one
+/// accumulation pass) instead of an `m`-deep `hypot` chain; `hypot`'s
+/// per-element overflow guard costs an order of magnitude more than a
+/// multiply-add and the scaling achieves the same robustness.
+///
+/// An empty `rhs` slice means "no right-hand side".
+///
+/// # Panics
+///
+/// Panics if `rhs` is non-empty and its length differs from the row
+/// count of `a`.
+pub fn factor_with_rhs_in_place(a: &mut Mat, tau: &mut Vec<f64>, rhs: &mut [f64]) {
+    let (m, n) = a.shape();
+    assert!(rhs.is_empty() || rhs.len() == m, "dimension mismatch in factor_with_rhs_in_place");
+    let k = m.min(n);
+    tau.clear();
+    tau.resize(k, 0.0);
+    for j in 0..k {
+        // Householder reflector for column j; scaled sum of squares
+        // keeps the norm overflow-safe without hypot.
+        let mut amax = 0.0_f64;
+        for i in j..m {
+            amax = amax.max(a[(i, j)].abs());
+        }
+        if amax == 0.0 {
+            // tau[j] stays 0: identity reflector.
+            continue;
+        }
+        let mut ssq = 0.0;
+        for i in j..m {
+            let t = a[(i, j)] / amax;
+            ssq += t * t;
+        }
+        let norm = amax * ssq.sqrt();
+        // Choose sign to avoid cancellation.
+        let alpha = if a[(j, j)] >= 0.0 { -norm } else { norm };
+        // v = x - alpha*e1, normalized so v[0] = 1.
+        let v0 = a[(j, j)] - alpha;
+        for i in (j + 1)..m {
+            a[(i, j)] /= v0;
+        }
+        tau[j] = -v0 / alpha;
+        a[(j, j)] = alpha;
+        // Apply the reflector to the remaining columns.
+        for c in (j + 1)..n {
+            let mut dot = a[(j, c)];
+            for i in (j + 1)..m {
+                dot += a[(i, j)] * a[(i, c)];
+            }
+            dot *= tau[j];
+            a[(j, c)] -= dot;
+            for i in (j + 1)..m {
+                let vij = a[(i, j)];
+                a[(i, c)] -= dot * vij;
+            }
+        }
+        // ... and to the right-hand side, fusing the qt_mul pass.
+        if !rhs.is_empty() {
+            let mut dot = rhs[j];
+            for i in (j + 1)..m {
+                dot += a[(i, j)] * rhs[i];
+            }
+            dot *= tau[j];
+            rhs[j] -= dot;
+            for i in (j + 1)..m {
+                rhs[i] -= dot * a[(i, j)];
+            }
+        }
     }
 }
 
@@ -354,6 +424,72 @@ mod tests {
             Qr::factor(&a).solve_lstsq(&[1.0, 2.0]),
             Err(NumericsError::RankDeficient { .. })
         ));
+    }
+
+    #[test]
+    fn factor_with_rhs_matches_factor_then_qt_mul() {
+        let a = Mat::from_fn(9, 4, |i, j| ((i * 5 + j * 3) as f64).sin());
+        let b: Vec<f64> = (0..9).map(|i| ((i * 7) as f64).cos()).collect();
+        let (fused, y_fused) = Qr::factor_with_rhs(&a, &b);
+        let separate = Qr::factor(&a);
+        let y_sep = separate.qt_mul(&b);
+        // Same reflectors in the same order: bitwise-identical outputs.
+        for (p, q) in y_fused.iter().zip(&y_sep) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        assert_eq!(fused.r(), separate.r());
+    }
+
+    #[test]
+    fn in_place_factor_exposes_r_in_packed_form() {
+        let a = Mat::from_fn(6, 3, |i, j| ((i * 3 + j) as f64 + 0.5).cos());
+        let mut packed = a.clone();
+        let mut tau = Vec::new();
+        let mut rhs = vec![1.0, -1.0, 0.5, 2.0, 0.0, 1.5];
+        factor_with_rhs_in_place(&mut packed, &mut tau, &mut rhs);
+        let f = Qr::factor(&a);
+        let r = f.r();
+        for i in 0..3 {
+            for j in i..3 {
+                assert_eq!(packed[(i, j)].to_bits(), r[(i, j)].to_bits());
+            }
+        }
+        let y = f.qt_mul(&[1.0, -1.0, 0.5, 2.0, 0.0, 1.5]);
+        for (p, q) in rhs.iter().zip(&y) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn in_place_factor_reuses_tau_capacity() {
+        let a = Mat::from_fn(8, 5, |i, j| (i + 2 * j) as f64 + 0.25);
+        let mut work = a.clone();
+        let mut tau = vec![9.0; 32];
+        factor_with_rhs_in_place(&mut work, &mut tau, &mut []);
+        assert_eq!(tau.len(), 5);
+        // A zero column yields the identity reflector (tau = 0).
+        let z = Mat::zeros(4, 2);
+        let mut wz = z.clone();
+        factor_with_rhs_in_place(&mut wz, &mut tau, &mut []);
+        assert_eq!(tau, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scaled_norm_survives_extreme_columns() {
+        // hypot-free norms must not overflow/underflow on extreme data:
+        // naive sum-of-squares would overflow at 1e200 per entry.
+        let big = Mat::from_rows(&[&[1e200, 2e200], &[3e200, 4e200], &[5e200, 7e200]]);
+        let x = Qr::factor(&big).solve_lstsq(&[1e200, 2e200, 3e200]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+        // x solves the system scaled down by 1e200: A/1e200 · x = b/1e200.
+        let small = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 7.0]]);
+        let x_small = Qr::factor(&small).solve_lstsq(&[1.0, 2.0, 3.0]).unwrap();
+        for (a, b) in x.iter().zip(&x_small) {
+            assert!((a - b).abs() < 1e-12, "{x:?} vs {x_small:?}");
+        }
+        let tiny = Mat::from_rows(&[&[1e-200, 1.0], &[2e-200, 1.0], &[3e-200, 2.0]]);
+        let f = Qr::factor(&tiny);
+        assert!(f.r()[(0, 0)].abs() > 0.0 && f.r()[(0, 0)].is_finite());
     }
 
     #[test]

@@ -29,8 +29,55 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
+
+/// Tuning knobs of a sweep run.
+///
+/// `threads` follows the [`run_sweep`] convention (`0` = one worker per
+/// available core). `batch` is the number of consecutive task indices a
+/// worker claims per queue operation: the default of `1` preserves
+/// task-granular stealing, while larger batches cut atomic-queue
+/// traffic for workloads made of many small uniform tasks (e.g. the
+/// per-response blocks of a vector fit) at the cost of coarser load
+/// balancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// Task indices claimed per queue pop (`0` is treated as `1`).
+    pub batch: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { threads: 0, batch: 1 }
+    }
+}
+
+impl SweepConfig {
+    /// A config with the given worker count and task-granular stealing.
+    pub fn threads(threads: usize) -> Self {
+        Self { threads, batch: 1 }
+    }
+
+    /// Sets the claim batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+}
+
+/// A result slot written by exactly one worker.
+///
+/// SAFETY: `Sync` is sound because the claim counter hands every index
+/// to exactly one worker (no two threads ever touch the same slot) and
+/// the spawning scope joins all workers before any slot is read.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: see the type-level invariant above.
+unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// Error produced by a [`run_sweep`] run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,16 +135,79 @@ where
     F: Fn(usize) -> Result<T, E> + Sync,
 {
     let workers = resolve_threads(threads).min(n_tasks.max(1));
+    let mut units = vec![(); workers];
+    run_sweep_with(n_tasks, &SweepConfig::threads(threads), &mut units, |(), i| task(i))
+}
+
+/// [`run_sweep`] with per-worker mutable state and batched claiming.
+///
+/// `workspaces` is a pool of caller-owned scratch states: worker `w`
+/// borrows `workspaces[w]` exclusively for the whole sweep, so a caller
+/// that keeps the pool alive across sweeps pays its buffer allocations
+/// once — the pattern behind the allocation-free steady state of the
+/// vector-fitting relocation loop. The worker count is the minimum of
+/// the resolved `cfg.threads`, `n_tasks`, and `workspaces.len()`; with
+/// one worker (or one task) the sweep runs inline on the calling thread
+/// using `workspaces[0]`.
+///
+/// `cfg.batch` indices are claimed per queue pop (see [`SweepConfig`]).
+/// Results come back in task order, and because every task runs exactly
+/// once on exactly one workspace, the output is independent of the
+/// worker count and claim interleaving for any `task` that is a pure
+/// function of `(workspace-as-scratch, index)`.
+///
+/// # Errors
+///
+/// Identical failure semantics to [`run_sweep`]: the first task error
+/// or contained panic aborts the sweep early. A workspace a panicking
+/// task ran on is left in an unspecified (but valid) state.
+///
+/// # Panics
+///
+/// Panics if `n_tasks > 0` and `workspaces` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_numerics::sweep::{run_sweep_with, SweepConfig};
+///
+/// // Square 0..8 on 3 workers, each with a reusable scratch buffer.
+/// let mut scratch = vec![Vec::<usize>::new(); 3];
+/// let cfg = SweepConfig::threads(3).with_batch(2);
+/// let squares = run_sweep_with(8, &cfg, &mut scratch, |buf, i| {
+///     buf.clear();
+///     buf.push(i * i);
+///     Ok::<_, ()>(buf[0])
+/// })
+/// .unwrap();
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_sweep_with<W, T, E, F>(
+    n_tasks: usize,
+    cfg: &SweepConfig,
+    workspaces: &mut [W],
+    task: F,
+) -> Result<Vec<T>, SweepError<E>>
+where
+    W: Send,
+    T: Send,
+    E: Send,
+    F: Fn(&mut W, usize) -> Result<T, E> + Sync,
+{
     if n_tasks == 0 {
         return Ok(Vec::new());
     }
+    assert!(!workspaces.is_empty(), "run_sweep_with needs at least one workspace");
+    let batch = cfg.batch.max(1);
+    let workers = resolve_threads(cfg.threads).min(n_tasks).min(workspaces.len());
     if workers <= 1 {
         // Inline fast path: no spawn, same semantics — including panic
         // containment, so a single-snapshot sweep behaves like a
         // multi-worker one.
+        let ws = &mut workspaces[0];
         let mut out = Vec::with_capacity(n_tasks);
         for i in 0..n_tasks {
-            match catch_task(&task, i) {
+            match catch_task(&task, ws, i) {
                 Ok(v) => out.push(v),
                 Err(e) => return Err(e.into_error(0)),
             }
@@ -107,42 +217,48 @@ where
 
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let outcome = thread::scope(|scope| {
+    // One write-once slot per task: workers deposit results directly at
+    // their claimed index, so nothing is collected per item and no
+    // reordering pass is needed at the join.
+    let slots: Vec<Slot<T>> = (0..n_tasks).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let first_err = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let (next, abort, task) = (&next, &abort, &task);
-            handles.push(scope.spawn(move || {
-                // Each worker returns its claimed (index, value) pairs;
-                // the first failure (error or panic) wins and flags the
-                // others down before they claim more work.
-                let mut got: Vec<(usize, T)> = Vec::new();
+        for (w, ws) in workspaces.iter_mut().take(workers).enumerate() {
+            let (next, abort, task, slots) = (&next, &abort, &task, slots.as_slice());
+            handles.push(scope.spawn(move || -> Result<(), SweepError<E>> {
+                // The first failure (error or panic) wins and flags the
+                // other workers down before they claim more work.
                 loop {
                     if abort.load(Ordering::Acquire) {
-                        return Ok(got);
+                        return Ok(());
                     }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_tasks {
-                        return Ok(got);
+                    let start = next.fetch_add(batch, Ordering::Relaxed);
+                    if start >= n_tasks {
+                        return Ok(());
                     }
-                    match catch_task(task, i) {
-                        Ok(v) => got.push((i, v)),
-                        Err(e) => {
-                            abort.store(true, Ordering::Release);
-                            return Err(e.into_error(w));
+                    for i in start..(start + batch).min(n_tasks) {
+                        if abort.load(Ordering::Acquire) {
+                            return Ok(());
+                        }
+                        match catch_task(task, ws, i) {
+                            // SAFETY: the fetch_add hands every index to
+                            // exactly one worker, so this slot is written
+                            // by this thread only, and the scope joins
+                            // all workers before the slots are read.
+                            Ok(v) => unsafe { *slots[i].0.get() = Some(v) },
+                            Err(e) => {
+                                abort.store(true, Ordering::Release);
+                                return Err(e.into_error(w));
+                            }
                         }
                     }
                 }
             }));
         }
-        let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
         let mut first_err: Option<SweepError<E>> = None;
         for (w, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok(Ok(pairs)) => {
-                    for (i, v) in pairs {
-                        slots[i] = Some(v);
-                    }
-                }
+                Ok(Ok(())) => {}
                 Ok(Err(e)) => {
                     abort.store(true, Ordering::Release);
                     first_err.get_or_insert(e);
@@ -155,14 +271,14 @@ where
                 }
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(slots),
-        }
-    })?;
+        first_err
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     // All workers exited cleanly and no error was flagged, so every
     // index was claimed and filled exactly once.
-    Ok(outcome.into_iter().map(|s| s.expect("sweep slot filled")).collect())
+    Ok(slots.into_iter().map(|s| s.0.into_inner().expect("sweep slot filled")).collect())
 }
 
 /// Outcome of one guarded task invocation.
@@ -180,15 +296,16 @@ impl<E> TaskFailure<E> {
     }
 }
 
-/// Runs `task(i)` with panics caught at the call site, so a poisoned
-/// task flags the sweep down immediately instead of surfacing only when
-/// its worker is joined. `AssertUnwindSafe` is sound here: on panic the
-/// whole sweep is aborted and every partial result is discarded.
-fn catch_task<T, E, F>(task: &F, i: usize) -> Result<T, TaskFailure<E>>
+/// Runs `task(ws, i)` with panics caught at the call site, so a
+/// poisoned task flags the sweep down immediately instead of surfacing
+/// only when its worker is joined. `AssertUnwindSafe` is sound here: on
+/// panic the whole sweep is aborted, every partial result is discarded,
+/// and the workspace is documented as unspecified after a panic.
+fn catch_task<W, T, E, F>(task: &F, ws: &mut W, i: usize) -> Result<T, TaskFailure<E>>
 where
-    F: Fn(usize) -> Result<T, E> + Sync,
+    F: Fn(&mut W, usize) -> Result<T, E> + Sync,
 {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(ws, i))) {
         Ok(Ok(v)) => Ok(v),
         Ok(Err(error)) => Err(TaskFailure::Error { index: i, error }),
         Err(_payload) => Err(TaskFailure::Panicked),
@@ -321,6 +438,85 @@ mod tests {
         // And the sweep accepts it.
         let out = run_sweep(9, 0, |i| Ok::<_, ()>(i)).unwrap();
         assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn batched_claims_cover_every_task() {
+        for batch in [1, 2, 3, 7, 100] {
+            let cfg = SweepConfig::threads(4).with_batch(batch);
+            let mut units = vec![(); 4];
+            let out = run_sweep_with(23, &cfg, &mut units, |(), i| Ok::<_, ()>(3 * i)).unwrap();
+            assert_eq!(out, (0..23).map(|i| 3 * i).collect::<Vec<_>>(), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn batch_zero_is_treated_as_one() {
+        let cfg = SweepConfig::threads(2).with_batch(0);
+        let mut units = vec![(); 2];
+        let out = run_sweep_with(9, &cfg, &mut units, |(), i| Ok::<_, ()>(i)).unwrap();
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn batched_error_aborts_and_reports_index() {
+        let cfg = SweepConfig::threads(3).with_batch(4);
+        let mut units = vec![(); 3];
+        let err =
+            run_sweep_with(64, &cfg, &mut units, |(), i| if i == 5 { Err("boom") } else { Ok(i) })
+                .unwrap_err();
+        assert!(matches!(err, SweepError::Task { index: 5, error: "boom" }), "got {err:?}");
+    }
+
+    #[test]
+    fn workspaces_are_per_worker_and_reused() {
+        // Each worker owns one workspace exclusively: the per-workspace
+        // tallies must sum to the task count, and a workspace pool kept
+        // across sweeps accumulates (i.e. is genuinely reused).
+        let mut tallies = vec![0usize; 3];
+        for _round in 0..2 {
+            let cfg = SweepConfig::threads(3);
+            run_sweep_with(30, &cfg, &mut tallies, |tally, i| {
+                *tally += 1;
+                Ok::<_, ()>(i)
+            })
+            .unwrap();
+        }
+        assert_eq!(tallies.iter().sum::<usize>(), 60);
+    }
+
+    #[test]
+    fn worker_count_clamped_to_workspace_pool() {
+        // 8 requested threads but a pool of 2: only 2 workers run, and
+        // the inline path handles a pool of 1.
+        let mut pool = vec![0usize; 2];
+        let out = run_sweep_with(10, &SweepConfig::threads(8), &mut pool, |t, i| {
+            *t += 1;
+            Ok::<_, ()>(i)
+        })
+        .unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(pool.iter().sum::<usize>(), 10);
+        let mut one = vec![0usize];
+        run_sweep_with(5, &SweepConfig::threads(8), &mut one, |t, i| {
+            *t += 1;
+            Ok::<_, ()>(i)
+        })
+        .unwrap();
+        assert_eq!(one[0], 5);
+    }
+
+    #[test]
+    fn workspace_sweep_contains_panics() {
+        let mut units = vec![(); 4];
+        let err = run_sweep_with(16, &SweepConfig::threads(4), &mut units, |(), i| {
+            if i == 7 {
+                panic!("poisoned");
+            }
+            Ok::<_, ()>(i)
+        })
+        .unwrap_err();
+        assert!(matches!(err, SweepError::WorkerPanicked { .. }), "got {err:?}");
     }
 
     #[test]

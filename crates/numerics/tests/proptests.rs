@@ -93,6 +93,33 @@ proptest! {
     }
 
     #[test]
+    fn factor_with_rhs_agrees_with_factor_then_qt_mul(
+        rows in 5usize..12,
+        cols in 2usize..5,
+        data in prop::collection::vec(-5.0..5.0f64, 60),
+        rhs in prop::collection::vec(-5.0..5.0f64, 12),
+    ) {
+        // Random tall matrices: the fused path must agree with the
+        // separate factor + qt_mul pipeline to 1e-14.
+        let cols = cols.min(rows);
+        let a = Mat::from_fn(rows, cols, |i, j| data[(i * cols + j) % data.len()]);
+        let b: Vec<f64> = (0..rows).map(|i| rhs[i % rhs.len()]).collect();
+        let (fused, y_fused) = Qr::factor_with_rhs(&a, &b);
+        let separate = Qr::factor(&a);
+        let y_sep = separate.qt_mul(&b);
+        let scale = b.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        for (p, q) in y_fused.iter().zip(&y_sep) {
+            prop_assert!((p - q).abs() <= 1e-14 * scale, "Qᵀb mismatch: {p} vs {q}");
+        }
+        let (rf, rs) = (fused.r(), separate.r());
+        for i in 0..cols {
+            for j in 0..cols {
+                prop_assert!((rf[(i, j)] - rs[(i, j)]).abs() <= 1e-14 * rs.norm_max().max(1.0));
+            }
+        }
+    }
+
+    #[test]
     fn eigenvalue_trace_invariant(m in small_matrix(5)) {
         let e = eigenvalues(&m).unwrap();
         let sum: Complex = e.iter().sum();

@@ -20,14 +20,33 @@
 //! 4. New poles are the zeros of `σ`: eigenvalues of `A − b·c̃ᵀ/d̃` in
 //!    real block form, post-processed per axis (stability flipping on the
 //!    frequency axis, conjugate-pair enforcement on the state axis).
+//!
+//! Steps 1–2 are independent per response, so they fan out over the
+//! work-stealing executor [`rvf_numerics::run_sweep_with`] when
+//! [`VfOptions::threads`] asks for workers: each worker owns a
+//! `BlockScratch` of reusable buffers (block, RHS, complex row, QR
+//! scalars) held in a `FitScratch` that lives for the whole fit, so
+//! the steady-state relocation round performs no per-response heap
+//! allocation. Every response writes its `R₂₂` rows to a fixed row
+//! range of the stacked system (`k·kept .. (k+1)·kept`), which makes
+//! the parallel result **bit-identical** to the serial one regardless
+//! of worker count or claim order. The final residue identification
+//! fans out the same way.
 
-use rvf_numerics::{eigenvalues, lstsq_ridge, Complex, Mat, NumericsError, Qr};
+use rvf_numerics::{
+    eigenvalues, factor_with_rhs_in_place, lstsq_ridge, resolve_threads, run_sweep_with, Complex,
+    Mat, NumericsError, SweepConfig, SweepError,
+};
 
-use crate::basis::{basis_matrix, Residues};
+use crate::basis::{basis_row, Residues};
 use crate::error::VecfitError;
 use crate::model::{RationalModel, ResponseTerms};
 use crate::options::{Axis, VfOptions, Weighting};
 use crate::poles::{PoleEntry, PoleSet};
+
+/// Below this many responses, `threads == 0` (auto) stays serial: the
+/// per-response QR blocks are too few for spawn overhead to pay off.
+const PARALLEL_CROSSOVER: usize = 8;
 
 /// Result of a vector fitting run.
 #[derive(Debug, Clone)]
@@ -80,7 +99,49 @@ pub fn fit(
     data: &[Vec<Complex>],
     opts: &VfOptions,
 ) -> Result<VfFit, VecfitError> {
-    validate(samples, data, opts)?;
+    fit_with_initial(samples, data, opts, None)
+}
+
+/// [`fit`] warm-started from an explicit initial pole set.
+///
+/// This is the primitive behind the RVF pole-growth loop (paper
+/// Algorithm 1): instead of re-seeding the relocation from the generic
+/// spread at every pole count, the caller passes the *relocated* poles
+/// of the previous (smaller) fit and the engine augments them to
+/// [`VfOptions::n_poles`] via [`PoleSet::grown_to`] — already-settled
+/// poles then need few (often zero) further relocation rounds. An
+/// initial set with *more* than `opts.n_poles` poles is used as-is.
+///
+/// `fit_with_initial(samples, data, opts, None)` is exactly [`fit`].
+///
+/// Warm starting is an optimization, not a semantic change: if a
+/// warm-started run trips a numerical kernel failure (a warm pole set
+/// can seed a relocation eigenproblem the solver refuses), the fit
+/// transparently restarts from the cold initial spread — i.e. it
+/// degrades to [`fit`] instead of failing.
+///
+/// # Errors
+///
+/// See [`fit`].
+pub fn fit_with_initial(
+    samples: &[Complex],
+    data: &[Vec<Complex>],
+    opts: &VfOptions,
+    initial: Option<&PoleSet>,
+) -> Result<VfFit, VecfitError> {
+    match fit_inner(samples, data, opts, initial) {
+        Err(VecfitError::Numerics(_)) if initial.is_some() => fit_inner(samples, data, opts, None),
+        other => other,
+    }
+}
+
+fn fit_inner(
+    samples: &[Complex],
+    data: &[Vec<Complex>],
+    opts: &VfOptions,
+    initial: Option<&PoleSet>,
+) -> Result<VfFit, VecfitError> {
+    validate(samples, data, opts, opts.n_poles)?;
     let weights = compute_weights(data, opts);
     let (lo, hi) = sample_range(samples, opts.axis)?;
     let min_imag_abs = match opts.axis {
@@ -91,19 +152,39 @@ pub fn fit(
         Axis::Real => Some((lo, hi)),
         Axis::Imaginary => None,
     };
-    let mut poles = PoleSet::initial_for(opts, lo, hi);
+    let mut poles = match initial {
+        Some(p) => p.grown_to(opts.n_poles, opts, lo, hi),
+        None => PoleSet::initial_for(opts, lo, hi),
+    };
+    // The grown set can exceed the requested count (odd growth rounds up
+    // to a pair on the real axis; an oversized initial set is kept
+    // as-is), so the sample budget must be re-checked against the basis
+    // size the fit will actually use.
+    if poles.n_poles() > opts.n_poles {
+        validate(samples, data, opts, poles.n_poles())?;
+    }
+    let mut scratch = FitScratch::new(fit_workers(opts.threads, data.len()));
     let mut displacement = f64::INFINITY;
     let mut iterations_run = 0;
     for _ in 0..opts.iterations {
-        let new_poles = relocate_once(samples, data, &weights, &poles, opts, min_imag_abs, clamp)?;
+        let new_poles = relocate_once(
+            samples,
+            data,
+            &weights,
+            &poles,
+            opts,
+            min_imag_abs,
+            clamp,
+            &mut scratch,
+        )?;
         displacement = new_poles.displacement(&poles);
         poles = new_poles;
         iterations_run += 1;
-        if displacement < 1e-10 {
+        if displacement < opts.stop_displacement {
             break;
         }
     }
-    let model = identify_residues(samples, data, &weights, poles, opts)?;
+    let model = identify_residues(samples, data, &weights, poles, opts, &mut scratch)?;
     let rms_error = model_rms(&model, samples, data);
     Ok(VfFit { model, rms_error, iterations_run, final_displacement: displacement })
 }
@@ -121,10 +202,118 @@ pub fn fit_single(
     fit(samples, &[data.to_vec()], opts)
 }
 
+/// Resolves the per-response worker count for `threads` over `k_count`
+/// responses (see [`VfOptions::threads`]).
+fn fit_workers(threads: usize, k_count: usize) -> usize {
+    let resolved = match threads {
+        0 if k_count < PARALLEL_CROSSOVER => 1,
+        t => resolve_threads(t),
+    };
+    resolved.clamp(1, k_count.max(1))
+}
+
+/// Per-worker scratch for the per-response block stages. All buffers
+/// retain their capacity across responses and relocation rounds.
+#[derive(Default)]
+struct BlockScratch {
+    /// Realified block entries (row-major). Donated to a [`Mat`] for the
+    /// in-place factorization and reclaimed afterwards — zero-copy in
+    /// both directions.
+    mdata: Vec<f64>,
+    /// Realified right-hand side; overwritten with `Qᵀ·b` by the fused
+    /// factorization.
+    bdata: Vec<f64>,
+    /// Complex row staging buffer.
+    crow: Vec<Complex>,
+    /// Householder scalars of the block factorization.
+    tau: Vec<f64>,
+    /// Column norms for the local-column equilibration.
+    loc_norms: Vec<f64>,
+}
+
+/// Buffers shared by all rounds of one fit: basis tables, the stacked
+/// sigma system, and the per-worker block scratch pool. Allocated once
+/// per [`fit`] call; the relocation loop reuses everything.
+struct FitScratch {
+    loc: Vec<Vec<Complex>>,
+    sig: Vec<Vec<Complex>>,
+    sig_norms: Vec<f64>,
+    stacked: Mat,
+    stacked_rhs: Vec<f64>,
+    pool: Vec<BlockScratch>,
+}
+
+impl FitScratch {
+    fn new(workers: usize) -> Self {
+        let mut pool = Vec::with_capacity(workers);
+        pool.resize_with(workers, BlockScratch::default);
+        Self {
+            loc: Vec::new(),
+            sig: Vec::new(),
+            sig_norms: Vec::new(),
+            stacked: Mat::default(),
+            stacked_rhs: Vec::new(),
+            pool,
+        }
+    }
+}
+
+/// Raw view of the stacked system for the compression workers.
+///
+/// SAFETY invariant: task `k` writes only rows `k·kept ..(k+1)·kept`
+/// (disjoint across tasks, each claimed exactly once by the executor),
+/// and the executor joins every worker before the buffers are read
+/// again — so no two threads ever touch the same element and no read
+/// races a write.
+struct StackedWriter {
+    mat: *mut f64,
+    rhs: *mut f64,
+    n_sig: usize,
+}
+
+// SAFETY: see the type-level invariant above.
+unsafe impl Sync for StackedWriter {}
+
+impl StackedWriter {
+    /// Writes `stacked[(row, j)] = v`.
+    ///
+    /// # Safety
+    ///
+    /// `row` must lie in the calling task's exclusive row range.
+    unsafe fn write(&self, row: usize, j: usize, v: f64) {
+        *self.mat.add(row * self.n_sig + j) = v;
+    }
+
+    /// Writes `stacked_rhs[row] = v` under the same contract as
+    /// [`StackedWriter::write`].
+    unsafe fn write_rhs(&self, row: usize, v: f64) {
+        *self.rhs.add(row) = v;
+    }
+}
+
+/// Flattens a sweep failure: task errors carry their [`VecfitError`]
+/// through; a contained worker panic is a programmer error and is
+/// re-raised as a panic, keeping the crate's panic discipline identical
+/// to the serial path.
+fn unwrap_sweep(e: SweepError<VecfitError>) -> VecfitError {
+    match e {
+        SweepError::Task { error, .. } => error,
+        SweepError::WorkerPanicked { worker } => panic!("vector-fit worker {worker} panicked"),
+    }
+}
+
+/// Claim batch for `k_count` small uniform per-response tasks: aim for
+/// a few batches per worker so queue traffic shrinks without starving
+/// the stealing.
+fn response_batch(k_count: usize, workers: usize) -> usize {
+    (k_count / (workers.max(1) * 4)).max(1)
+}
+
 fn validate(
     samples: &[Complex],
     data: &[Vec<Complex>],
     opts: &VfOptions,
+    n_poles: usize,
 ) -> Result<(), VecfitError> {
     if samples.is_empty() || data.is_empty() {
         return Err(VecfitError::EmptyData);
@@ -141,8 +330,8 @@ fn validate(
     if samples.iter().any(|v| !v.is_finite()) {
         return Err(VecfitError::NonFinite);
     }
-    let n_loc = opts.n_poles + usize::from(opts.include_const) + usize::from(opts.include_linear);
-    let n_sig = opts.n_poles + usize::from(opts.relaxed);
+    let n_loc = n_poles + usize::from(opts.include_const) + usize::from(opts.include_linear);
+    let n_sig = n_poles + usize::from(opts.relaxed);
     let rows_per_sample = match opts.axis {
         Axis::Imaginary => 2,
         Axis::Real => 1,
@@ -206,11 +395,17 @@ fn sample_range(samples: &[Complex], axis: Axis) -> Result<(f64, f64), VecfitErr
     }
 }
 
-/// Augmented local basis: partial fractions plus optional `1` and `s`
-/// columns.
-fn local_columns(poles: &PoleSet, samples: &[Complex], opts: &VfOptions) -> Vec<Vec<Complex>> {
-    let mut rows = basis_matrix(poles, samples);
-    for (row, &s) in rows.iter_mut().zip(samples) {
+/// Refills `out` with the augmented local basis: partial fractions plus
+/// optional `1` and `s` columns. Row vectors are reused across rounds.
+fn fill_local_columns(
+    poles: &PoleSet,
+    samples: &[Complex],
+    opts: &VfOptions,
+    out: &mut Vec<Vec<Complex>>,
+) {
+    out.resize_with(samples.len(), Vec::new);
+    for (row, &s) in out.iter_mut().zip(samples) {
+        basis_row(poles, s, row);
         if opts.include_const {
             row.push(Complex::ONE);
         }
@@ -218,18 +413,23 @@ fn local_columns(poles: &PoleSet, samples: &[Complex], opts: &VfOptions) -> Vec<
             row.push(s);
         }
     }
-    rows
 }
 
-/// Sigma basis: partial fractions plus (relaxed) the free constant.
-fn sigma_columns(poles: &PoleSet, samples: &[Complex], opts: &VfOptions) -> Vec<Vec<Complex>> {
-    let mut rows = basis_matrix(poles, samples);
-    if opts.relaxed {
-        for row in rows.iter_mut() {
+/// Refills `out` with the sigma basis: partial fractions plus (relaxed)
+/// the free constant.
+fn fill_sigma_columns(
+    poles: &PoleSet,
+    samples: &[Complex],
+    opts: &VfOptions,
+    out: &mut Vec<Vec<Complex>>,
+) {
+    out.resize_with(samples.len(), Vec::new);
+    for (row, &s) in out.iter_mut().zip(samples) {
+        basis_row(poles, s, row);
+        if opts.relaxed {
             row.push(Complex::ONE);
         }
     }
-    rows
 }
 
 /// Converts complex equations into real ones. On the imaginary axis each
@@ -262,7 +462,7 @@ fn realify_rows(
 /// failing, which is the behaviour vector fitting needs when the pole
 /// count exceeds the underlying system order.
 fn solve_lstsq_robust(m: &Mat, rhs: &[f64]) -> Result<Vec<f64>, NumericsError> {
-    match Qr::factor(m).solve_lstsq(rhs) {
+    match rvf_numerics::Qr::factor(m).solve_lstsq(rhs) {
         Ok(x) => Ok(x),
         Err(NumericsError::RankDeficient { .. }) => {
             // Floor the ridge absolutely: an all-zero block (e.g. fitting
@@ -301,6 +501,7 @@ fn equilibrate_columns(m: &mut Mat) -> Vec<f64> {
 }
 
 /// One sigma-identification + pole-relocation round.
+#[allow(clippy::too_many_arguments)]
 fn relocate_once(
     samples: &[Complex],
     data: &[Vec<Complex>],
@@ -309,6 +510,7 @@ fn relocate_once(
     opts: &VfOptions,
     min_imag_abs: f64,
     clamp: Option<(f64, f64)>,
+    scratch: &mut FitScratch,
 ) -> Result<PoleSet, VecfitError> {
     let l = samples.len();
     let k_count = data.len();
@@ -317,12 +519,15 @@ fn relocate_once(
     let n_sig = n_basis + usize::from(opts.relaxed);
     let n_cols = n_loc + n_sig;
 
-    let loc = local_columns(poles, samples, opts);
-    let sig = sigma_columns(poles, samples, opts);
+    let FitScratch { loc, sig, sig_norms, stacked, stacked_rhs, pool } = scratch;
+    fill_local_columns(poles, samples, opts, loc);
+    fill_sigma_columns(poles, samples, opts, sig);
+    let (loc, sig) = (&*loc, &*sig);
 
     // Global scaling of the sigma columns must be shared across k blocks;
     // accumulate their norms first.
-    let mut sig_norms = vec![0.0_f64; n_sig];
+    sig_norms.clear();
+    sig_norms.resize(n_sig, 0.0);
     for k in 0..k_count {
         for li in 0..l {
             let w = weights[k][li];
@@ -333,38 +538,51 @@ fn relocate_once(
             }
         }
     }
-    for n in &mut sig_norms {
+    for n in sig_norms.iter_mut() {
         *n = n.sqrt();
         if *n == 0.0 {
             *n = 1.0;
         }
     }
+    let sig_norms = &*sig_norms;
 
-    // Per-response QR compression.
+    // Per-response QR compression, fanned out over the work-stealing
+    // executor. Response k owns rows k·kept..(k+1)·kept of the stacked
+    // system, so the stacking order is fixed by k and the result is
+    // bit-identical to the serial loop (which is the same closure run
+    // on the inline one-worker path).
     let rows_per_sample = match opts.axis {
         Axis::Imaginary => 2,
         Axis::Real => 1,
     };
     let block_rows = rows_per_sample * l;
     let kept = block_rows.min(n_cols).saturating_sub(n_loc);
-    let mut stacked = Mat::zeros(k_count * kept + usize::from(opts.relaxed), n_sig);
-    let mut stacked_rhs = vec![0.0; k_count * kept + usize::from(opts.relaxed)];
+    let total_rows = k_count * kept + usize::from(opts.relaxed);
+    if stacked.shape() != (total_rows, n_sig) {
+        *stacked = Mat::zeros(total_rows, n_sig);
+    }
+    stacked_rhs.clear();
+    stacked_rhs.resize(total_rows, 0.0);
 
-    let mut mdata: Vec<f64> = Vec::with_capacity(block_rows * n_cols);
-    let mut bdata: Vec<f64> = Vec::with_capacity(block_rows);
-    let mut crow: Vec<Complex> = Vec::with_capacity(n_cols);
-    for k in 0..k_count {
-        mdata.clear();
-        bdata.clear();
+    let writer = StackedWriter {
+        mat: stacked.as_mut_slice().as_mut_ptr(),
+        rhs: stacked_rhs.as_mut_ptr(),
+        n_sig,
+    };
+    let workers = fit_workers(opts.threads, k_count);
+    let cfg = SweepConfig::threads(workers).with_batch(response_batch(k_count, workers));
+    run_sweep_with(k_count, &cfg, &mut pool[..], |ws: &mut BlockScratch, k| {
+        ws.mdata.clear();
+        ws.bdata.clear();
         for li in 0..l {
             let w = weights[k][li];
             let h = data[k][li];
-            crow.clear();
+            ws.crow.clear();
             for v in &loc[li] {
-                crow.push(v.scale(w));
+                ws.crow.push(v.scale(w));
             }
             for (j, v) in sig[li].iter().enumerate() {
-                crow.push(*v * h * (-w / sig_norms[j]));
+                ws.crow.push(*v * h * (-w / sig_norms[j]));
             }
             let rhs = if opts.relaxed {
                 Complex::ZERO
@@ -372,37 +590,50 @@ fn relocate_once(
                 // Classic VF: σ = 1 + Σ c̃φ moves H·1 to the RHS.
                 h.scale(w)
             };
-            realify_rows(opts.axis, &crow, rhs, &mut mdata, &mut bdata);
+            realify_rows(opts.axis, &ws.crow, rhs, &mut ws.mdata, &mut ws.bdata);
         }
-        let mut block = Mat::from_vec(block_rows, n_cols, mdata.clone());
         // Equilibrate the local columns only (sigma columns already share
         // the global scaling; rescaling them per-block would break the
         // stacking).
-        let mut loc_norms = vec![0.0_f64; n_loc];
+        ws.loc_norms.clear();
+        ws.loc_norms.resize(n_loc, 0.0);
         for i in 0..block_rows {
-            for (j, nj) in loc_norms.iter_mut().enumerate() {
-                let v = block[(i, j)];
+            let row = &ws.mdata[i * n_cols..i * n_cols + n_loc];
+            for (nj, v) in ws.loc_norms.iter_mut().zip(row) {
                 *nj += v * v;
             }
         }
-        for n in &mut loc_norms {
+        for n in &mut ws.loc_norms {
             *n = n.sqrt().max(f64::MIN_POSITIVE);
         }
         for i in 0..block_rows {
-            for j in 0..n_loc {
-                block[(i, j)] /= loc_norms[j];
+            for (j, nj) in ws.loc_norms.iter().enumerate() {
+                ws.mdata[i * n_cols + j] /= nj;
             }
         }
-        let f = Qr::factor(&block);
-        let r = f.r();
-        let y = f.qt_mul(&bdata);
+        // Fused in-place QR: reflectors hit the RHS during the
+        // factorization (no qt_mul pass), the block buffer is donated to
+        // the Mat and reclaimed (no clone), and only the R₂₂ rows are
+        // read out (no full R copy).
+        let mut block = Mat::from_vec(block_rows, n_cols, core::mem::take(&mut ws.mdata));
+        factor_with_rhs_in_place(&mut block, &mut ws.tau, &mut ws.bdata);
         for (ri, row_out) in (n_loc..n_loc + kept).enumerate() {
+            let dest = k * kept + ri;
             for j in 0..n_sig {
-                stacked[(k * kept + ri, j)] = r[(row_out, n_loc + j)];
+                let col = n_loc + j;
+                // R is upper triangular; below-diagonal entries of the
+                // packed factor hold reflectors, not R.
+                let v = if col >= row_out { block[(row_out, col)] } else { 0.0 };
+                // SAFETY: response k owns this row range exclusively.
+                unsafe { writer.write(dest, j, v) };
             }
-            stacked_rhs[k * kept + ri] = y[row_out];
+            // SAFETY: as above.
+            unsafe { writer.write_rhs(dest, ws.bdata[row_out]) };
         }
-    }
+        ws.mdata = block.into_vec();
+        Ok::<(), VecfitError>(())
+    })
+    .map_err(unwrap_sweep)?;
 
     // Relaxation constraint: Σ_l Re{σ(s_l)} = L, scaled to the data norm.
     if opts.relaxed {
@@ -424,9 +655,9 @@ fn relocate_once(
         stacked_rhs[row] = scale * l as f64;
     }
 
-    let sol = solve_lstsq_robust(&stacked, &stacked_rhs)?;
+    let sol = solve_lstsq_robust(stacked, stacked_rhs)?;
     // Undo the global sigma scaling.
-    let mut c_sigma: Vec<f64> = sol.iter().zip(&sig_norms).map(|(v, n)| v / n).collect();
+    let mut c_sigma: Vec<f64> = sol.iter().zip(sig_norms).map(|(v, n)| v / n).collect();
     let d_sigma = if opts.relaxed {
         let d = c_sigma.pop().expect("relaxed sigma has a constant column");
         // Guard against a vanishing sigma constant (Gustavsen's TOLlow).
@@ -472,55 +703,71 @@ fn relocate_once(
     Ok(PoleSet::from_eigenvalues(&eigs, opts.axis, opts.enforce_stability, min_imag_abs, clamp))
 }
 
-/// Final residue identification with the poles fixed.
+/// Final residue identification with the poles fixed, one independent
+/// least-squares solve per response fanned out over the executor.
 fn identify_residues(
     samples: &[Complex],
     data: &[Vec<Complex>],
     weights: &[Vec<f64>],
     poles: PoleSet,
     opts: &VfOptions,
+    scratch: &mut FitScratch,
 ) -> Result<RationalModel, VecfitError> {
     let l = samples.len();
     let n_basis = poles.n_basis();
     let n_loc = n_basis + usize::from(opts.include_const) + usize::from(opts.include_linear);
-    let loc = local_columns(&poles, samples, opts);
+    let FitScratch { loc, pool, .. } = scratch;
+    fill_local_columns(&poles, samples, opts, loc);
+    let loc = &*loc;
     let rows_per_sample = match opts.axis {
         Axis::Imaginary => 2,
         Axis::Real => 1,
     };
     let block_rows = rows_per_sample * l;
 
-    let mut terms = Vec::with_capacity(data.len());
-    let mut mdata: Vec<f64> = Vec::with_capacity(block_rows * n_loc);
-    let mut bdata: Vec<f64> = Vec::with_capacity(block_rows);
-    let mut crow: Vec<Complex> = Vec::with_capacity(n_loc);
-    for (k, row_k) in data.iter().enumerate() {
-        mdata.clear();
-        bdata.clear();
-        for li in 0..l {
-            let w = weights[k][li];
-            crow.clear();
-            for v in &loc[li] {
-                crow.push(v.scale(w));
+    let k_count = data.len();
+    let workers = fit_workers(opts.threads, k_count);
+    let cfg = SweepConfig::threads(workers).with_batch(response_batch(k_count, workers));
+    let poles_ref = &poles;
+    let terms: Vec<ResponseTerms> =
+        run_sweep_with(k_count, &cfg, &mut pool[..], |ws: &mut BlockScratch, k| {
+            ws.mdata.clear();
+            ws.bdata.clear();
+            for li in 0..l {
+                let w = weights[k][li];
+                ws.crow.clear();
+                for v in &loc[li] {
+                    ws.crow.push(v.scale(w));
+                }
+                realify_rows(
+                    opts.axis,
+                    &ws.crow,
+                    data[k][li].scale(w),
+                    &mut ws.mdata,
+                    &mut ws.bdata,
+                );
             }
-            realify_rows(opts.axis, &crow, row_k[li].scale(w), &mut mdata, &mut bdata);
-        }
-        let mut m = Mat::from_vec(block_rows, n_loc, mdata.clone());
-        let norms = equilibrate_columns(&mut m);
-        let sol = solve_lstsq_robust(&m, &bdata)?;
-        let flat: Vec<f64> = sol.iter().zip(&norms).map(|(v, n)| v / n).collect();
-        let residues = Residues::from_flat(&poles, &flat[..n_basis]);
-        let mut idx = n_basis;
-        let d = if opts.include_const {
-            let v = flat[idx];
-            idx += 1;
-            v
-        } else {
-            0.0
-        };
-        let e = if opts.include_linear { flat[idx] } else { 0.0 };
-        terms.push(ResponseTerms { residues, d, e });
-    }
+            // Build the Mat in place from the scratch buffer (zero-copy
+            // donate/reclaim) — no per-response clone, serial or not.
+            let mut m = Mat::from_vec(block_rows, n_loc, core::mem::take(&mut ws.mdata));
+            let norms = equilibrate_columns(&mut m);
+            let sol = solve_lstsq_robust(&m, &ws.bdata);
+            ws.mdata = m.into_vec();
+            let sol = sol?;
+            let flat: Vec<f64> = sol.iter().zip(&norms).map(|(v, n)| v / n).collect();
+            let residues = Residues::from_flat(poles_ref, &flat[..n_basis]);
+            let mut idx = n_basis;
+            let d = if opts.include_const {
+                let v = flat[idx];
+                idx += 1;
+                v
+            } else {
+                0.0
+            };
+            let e = if opts.include_linear { flat[idx] } else { 0.0 };
+            Ok::<ResponseTerms, VecfitError>(ResponseTerms { residues, d, e })
+        })
+        .map_err(unwrap_sweep)?;
     Ok(RationalModel::new(poles, terms))
 }
 

@@ -16,6 +16,19 @@
 //! * block-diagonal state-space realizations, including the
 //!   *input-shifted* Hammerstein-compatible form of paper eqs. (12)–(14).
 //!
+//! # Threading
+//!
+//! The per-response stages of a fit — block assembly + QR compression in
+//! every relocation round, and the final residue identification — are
+//! independent across responses and fan out over the work-stealing
+//! executor of `rvf-numerics` when [`VfOptions::threads`] asks for
+//! workers (`0` = one per core, `1` = serial, the default). The result
+//! is **bit-identical** for every thread count: each response's
+//! compressed `R₂₂` block lands in a fixed row range of the stacked
+//! sigma system, so neither the worker count nor the claim order can
+//! reach the arithmetic. Warm starts across pole counts go through
+//! [`fit_with_initial`].
+//!
 //! # Examples
 //!
 //! Recover a known rational function from samples on the jω axis:
@@ -51,7 +64,7 @@ pub mod realization;
 
 pub use basis::{basis_matrix, basis_row, Residues};
 pub use error::VecfitError;
-pub use fit::{fit, fit_single, model_rms, VfFit};
+pub use fit::{fit, fit_single, fit_with_initial, model_rms, VfFit};
 pub use model::{RationalModel, ResponseTerms};
 pub use options::{Axis, PoleSpread, VfOptions, Weighting};
 pub use poles::{PoleEntry, PoleSet};

@@ -88,6 +88,22 @@ pub struct VfOptions {
     /// Ratio `|Re|/|Im|` of the starting complex poles (Gustavsen's
     /// classic 1/100 recipe).
     pub initial_damping: f64,
+    /// Worker threads for the per-response stages (block assembly + QR
+    /// compression in relocation, residue identification).
+    ///
+    /// `1` (the default) runs serially on the calling thread. `0` uses
+    /// one worker per available core, but stays serial below a small
+    /// response count where spawn overhead dominates. Any other value
+    /// is used as-is (clamped to the response count). The fit result is
+    /// bit-identical for every setting: responses are independent
+    /// blocks written to fixed row ranges of the stacked system.
+    pub threads: usize,
+    /// Relocation stops early once the maximum relative pole
+    /// displacement of a round falls below this threshold (the poles
+    /// have settled). The default `1e-10` is effectively "run all
+    /// iterations"; warm-started growth loops use a looser value so
+    /// converged fits stop paying for rounds that no longer move.
+    pub stop_displacement: f64,
 }
 
 impl VfOptions {
@@ -105,6 +121,8 @@ impl VfOptions {
             spread: PoleSpread::Logarithmic,
             real_axis_min_imag: 0.05,
             initial_damping: 0.01,
+            threads: 1,
+            stop_displacement: 1e-10,
         }
     }
 
@@ -123,7 +141,22 @@ impl VfOptions {
             spread: PoleSpread::Linear,
             real_axis_min_imag: 0.05,
             initial_damping: 0.01,
+            threads: 1,
+            stop_displacement: 1e-10,
         }
+    }
+
+    /// Sets the worker-thread count (see [`VfOptions::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the relocation convergence threshold
+    /// (see [`VfOptions::stop_displacement`]).
+    pub fn with_stop_displacement(mut self, tol: f64) -> Self {
+        self.stop_displacement = tol;
+        self
     }
 
     /// Sets the iteration count.

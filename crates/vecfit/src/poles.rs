@@ -173,6 +173,53 @@ impl PoleSet {
         }
     }
 
+    /// Returns this pole set augmented with freshly spread entries until
+    /// it carries at least `n_poles` poles — the warm-start primitive of
+    /// the RVF pole-growth loop (`p += 2` in paper Algorithm 1).
+    ///
+    /// The existing (already relocated) entries are kept verbatim; the
+    /// missing poles are added as pairs at *interior* positions of the
+    /// sampled range `[lo, hi]` (angular frequencies on the imaginary
+    /// axis, state bounds on the real axis), where they are unlikely to
+    /// collide with either the edge-seeded initial spread or the
+    /// relocated poles. If `self` already has `n_poles` or more, it is
+    /// returned unchanged.
+    pub fn grown_to(&self, n_poles: usize, opts: &VfOptions, lo: f64, hi: f64) -> Self {
+        let mut entries = self.entries.clone();
+        let have = self.n_poles();
+        if have >= n_poles {
+            return Self { entries };
+        }
+        let missing = n_poles - have;
+        match opts.axis {
+            Axis::Imaginary => {
+                let n_pairs = missing / 2;
+                if missing % 2 == 1 {
+                    entries.push(PoleEntry::Real(-lo.max(1e-30)));
+                }
+                let lo = lo.max(1e-30);
+                for i in 1..=n_pairs {
+                    let t = i as f64 / (n_pairs + 1) as f64;
+                    let w = match opts.spread {
+                        PoleSpread::Logarithmic => lo * (hi / lo).powf(t),
+                        PoleSpread::Linear => lo + t * (hi - lo),
+                    };
+                    entries.push(PoleEntry::Pair(Complex::new(-opts.initial_damping * w, w)));
+                }
+            }
+            Axis::Real => {
+                let span = hi - lo;
+                let height = (opts.real_axis_min_imag * span).max(1e-12);
+                let n_pairs = missing.div_ceil(2);
+                for i in 1..=n_pairs {
+                    let t = i as f64 / (n_pairs + 1) as f64;
+                    entries.push(PoleEntry::Pair(Complex::new(lo + t * span, height)));
+                }
+            }
+        }
+        Self { entries }
+    }
+
     /// Rebuilds a structured pole set from raw eigenvalues after a
     /// relocation step.
     ///
@@ -404,6 +451,38 @@ mod tests {
                 assert_eq!(a.im, 0.1);
             }
             _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn grown_to_keeps_existing_and_adds_pairs() {
+        let opts = crate::options::VfOptions::frequency(6);
+        let p = PoleSet::initial_imag_axis(4, 1.0, 1e6, 0.01, true);
+        let g = p.grown_to(6, &opts, 1.0, 1e6);
+        assert_eq!(g.n_poles(), 6);
+        // Original entries survive verbatim at the front.
+        assert_eq!(&g.entries()[..p.n_entries()], p.entries());
+        // The new pair sits strictly inside the range.
+        match g.entries().last().unwrap() {
+            PoleEntry::Pair(a) => assert!(a.im > 1.0 && a.im < 1e6),
+            PoleEntry::Real(_) => panic!("expected a pair"),
+        }
+        // Already big enough: unchanged.
+        assert_eq!(p.grown_to(3, &opts, 1.0, 1e6), p);
+    }
+
+    #[test]
+    fn grown_to_real_axis_adds_interior_pairs() {
+        let opts = crate::options::VfOptions::state(4);
+        let p = PoleSet::initial_real_axis(4, 0.0, 2.0, 0.05);
+        let g = p.grown_to(6, &opts, 0.0, 2.0);
+        assert_eq!(g.n_poles(), 6);
+        match g.entries().last().unwrap() {
+            PoleEntry::Pair(a) => {
+                assert!(a.re > 0.0 && a.re < 2.0);
+                assert!(a.im >= 0.05 * 2.0 - 1e-12);
+            }
+            PoleEntry::Real(_) => panic!("real pole on real axis"),
         }
     }
 

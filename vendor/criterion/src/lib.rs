@@ -7,9 +7,21 @@
 //! [`Bencher::iter_batched`], [`BatchSize`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros. Instead of
 //! criterion's full statistical pipeline it runs a warm-up pass followed
-//! by `sample_size` timed samples and reports min / mean / max per
-//! sample to stdout — enough to compare kernels release-to-release
-//! until the real criterion can be pulled from a registry.
+//! by `sample_size` timed samples and reports min / mean / median / max
+//! plus the sample standard deviation to stdout — enough to compare
+//! kernels release-to-release until the real criterion can be pulled
+//! from a registry.
+//!
+//! Two environment knobs make the shim CI-friendly:
+//!
+//! * `CRITERION_OUT=<dir>` — additionally write one machine-readable
+//!   JSON file per benchmark (`<dir>/<sanitized-id>.json` with the raw
+//!   nanosecond samples and the summary statistics), so bench
+//!   trajectories can be archived as build artifacts and compared
+//!   across commits.
+//! * `CRITERION_QUICK=1` — clamp every benchmark to at most 3 timed
+//!   samples: a smoke-speed run that still exercises the full bench
+//!   code path and leaves a JSON breadcrumb.
 //!
 //! [`criterion`]: https://docs.rs/criterion
 
@@ -89,16 +101,50 @@ impl Criterion {
         self
     }
 
-    /// Runs one named benchmark and prints a summary line.
+    /// Runs one named benchmark, prints a summary line, and (when
+    /// `CRITERION_OUT` is set) writes the per-bench JSON record.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        let quick = std::env::var("CRITERION_QUICK")
+            .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+        let samples = if quick { self.sample_size.min(3) } else { self.sample_size };
+        let mut b = Bencher { samples, results: Vec::new() };
         f(&mut b);
         report(id, &b.results);
+        emit_json(id, &b.results);
         self
     }
+}
+
+/// Summary statistics of one benchmark's samples, in nanoseconds.
+struct Stats {
+    min: f64,
+    mean: f64,
+    median: f64,
+    stddev: f64,
+    max: f64,
+}
+
+fn stats(samples: &[Duration]) -> Stats {
+    let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+    let n = ns.len() as f64;
+    let mean = ns.iter().sum::<f64>() / n;
+    let mut sorted = ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+    };
+    // Sample standard deviation (n − 1); zero for a single sample.
+    let stddev = if ns.len() > 1 {
+        (ns.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)).sqrt()
+    } else {
+        0.0
+    };
+    Stats { min: sorted[0], mean, median, stddev, max: *sorted.last().unwrap() }
 }
 
 fn report(id: &str, samples: &[Duration]) {
@@ -106,29 +152,82 @@ fn report(id: &str, samples: &[Duration]) {
         println!("{id:<48} (no samples)");
         return;
     }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = samples.iter().min().unwrap();
-    let max = samples.iter().max().unwrap();
+    let s = stats(samples);
     println!(
-        "{id:<48} time: [{} {} {}]  ({} samples)",
-        fmt_duration(*min),
-        fmt_duration(mean),
-        fmt_duration(*max),
+        "{id:<48} time: [{} {} {}]  median {} ± {}  ({} samples)",
+        fmt_ns(s.min),
+        fmt_ns(s.mean),
+        fmt_ns(s.max),
+        fmt_ns(s.median),
+        fmt_ns(s.stddev),
         samples.len()
     );
 }
 
-fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
-    if ns < 1_000 {
-        format!("{ns} ns")
-    } else if ns < 1_000_000 {
-        format!("{:.3} µs", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.3} ms", ns as f64 / 1e6)
+/// Writes `<CRITERION_OUT>/<sanitized-id>.json`; silently a no-op when
+/// the variable is unset.
+fn emit_json(id: &str, samples: &[Duration]) {
+    let Some(dir) = std::env::var_os("CRITERION_OUT") else { return };
+    emit_json_to(std::path::Path::new(&dir), id, samples);
+}
+
+/// Escapes a string for embedding in a JSON string literal: `"` , `\`
+/// and control characters only (RFC 8259) — notably *not* Rust-style
+/// `escape_default`, whose `\'` and `\u{..}` forms are invalid JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// [`emit_json`] with an explicit target directory; silently a no-op
+/// when the directory cannot be created (benches must never fail on
+/// reporting).
+fn emit_json_to(dir: &std::path::Path, id: &str, samples: &[Duration]) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let file: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    let escaped = json_escape(id);
+    let body = if samples.is_empty() {
+        format!("{{\"id\":\"{escaped}\",\"samples\":0}}\n")
     } else {
-        format!("{:.3} s", ns as f64 / 1e9)
+        let s = stats(samples);
+        let raw: Vec<String> = samples.iter().map(|d| d.as_nanos().to_string()).collect();
+        format!(
+            "{{\"id\":\"{escaped}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\
+             \"median_ns\":{},\"stddev_ns\":{},\"max_ns\":{},\"samples_ns\":[{}]}}\n",
+            samples.len(),
+            s.min,
+            s.mean,
+            s.median,
+            s.stddev,
+            s.max,
+            raw.join(",")
+        )
+    };
+    let _ = std::fs::write(dir.join(format!("{file}.json")), body);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
     }
 }
 
@@ -177,6 +276,47 @@ mod tests {
         });
         // 1 warm-up + 3 samples.
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn stats_median_and_stddev() {
+        let ds: Vec<Duration> = [1u64, 3, 5, 7].iter().map(|&n| Duration::from_nanos(n)).collect();
+        let s = stats(&ds);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.median, 4.0); // even count: midpoint of 3 and 5
+                                   // Sample stddev of {1,3,5,7}: sqrt(20/3).
+        assert!((s.stddev - (20.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let odd: Vec<Duration> = [2u64, 9, 4].iter().map(|&n| Duration::from_nanos(n)).collect();
+        assert_eq!(stats(&odd).median, 4.0);
+        let one = [Duration::from_nanos(5)];
+        assert_eq!(stats(&one).stddev, 0.0);
+    }
+
+    #[test]
+    fn json_record_shape() {
+        // Exercise the writer through its explicit-directory entry point:
+        // mutating CRITERION_OUT here would race the other tests, which
+        // read the environment through bench_function on parallel test
+        // threads.
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        let ds: Vec<Duration> = [10u64, 20].iter().map(|&n| Duration::from_nanos(n)).collect();
+        emit_json_to(&dir, "group/bench one", &ds);
+        let path = dir.join("group_bench_one.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"samples\":2"), "{body}");
+        assert!(body.contains("\"median_ns\":15"), "{body}");
+        assert!(body.contains("\"samples_ns\":[10,20]"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_escape_is_rfc8259() {
+        assert_eq!(json_escape("plain µs id"), "plain µs id"); // non-ASCII passes through
+        assert_eq!(json_escape("gustavsen's"), "gustavsen's"); // no Rust-style \'
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
     }
 
     #[test]
