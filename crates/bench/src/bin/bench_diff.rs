@@ -1,0 +1,71 @@
+//! Diffs two `CRITERION_OUT` JSON directories and prints per-bench
+//! median deltas — the cross-run comparator behind the CI bench step.
+//!
+//! ```text
+//! cargo run -p rvf-bench --bin bench_diff -- <baseline-dir> <current-dir> [--fail-above <factor>]
+//! ```
+//!
+//! By default the comparison is **warn-only** (exit 0 regardless of
+//! deltas): CI timings on shared runners are trend data. Passing
+//! `--fail-above 1.5` turns medians more than 1.5× the baseline into a
+//! non-zero exit for local gating.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rvf_bench::compare::diff_dirs;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline), Some(current)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_diff <baseline-dir> <current-dir> [--fail-above <factor>]");
+        return ExitCode::from(2);
+    };
+    let mut fail_above: Option<f64> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--fail-above" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(v)) => fail_above = Some(v),
+                _ => {
+                    eprintln!("--fail-above needs a numeric factor (e.g. 1.5)");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match diff_dirs(&PathBuf::from(&baseline), &PathBuf::from(&current)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: cannot compare {baseline} vs {current}: {e}");
+            // In warn-only mode a missing directory is a setup problem,
+            // not a perf regression — CI must not block on it. An
+            // explicit gate (--fail-above) must not silently pass with
+            // zero benches compared, though.
+            return if fail_above.is_some() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+        }
+    };
+    print!("{report}");
+
+    // Surface noteworthy slowdowns as warnings even in warn-only mode
+    // (1.5×: generous enough to ride out shared-runner noise).
+    let warn_factor = fail_above.unwrap_or(1.5);
+    let regressions = report.regressions(warn_factor);
+    for d in &regressions {
+        println!(
+            "::warning::bench {} median {:.1}% over baseline ({:.0} ns -> {:.0} ns)",
+            d.id,
+            (d.ratio() - 1.0) * 100.0,
+            d.baseline_ns,
+            d.current_ns
+        );
+    }
+    if fail_above.is_some() && !regressions.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,266 @@
+//! Cross-run bench comparison: diffing two `CRITERION_OUT` JSON
+//! directories.
+//!
+//! The vendored criterion shim emits one JSON record per benchmark
+//! (`{"id":…,"samples":N,"min_ns":…,"median_ns":…,…}`). This module
+//! parses those records without a JSON dependency (the format is
+//! shim-controlled) and produces per-bench deltas between a *baseline*
+//! directory (committed, or downloaded from a previous run's artifact)
+//! and a *current* one — the first step toward real criterion's
+//! cross-run regression analysis. The `bench_diff` binary wraps it for
+//! CI, where the comparison is warn-only: shared-runner timings are
+//! trend data, not gates.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// One benchmark's summary statistics pulled from a shim JSON record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark id as passed to `bench_function`.
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: f64,
+    /// Median sample, nanoseconds.
+    pub median_ns: f64,
+}
+
+/// Pulls a numeric field like `"median_ns":123.4` out of a flat JSON
+/// record (no nesting in the shim's format except the trailing sample
+/// array, which no field name prefixes).
+fn field_f64(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let start = json.find(&key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Pulls the (escaped) string value of `"id"`. Sufficient for the
+/// shim's RFC 8259 escaping because bench ids never contain `"` in
+/// practice; a record with an escaped quote is skipped, not corrupted.
+fn field_id(json: &str) -> Option<String> {
+    let key = "\"id\":\"";
+    let start = json.find(key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find('"')?;
+    let id = &rest[..end];
+    if id.ends_with('\\') {
+        return None;
+    }
+    Some(id.to_string())
+}
+
+/// Parses one shim JSON record; `None` for malformed records or
+/// zero-sample placeholders.
+pub fn parse_record(json: &str) -> Option<BenchRecord> {
+    let id = field_id(json)?;
+    let samples = field_f64(json, "samples")? as u64;
+    if samples == 0 {
+        return None;
+    }
+    Some(BenchRecord {
+        id,
+        samples,
+        min_ns: field_f64(json, "min_ns")?,
+        median_ns: field_f64(json, "median_ns")?,
+    })
+}
+
+/// Reads every `*.json` record in a `CRITERION_OUT` directory, sorted
+/// by bench id.
+///
+/// # Errors
+///
+/// Propagates directory-read failures; unreadable or malformed files
+/// are skipped (a bench report must never fail on reporting).
+pub fn read_dir_records(dir: &Path) -> io::Result<Vec<BenchRecord>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "json") {
+            if let Ok(body) = std::fs::read_to_string(&path) {
+                if let Some(rec) = parse_record(&body) {
+                    out.push(rec);
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    Ok(out)
+}
+
+/// One benchmark present in both runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark id.
+    pub id: String,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: f64,
+    /// Current median, nanoseconds.
+    pub current_ns: f64,
+}
+
+impl BenchDelta {
+    /// `current / baseline` median ratio (`> 1` = slower than baseline).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_ns > 0.0 {
+            self.current_ns / self.baseline_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The full comparison of two bench-JSON directories.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// Benchmarks present in both directories.
+    pub deltas: Vec<BenchDelta>,
+    /// Ids only in the baseline (removed or not run).
+    pub only_baseline: Vec<String>,
+    /// Ids only in the current run (new benches).
+    pub only_current: Vec<String>,
+}
+
+impl BenchReport {
+    /// Benchmarks whose median regressed by more than `factor`
+    /// (e.g. `1.5` = 50% slower), worst first.
+    pub fn regressions(&self, factor: f64) -> Vec<&BenchDelta> {
+        let mut out: Vec<&BenchDelta> = self.deltas.iter().filter(|d| d.ratio() > factor).collect();
+        out.sort_by(|a, b| b.ratio().partial_cmp(&a.ratio()).unwrap_or(core::cmp::Ordering::Equal));
+        out
+    }
+}
+
+/// Compares two `CRITERION_OUT` directories by bench id.
+///
+/// # Errors
+///
+/// Propagates directory-read failures from either side.
+pub fn diff_dirs(baseline: &Path, current: &Path) -> io::Result<BenchReport> {
+    let base = read_dir_records(baseline)?;
+    let cur = read_dir_records(current)?;
+    let mut report = BenchReport::default();
+    let mut cur_by_id: std::collections::BTreeMap<&str, &BenchRecord> =
+        cur.iter().map(|r| (r.id.as_str(), r)).collect();
+    for b in &base {
+        match cur_by_id.remove(b.id.as_str()) {
+            Some(c) => report.deltas.push(BenchDelta {
+                id: b.id.clone(),
+                baseline_ns: b.median_ns,
+                current_ns: c.median_ns,
+            }),
+            None => report.only_baseline.push(b.id.clone()),
+        }
+    }
+    report.only_current = cur_by_id.into_keys().map(str::to_string).collect();
+    Ok(report)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+impl fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<48} {:>12} {:>12} {:>9}", "benchmark", "baseline", "current", "delta")?;
+        for d in &self.deltas {
+            let pct = (d.ratio() - 1.0) * 100.0;
+            writeln!(
+                f,
+                "{:<48} {:>12} {:>12} {:>+8.1}%",
+                d.id,
+                fmt_ns(d.baseline_ns),
+                fmt_ns(d.current_ns),
+                pct
+            )?;
+        }
+        for id in &self.only_baseline {
+            writeln!(f, "{id:<48} {:>12} {:>12}", "(baseline)", "missing")?;
+        }
+        for id in &self.only_current {
+            writeln!(f, "{id:<48} {:>12} {:>12}", "missing", "(new)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECORD: &str = "{\"id\":\"qr_block_120x13_fast_vf\",\"samples\":10,\
+        \"min_ns\":23000,\"mean_ns\":24100.5,\"median_ns\":23500,\
+        \"stddev_ns\":800,\"max_ns\":27000,\"samples_ns\":[23000,27000]}\n";
+
+    #[test]
+    fn parses_shim_record() {
+        let r = parse_record(RECORD).unwrap();
+        assert_eq!(r.id, "qr_block_120x13_fast_vf");
+        assert_eq!(r.samples, 10);
+        assert_eq!(r.min_ns, 23000.0);
+        assert_eq!(r.median_ns, 23500.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_records() {
+        assert!(parse_record("{\"id\":\"x\",\"samples\":0}").is_none());
+        assert!(parse_record("not json at all").is_none());
+        assert!(parse_record("{\"samples\":3,\"median_ns\":1}").is_none());
+    }
+
+    #[test]
+    fn delta_ratio_and_regressions() {
+        let report = BenchReport {
+            deltas: vec![
+                BenchDelta { id: "a".into(), baseline_ns: 100.0, current_ns: 100.0 },
+                BenchDelta { id: "b".into(), baseline_ns: 100.0, current_ns: 250.0 },
+                BenchDelta { id: "c".into(), baseline_ns: 100.0, current_ns: 160.0 },
+            ],
+            ..Default::default()
+        };
+        let regs = report.regressions(1.5);
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].id, "b"); // worst first
+        assert!((regs[0].ratio() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_dirs_matches_by_id_and_tracks_missing() {
+        let tmp = std::env::temp_dir().join(format!("bench-compare-test-{}", std::process::id()));
+        let (base, cur) = (tmp.join("base"), tmp.join("cur"));
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&cur).unwrap();
+        let rec = |id: &str, median: f64| {
+            format!(
+                "{{\"id\":\"{id}\",\"samples\":3,\"min_ns\":1,\"mean_ns\":1,\
+                 \"median_ns\":{median},\"stddev_ns\":0,\"max_ns\":2,\"samples_ns\":[1,2]}}"
+            )
+        };
+        std::fs::write(base.join("a.json"), rec("a", 100.0)).unwrap();
+        std::fs::write(base.join("gone.json"), rec("gone", 5.0)).unwrap();
+        std::fs::write(cur.join("a.json"), rec("a", 150.0)).unwrap();
+        std::fs::write(cur.join("new.json"), rec("new", 7.0)).unwrap();
+        let report = diff_dirs(&base, &cur).unwrap();
+        assert_eq!(report.deltas.len(), 1);
+        assert_eq!(report.deltas[0].id, "a");
+        assert!((report.deltas[0].ratio() - 1.5).abs() < 1e-12);
+        assert_eq!(report.only_baseline, vec!["gone".to_string()]);
+        assert_eq!(report.only_current, vec!["new".to_string()]);
+        let shown = report.to_string();
+        assert!(shown.contains("+50.0%"), "{shown}");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+}

@@ -45,10 +45,12 @@ pub fn transfer_at(
 /// Minimum sweep length at which [`transfer_sweep`] switches from the
 /// per-frequency LU to the reduced-pencil path.
 ///
-/// The reduction costs roughly two dense factorizations up front (QR of
-/// `C` plus the Givens chase), and each reduced evaluation costs about
-/// a third of a dense LU; a handful of frequency points amortizes it.
-pub const REDUCTION_CROSSOVER: usize = 8;
+/// This is the workspace-wide pencil-reduction crossover
+/// [`rvf_numerics::PENCIL_REDUCTION_CROSSOVER`] (see its rustdoc for
+/// the measured break-even), re-exported under the crate's historical
+/// name so circuit-level callers and the dispatch in [`transfer_sweep`]
+/// share one documented constant.
+pub use rvf_numerics::PENCIL_REDUCTION_CROSSOVER as REDUCTION_CROSSOVER;
 
 /// A transfer function `H(s) = Dᵀ·(G + s·C)⁻¹·B` prepared for repeated
 /// evaluation: the pencil is reduced to Hessenberg–triangular form once

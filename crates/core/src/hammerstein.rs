@@ -20,7 +20,7 @@ use rvf_vecfit::{PoleEntry, RationalModel};
 
 use crate::error::RvfError;
 use crate::integrated::IntegratedStateFn;
-use crate::rvf::{fit_state_stage, single_response, RvfOptions, StageFit};
+use crate::rvf::{fit_state_stage_in, single_response, RvfOptions, StageFit};
 
 /// A fitted state-dependent function together with its analytic
 /// primitive.
@@ -290,6 +290,10 @@ pub fn build_hammerstein(
         ..Default::default()
     };
 
+    // One worker pool shared by every per-block state stage (each fits
+    // 1–2 trajectories, so the pool stays within the stage's effective
+    // worker count) instead of a runtime per stage call.
+    let pool = rvf_numerics::SweepPool::new(rvf_vecfit::auto_workers(opts.threads, 2));
     let mut blocks = Vec::with_capacity(freq_model.poles().n_entries());
     for (p, entry) in freq_model.poles().entries().iter().enumerate() {
         let traj = freq_model.residue_trajectory(p);
@@ -297,7 +301,7 @@ pub fn build_hammerstein(
             PoleEntry::Real(a) => {
                 let comp: Vec<f64> = traj.iter().map(|r| r.re).collect();
                 let scale = block_scale(&[Complex::from_re(*a)]);
-                let stage = fit_state_stage(&states, &[comp], scale, opts)?;
+                let stage = fit_state_stage_in(&pool, &states, &[comp], scale, opts)?;
                 diagnostics.state_pole_counts.push(stage.n_poles);
                 diagnostics.state_rel_errors.push(stage.rel_error);
                 let f = StateFn::from_fit(&stage.fit.model, 0, u0, 0.0);
@@ -308,7 +312,7 @@ pub fn build_hammerstein(
                 let c1: Vec<f64> = traj.iter().map(|r| r.re + r.im).collect();
                 let c2: Vec<f64> = traj.iter().map(|r| r.re - r.im).collect();
                 let scale = block_scale(&[*a, a.conj()]);
-                let stage = fit_state_stage(&states, &[c1, c2], scale, opts)?;
+                let stage = fit_state_stage_in(&pool, &states, &[c1, c2], scale, opts)?;
                 diagnostics.state_pole_counts.push(stage.n_poles);
                 diagnostics.state_rel_errors.push(stage.rel_error);
                 let f1 = StateFn::from_fit(&stage.fit.model, 0, u0, 0.0);
@@ -322,7 +326,7 @@ pub fn build_hammerstein(
     // the DC solution (u0, y0).
     let g_traj = dataset.static_gains();
     let g_scale = g_traj.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
-    let static_stage = fit_state_stage(&states, &[g_traj], g_scale.max(1e-300), opts)?;
+    let static_stage = fit_state_stage_in(&pool, &states, &[g_traj], g_scale.max(1e-300), opts)?;
     diagnostics.static_pole_count = static_stage.n_poles;
     diagnostics.static_rel_error = static_stage.rel_error;
     let static_path = StateFn::from_fit(&static_stage.fit.model, 0, u0, y0);

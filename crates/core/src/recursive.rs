@@ -16,8 +16,8 @@
 //! exercising exactly the nesting Algorithm 1 describes (lines 18–25)
 //! and the product-form closed integral of eq. 18.
 
-use rvf_numerics::Complex;
-use rvf_vecfit::{fit_with_initial, PoleSet, RationalModel, VfOptions};
+use rvf_numerics::{Complex, SweepPool};
+use rvf_vecfit::{auto_workers, fit_with_initial_in, PoleSet, RationalModel, VfOptions};
 
 use crate::error::RvfError;
 use crate::integrated::IntegratedStateFn;
@@ -100,10 +100,16 @@ pub fn fit_recursive_2d(
     for row in values {
         assert_eq!(row.len(), x2_grid.len(), "column count mismatch");
     }
-    // Level 1: common poles along x₂ across all x₁ rows.
+    // Level 1: common poles along x₂ across all x₁ rows. One worker
+    // pool serves both recursion levels; its capacity covers whichever
+    // level carries more responses — the x₁ rows here, or the inner
+    // stage's up to max_state_poles + 1 coefficient trajectories — so
+    // neither level loses parallelism to the other's sizing (each
+    // round's worker count still resolves from its own response count).
     let x2_samples: Vec<Complex> = x2_grid.iter().map(|&v| Complex::from_re(v)).collect();
     let data: Vec<Vec<Complex>> =
         values.iter().map(|row| row.iter().map(|&v| Complex::from_re(v)).collect()).collect();
+    let pool = SweepPool::new(auto_workers(opts.threads, data.len().max(opts.max_state_poles + 1)));
     let vf2 = VfOptions::state(opts.start_state_poles.max(2))
         .with_iterations(opts.state_vf_iterations)
         .with_threads(opts.threads)
@@ -121,7 +127,7 @@ pub fn fit_recursive_2d(
         }
         let mut o = vf2.clone();
         o.n_poles = p;
-        let f = fit_with_initial(&x2_samples, &data, &o, warm.as_ref())?;
+        let f = fit_with_initial_in(&pool, &x2_samples, &data, &o, warm.as_ref())?;
         if opts.warm_start {
             warm = Some(f.model.poles().clone());
         }
@@ -154,7 +160,7 @@ pub fn fit_recursive_2d(
     }
     let scale =
         trajectories.iter().flat_map(|t| t.iter()).fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
-    let inner_stage = crate::rvf::fit_state_stage(x1_grid, &trajectories, scale, opts)?;
+    let inner_stage = crate::rvf::fit_state_stage_in(&pool, x1_grid, &trajectories, scale, opts)?;
     let coefficient_fits: Vec<RationalModel> =
         (0..trajectories.len()).map(|k| single_response(&inner_stage.fit.model, k)).collect();
     Ok(Rvf2d { x2_poles: outer.model.poles().clone(), x2_has_const: has_const, coefficient_fits })

@@ -6,8 +6,8 @@
 //! trajectories and the static conductance) as partial fractions in the
 //! state variable, again growing the pole count until `ε` is met.
 
-use rvf_numerics::Complex;
-use rvf_vecfit::{fit_with_initial, PoleSet, RationalModel, VfFit, VfOptions};
+use rvf_numerics::{Complex, SweepPool};
+use rvf_vecfit::{auto_workers, fit_with_initial_in, PoleSet, RationalModel, VfFit, VfOptions};
 
 use crate::error::RvfError;
 
@@ -97,6 +97,24 @@ pub fn fit_frequency_stage(
     responses: &[Vec<Complex>],
     opts: &RvfOptions,
 ) -> Result<StageFit, RvfError> {
+    // One pool for the whole growth loop: every relocation round of
+    // every pole count is a round on these workers, not a spawn.
+    let pool = SweepPool::new(auto_workers(opts.threads, responses.len()));
+    fit_frequency_stage_in(&pool, s_grid, responses, opts)
+}
+
+/// [`fit_frequency_stage`] running on a caller-owned [`SweepPool`], so
+/// several stages of one extraction share a single worker runtime.
+///
+/// # Errors
+///
+/// See [`fit_frequency_stage`].
+pub fn fit_frequency_stage_in(
+    pool: &SweepPool,
+    s_grid: &[Complex],
+    responses: &[Vec<Complex>],
+    opts: &RvfOptions,
+) -> Result<StageFit, RvfError> {
     let peak =
         responses.iter().flat_map(|r| r.iter()).fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
     let mut best: Option<StageFit> = None;
@@ -108,7 +126,7 @@ pub fn fit_frequency_stage(
             .with_iterations(opts.freq_vf_iterations)
             .with_threads(opts.threads)
             .with_stop_displacement(opts.vf_stop_displacement);
-        let fit = fit_with_initial(s_grid, responses, &vf_opts, warm.as_ref())?;
+        let fit = fit_with_initial_in(pool, s_grid, responses, &vf_opts, warm.as_ref())?;
         relocation_rounds += fit.iterations_run;
         if opts.warm_start {
             warm = Some(fit.model.poles().clone());
@@ -155,6 +173,24 @@ pub fn fit_state_stage(
     scale: f64,
     opts: &RvfOptions,
 ) -> Result<StageFit, RvfError> {
+    let pool = SweepPool::new(auto_workers(opts.threads, trajectories.len()));
+    fit_state_stage_in(&pool, states, trajectories, scale, opts)
+}
+
+/// [`fit_state_stage`] running on a caller-owned [`SweepPool`]; the
+/// Hammerstein builder threads one pool through its whole sequence of
+/// per-block stages this way.
+///
+/// # Errors
+///
+/// See [`fit_state_stage`].
+pub fn fit_state_stage_in(
+    pool: &SweepPool,
+    states: &[f64],
+    trajectories: &[Vec<f64>],
+    scale: f64,
+    opts: &RvfOptions,
+) -> Result<StageFit, RvfError> {
     let xs: Vec<Complex> = states.iter().map(|&x| Complex::from_re(x)).collect();
     let data: Vec<Vec<Complex>> =
         trajectories.iter().map(|t| t.iter().map(|&v| Complex::from_re(v)).collect()).collect();
@@ -173,7 +209,7 @@ pub fn fit_state_stage(
             .with_iterations(opts.state_vf_iterations)
             .with_threads(opts.threads)
             .with_stop_displacement(opts.vf_stop_displacement);
-        let fit = fit_with_initial(&xs, &data, &vf_opts, warm.as_ref())?;
+        let fit = fit_with_initial_in(pool, &xs, &data, &vf_opts, warm.as_ref())?;
         relocation_rounds += fit.iterations_run;
         if opts.warm_start {
             warm = Some(fit.model.poles().clone());

@@ -15,8 +15,9 @@
 //!   sweeps,
 //! * a Hessenberg–triangular pencil reduction ([`HtPencil`]) that turns a
 //!   per-snapshot frequency sweep from `O(L·n³)` into `O(n³ + L·n²)`,
-//! * a work-stealing sweep executor ([`run_sweep`]) that load-balances
-//!   independent tasks (one per snapshot) over scoped threads,
+//! * a work-stealing sweep runtime — one-shot executors ([`run_sweep`])
+//!   and a persistent worker pool ([`SweepPool`]) that amortizes thread
+//!   spawn across the many small parallel regions of a recursive fit,
 //! * Householder [`Qr`] least squares for the fitting systems,
 //! * a balanced Hessenberg + Francis-QR [`eigenvalues`] solver for vector
 //!   fitting pole relocation,
@@ -91,10 +92,13 @@ pub use grid::{geomspace, jw_grid, linspace, logspace};
 pub use integrate::{cumtrapz, rk4_integrate, rk4_step, trapz};
 pub use lu::{CLu, Lu};
 pub use matrix::Mat;
-pub use pencil::HtPencil;
+pub use pencil::{HtPencil, PENCIL_REDUCTION_CROSSOVER};
 pub use poly::{from_roots, Poly};
 pub use qr::{factor_with_rhs_in_place, lstsq, lstsq_ridge, Qr};
 pub use stats::{
     db10, db20, deg, from_db20, max_abs_err, mean, nrmse, rms, rmse, rmse_complex, unwrap_phase,
 };
-pub use sweep::{resolve_threads, run_sweep, run_sweep_with, SweepConfig, SweepError};
+pub use sweep::{
+    pool_constructions, resolve_threads, run_sweep, run_sweep_with, SweepConfig, SweepError,
+    SweepPool, AUTO_PARALLEL_CROSSOVER,
+};

@@ -46,6 +46,19 @@ use crate::error::NumericsError;
 use crate::matrix::Mat;
 use crate::qr::Qr;
 
+/// Minimum number of evaluation points at which a caller should prefer
+/// reducing the pencil over factoring `G + s·C` from scratch per point.
+///
+/// The reduction costs roughly two dense `O(n³)` factorizations up
+/// front (QR of `C` plus the Givens chase) and each reduced evaluation
+/// costs about a third of a dense LU, so a handful of points amortizes
+/// it. Measured break-even (`sweep_scaling` bench, 5-section RC ladder,
+/// MNA dim 7): the reduced path wins from ~8 points and is ~1.6× faster
+/// at 120 points; larger pencils cross over even earlier because the
+/// `O(n³)`/`O(n²)` gap widens. `rvf-circuit::transfer_sweep` dispatches
+/// on this constant (re-exported there as `REDUCTION_CROSSOVER`).
+pub const PENCIL_REDUCTION_CROSSOVER: usize = 8;
+
 /// A pencil `(G, C)` reduced to Hessenberg–triangular form
 /// `(H, R) = (Qᵀ·G·Z, Qᵀ·C·Z)`.
 ///
@@ -173,12 +186,39 @@ impl HtPencil {
     /// `O(n²)`, where `bt` is a projected right-hand side from
     /// [`HtPencil::project_input`].
     ///
+    /// Purely imaginary evaluation points — the jω grid of an AC or TFT
+    /// sweep, by far the common case — dispatch to the real-arithmetic
+    /// kernel [`HtPencil::solve_reduced_jw`]; everything else takes the
+    /// general complex path ([`HtPencil::solve_reduced_complex`]).
+    ///
     /// # Errors
     ///
     /// Returns [`NumericsError::Singular`] when `G + s·C` is singular at
     /// this frequency and [`NumericsError::DimensionMismatch`] on a
     /// length mismatch.
     pub fn solve_reduced(&self, s: Complex, bt: &[f64]) -> Result<Vec<Complex>, NumericsError> {
+        if s.re == 0.0 {
+            self.solve_reduced_jw(s.im, bt)
+        } else {
+            self.solve_reduced_complex(s, bt)
+        }
+    }
+
+    /// The general-complex reference path of [`HtPencil::solve_reduced`]:
+    /// assembles `H + s·R` as a complex matrix and runs a complex
+    /// Hessenberg elimination. Public so the jω kernel can be pinned
+    /// against it (tests, proptests, and the
+    /// `pencil_solve_real_vs_complex` bench); production callers should
+    /// use the dispatching [`HtPencil::solve_reduced`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HtPencil::solve_reduced`].
+    pub fn solve_reduced_complex(
+        &self,
+        s: Complex,
+        bt: &[f64],
+    ) -> Result<Vec<Complex>, NumericsError> {
         let n = self.dim();
         if bt.len() != n {
             return Err(NumericsError::DimensionMismatch { expected: n, got: bt.len() });
@@ -187,6 +227,36 @@ impl HtPencil {
         let mut y: Vec<Complex> = bt.iter().map(|&v| Complex::from_re(v)).collect();
         hessenberg_solve_in_place(&mut m, &mut y)?;
         Ok(y)
+    }
+
+    /// Solves `(H + jω·R)·y = bt` with the real-arithmetic jω kernel:
+    /// no complex matrix is ever assembled.
+    ///
+    /// The shifted matrix is carried as split real/imaginary planes
+    /// built straight from the real factors (`re = H`, `im = ω·R` — one
+    /// real multiply per entry, not a complex one), the right-hand side
+    /// starts purely real, and the elimination/back-substitution run as
+    /// scalar `f64` arithmetic: complex divides are Smith-scaled pivot
+    /// reciprocals carried as two real scalars (matching the complex
+    /// path's robustness to extreme pivot magnitudes, without `Complex`
+    /// values). Same adjacent-row partial pivoting decisions as the
+    /// complex path, so both paths agree to roundoff (pinned at ≤1e-12
+    /// relative by the `pencil` proptests).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HtPencil::solve_reduced`].
+    pub fn solve_reduced_jw(&self, omega: f64, bt: &[f64]) -> Result<Vec<Complex>, NumericsError> {
+        let n = self.dim();
+        if bt.len() != n {
+            return Err(NumericsError::DimensionMismatch { expected: n, got: bt.len() });
+        }
+        let mut mr: Vec<f64> = self.h.as_slice().to_vec();
+        let mut mi: Vec<f64> = self.r.as_slice().iter().map(|&v| omega * v).collect();
+        let mut yr: Vec<f64> = bt.to_vec();
+        let mut yi: Vec<f64> = vec![0.0; n];
+        jw_hessenberg_solve_in_place(n, &mut mr, &mut mi, &mut yr, &mut yi)?;
+        Ok(yr.iter().zip(&yi).map(|(&re, &im)| Complex::new(re, im)).collect())
     }
 
     /// Evaluates `dtᵀ·(H + s·R)⁻¹·bt` for projected ports `bt = Qᵀ·b`,
@@ -332,6 +402,99 @@ fn hessenberg_solve_in_place(m: &mut CMat, rhs: &mut [Complex]) -> Result<(), Nu
     Ok(())
 }
 
+/// Smith-scaled complex division `(ar + j·ai) / (br + j·bi)` in scalar
+/// real arithmetic: one real division for the scaling ratio, one real
+/// reciprocal for the scaled denominator, multiplies elsewhere. Scaling
+/// by the larger denominator component keeps the intermediate products
+/// in range wherever the quotient itself is representable — the same
+/// overflow/underflow behaviour as the complex path's [`Complex::inv`],
+/// where a naive `conj/|b|²` form would spuriously over- or underflow
+/// for `|b|` outside roughly `[1e-154, 1e154]`.
+#[inline]
+fn smith_div(ar: f64, ai: f64, br: f64, bi: f64) -> (f64, f64) {
+    if br.abs() >= bi.abs() {
+        let r = bi / br;
+        let inv = 1.0 / (br + bi * r);
+        ((ar + ai * r) * inv, (ai - ar * r) * inv)
+    } else {
+        let r = br / bi;
+        let inv = 1.0 / (bi + br * r);
+        ((ar * r + ai) * inv, (ai * r - ar) * inv)
+    }
+}
+
+/// In-place real-arithmetic solve of the upper Hessenberg system
+/// `(Mr + j·Mi)·(yr + j·yi) = yr₀ + j·yi₀` with adjacent-row partial
+/// pivoting, on split row-major `n×n` planes: `O(n²)` scalar `f64`
+/// operations, no `Complex` values anywhere.
+///
+/// Pivot comparisons use squared magnitudes (the same decisions as the
+/// complex path) and divisions are Smith-scaled ([`smith_div`],
+/// matching the complex path's robustness to extreme magnitudes).
+fn jw_hessenberg_solve_in_place(
+    n: usize,
+    mr: &mut [f64],
+    mi: &mut [f64],
+    yr: &mut [f64],
+    yi: &mut [f64],
+) -> Result<(), NumericsError> {
+    // Forward sweep: eliminate the single subdiagonal entry per column.
+    for k in 0..n.saturating_sub(1) {
+        let (p, q) = (k * n + k, (k + 1) * n + k);
+        if mr[q] * mr[q] + mi[q] * mi[q] > mr[p] * mr[p] + mi[p] * mi[p] {
+            for j in k..n {
+                mr.swap(k * n + j, (k + 1) * n + j);
+                mi.swap(k * n + j, (k + 1) * n + j);
+            }
+            yr.swap(k, k + 1);
+            yi.swap(k, k + 1);
+        }
+        let (sr, si) = (mr[q], mi[q]);
+        if sr == 0.0 && si == 0.0 {
+            continue;
+        }
+        let (pr, pi) = (mr[p], mi[p]);
+        // factor = sub/pivot, Smith-scaled. The subdiagonal is purely
+        // real unless a pivot swap disturbed it (R is triangular), so
+        // si is usually an exact 0.0 feeding trivial products.
+        let (fr, fi) = smith_div(sr, si, pr, pi);
+        let (upper, lower) = mr.split_at_mut((k + 1) * n);
+        let (iupper, ilower) = mi.split_at_mut((k + 1) * n);
+        let row_k_r = &upper[k * n..];
+        let row_k_i = &iupper[k * n..];
+        for j in (k + 1)..n {
+            let (ar, ai) = (row_k_r[j], row_k_i[j]);
+            lower[j] -= fr * ar - fi * ai;
+            ilower[j] -= fr * ai + fi * ar;
+        }
+        lower[k] = 0.0;
+        ilower[k] = 0.0;
+        let (br, bi) = (yr[k], yi[k]);
+        yr[k + 1] -= fr * br - fi * bi;
+        yi[k + 1] -= fr * bi + fi * br;
+    }
+    // Back substitution, with the solution accumulated into (yr, yi).
+    for i in (0..n).rev() {
+        let row_r = &mr[i * n..(i + 1) * n];
+        let row_i = &mi[i * n..(i + 1) * n];
+        let (mut ar, mut ai) = (yr[i], yi[i]);
+        for j in (i + 1)..n {
+            let (ur, ui) = (row_r[j], row_i[j]);
+            let (xr, xi) = (yr[j], yi[j]);
+            ar -= ur * xr - ui * xi;
+            ai -= ur * xi + ui * xr;
+        }
+        let (dr, di) = (row_r[i], row_i[i]);
+        if dr == 0.0 && di == 0.0 {
+            return Err(NumericsError::Singular { pivot: i });
+        }
+        let (xr, xi) = smith_div(ar, ai, dr, di);
+        yr[i] = xr;
+        yi[i] = xi;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +596,106 @@ mod tests {
         let direct: Complex =
             d.iter().zip(&x).fold(Complex::ZERO, |acc, (di, xi)| acc + xi.scale(*di));
         assert!((fast - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jw_kernel_matches_complex_path() {
+        // The dispatch target and the reference path must agree to
+        // roundoff across sizes and frequency scales, including ω = 0,
+        // negative ω, and frequencies large enough to make ω·R dominate.
+        for n in [1, 2, 3, 5, 8, 13] {
+            let g = rand_mat(n, 21 + n as u64);
+            let c = rand_mat(n, 4000 + n as u64);
+            let p = HtPencil::reduce(&g, &c).unwrap();
+            let bt: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+            for omega in [0.0, 1.0, -2.5, 1.0e-6, 3.0e4, 6.0e10] {
+                let fast = p.solve_reduced_jw(omega, &bt).unwrap();
+                let slow = p.solve_reduced_complex(Complex::from_im(omega), &bt).unwrap();
+                let scale = slow.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(f64::MIN_POSITIVE);
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert!(
+                        (*a - *b).abs() <= 1e-12 * scale,
+                        "n={n}, omega={omega}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jw_kernel_survives_extreme_pivot_magnitudes() {
+        // Badly scaled pencils whose reduced pivots sit far outside the
+        // range where a naive conj/|pivot|² inversion survives: the
+        // Smith-scaled kernel must track the complex path (which
+        // divides through Complex::inv) instead of spuriously over- or
+        // underflowing.
+        for scale in [1.0e-160, 1.0e160] {
+            let n = 5;
+            let mut g = rand_mat(n, 3100 + n as u64);
+            let mut c = rand_mat(n, 7100 + n as u64);
+            for v in g.as_mut_slice() {
+                *v *= scale;
+            }
+            for v in c.as_mut_slice() {
+                *v *= scale;
+            }
+            let p = HtPencil::reduce(&g, &c).unwrap();
+            let bt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin()).collect();
+            for omega in [0.0, 1.0, 2.5e4] {
+                let fast = p.solve_reduced_jw(omega, &bt).unwrap();
+                let slow = p.solve_reduced_complex(Complex::from_im(omega), &bt).unwrap();
+                let norm = slow.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+                assert!(norm.is_finite() && norm > 0.0, "reference degenerate at {scale:e}");
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert!(a.is_finite(), "jω kernel overflowed at scale {scale:e}");
+                    assert!(
+                        (*a - *b).abs() <= 1e-12 * norm,
+                        "scale {scale:e}, omega {omega}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_dispatches_jw_points_to_the_real_kernel() {
+        // A purely imaginary s must produce the jω kernel's bits; a
+        // general s must not take that path (checked via agreement with
+        // the explicit reference calls).
+        let n = 6;
+        let g = rand_mat(n, 77);
+        let c = rand_mat(n, 78);
+        let p = HtPencil::reduce(&g, &c).unwrap();
+        let bt: Vec<f64> = (0..n).map(|i| 1.0 / (i + 2) as f64).collect();
+        let via_dispatch = p.solve_reduced(Complex::from_im(3.0), &bt).unwrap();
+        let via_jw = p.solve_reduced_jw(3.0, &bt).unwrap();
+        for (a, b) in via_dispatch.iter().zip(&via_jw) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        let s = Complex::new(-0.5, 3.0);
+        let via_dispatch = p.solve_reduced(s, &bt).unwrap();
+        let via_complex = p.solve_reduced_complex(s, &bt).unwrap();
+        for (a, b) in via_dispatch.iter().zip(&via_complex) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn jw_kernel_detects_singularity() {
+        // G = diag(1, 0, 1) with C = 0: H + jω·R is singular for all ω.
+        let mut g = Mat::identity(3);
+        g[(1, 1)] = 0.0;
+        let c = Mat::zeros(3, 3);
+        let p = HtPencil::reduce(&g, &c).unwrap();
+        let err = p.solve_reduced_jw(1.0, &[1.0, 1.0, 1.0]);
+        assert!(matches!(err, Err(NumericsError::Singular { .. })));
+        // And the length check.
+        assert!(matches!(
+            p.solve_reduced_jw(1.0, &[1.0]),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

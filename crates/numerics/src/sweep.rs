@@ -1,23 +1,37 @@
-//! Work-stealing sweep executor.
+//! Work-stealing sweep runtime: one-shot sweeps and a persistent pool.
 //!
 //! The TFT stage evaluates one transfer function per Jacobian snapshot;
 //! snapshots are independent but *not* uniformly priced: one near a
 //! singular operating point (slow pivoting, retries upstream) or with a
 //! larger MNA dimension can cost many times its neighbours. A fixed
 //! `chunks_mut` partition then leaves every other worker idle while one
-//! chunk drags. [`run_sweep`] instead drains an atomic-index task queue:
-//! each scoped worker claims the next unclaimed index with a
+//! chunk drags. The executor here instead drains an atomic-index task
+//! queue: each worker claims the next unclaimed index with a
 //! `fetch_add`, so load balances itself at task granularity with no
-//! channels, no `Arc`, and no dependency beyond `std`.
+//! channels, no external dependency beyond `std`.
 //!
-//! Failure semantics:
+//! Two entry styles share that queue:
+//!
+//! * [`run_sweep`] / [`run_sweep_with`] — one-shot sweeps; a pool is
+//!   built for the call and torn down afterwards (and skipped entirely
+//!   on the inline single-worker path).
+//! * [`SweepPool`] — a persistent runtime of parked worker threads.
+//!   The recursive-VF hot loop runs *many* small parallel regions (one
+//!   per relocation round, per pole count, per pipeline stage); paying
+//!   a spawn/join cycle per region made thread management the dominant
+//!   fixed cost. A pool is constructed once per fit (or extraction) and
+//!   every region becomes a `run_with` *round*: an epoch handoff to
+//!   already-running parked workers, O(µs) instead of O(spawn).
+//!
+//! Failure semantics (identical for both styles):
 //!
 //! * the first task error aborts the sweep — remaining queued tasks are
 //!   dropped, in-flight tasks finish their current item — and is
 //!   returned as [`SweepError::Task`] with the index that failed;
 //! * a panicking task is caught at the call site, aborts the sweep the
 //!   same way, and surfaces as [`SweepError::WorkerPanicked`] instead
-//!   of tearing down the caller — on the inline single-worker path too.
+//!   of tearing down the caller — on the inline single-worker path too,
+//!   and without poisoning a persistent pool (it stays usable).
 //!
 //! # Examples
 //!
@@ -28,10 +42,42 @@
 //! let squares = run_sweep(8, 3, |i| Ok::<_, ()>(i * i)).unwrap();
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
+//!
+//! Reuse one pool across many rounds — the relocation-loop pattern:
+//!
+//! ```
+//! use rvf_numerics::sweep::{SweepConfig, SweepPool};
+//!
+//! let pool = SweepPool::new(3);
+//! let mut scratch = vec![0u64; pool.workers()];
+//! for round in 1..=4u64 {
+//!     let out = pool
+//!         .run_with(6, &SweepConfig::threads(3), &mut scratch, |ws, i| {
+//!             *ws += 1; // per-worker state survives across rounds
+//!             Ok::<_, ()>(round * i as u64)
+//!         })
+//!         .unwrap();
+//!     assert_eq!(out[5], round * 5);
+//! }
+//! assert_eq!(pool.sweeps(), 4);
+//! ```
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
+
+/// Below this many tasks, an *auto* thread request (`threads == 0`)
+/// resolves to a single serial worker in the consumers that adopt the
+/// convention (the vector-fit per-response stages, see
+/// `rvf-vecfit`): the per-task work there is a small block QR, and the
+/// `vf_k_scaling_k004_*` benches measure parity between the serial and
+/// dispatched paths at 4 responses — below ~8 uniform small tasks the
+/// round-dispatch overhead cannot pay for itself. Workloads with
+/// heavyweight tasks (e.g. whole-snapshot frequency sweeps) ignore the
+/// crossover and parallelize from 2 tasks up.
+pub const AUTO_PARALLEL_CROSSOVER: usize = 8;
 
 /// Tuning knobs of a sweep run.
 ///
@@ -73,13 +119,14 @@ impl SweepConfig {
 ///
 /// SAFETY: `Sync` is sound because the claim counter hands every index
 /// to exactly one worker (no two threads ever touch the same slot) and
-/// the spawning scope joins all workers before any slot is read.
+/// the dispatching call waits for every worker to finish its round
+/// before any slot is read.
 struct Slot<T>(UnsafeCell<Option<T>>);
 
 // SAFETY: see the type-level invariant above.
 unsafe impl<T: Send> Sync for Slot<T> {}
 
-/// Error produced by a [`run_sweep`] run.
+/// Error produced by a sweep run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SweepError<E> {
     /// A task returned an error; the sweep was aborted.
@@ -107,14 +154,425 @@ impl<E: core::fmt::Display> core::fmt::Display for SweepError<E> {
 
 impl<E: core::fmt::Debug + core::fmt::Display> std::error::Error for SweepError<E> {}
 
-/// Runs `n_tasks` independent tasks over `threads` scoped workers using
-/// an atomic-index task queue and returns the results in task order.
+/// Process-wide count of [`SweepPool`] constructions (every
+/// `SweepPool::new`, including the transient pools behind the one-shot
+/// wrappers and single-worker pools that spawn no OS thread).
+///
+/// This is the observable behind the runtime's O(1)-spawn contract: a
+/// fit with R relocation rounds must advance this counter by exactly
+/// one, however many rounds it dispatches. Tests snapshot it before and
+/// after the code under test; note that parallel tests in one process
+/// share the counter, so precise-delta assertions belong in their own
+/// test binary.
+pub fn pool_constructions() -> u64 {
+    POOL_CONSTRUCTIONS.load(Ordering::Relaxed)
+}
+
+static POOL_CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Type-erased per-round worker body; the argument is the worker slot.
+type RoundBody = dyn Fn(usize) + Sync;
+
+/// Raw pointer to the current round's body, valid only while the round
+/// is in flight (the dispatcher does not return until every participant
+/// has finished, so the pointee outlives every dereference).
+struct BodyPtr(*const RoundBody);
+
+// SAFETY: the pointer is only dereferenced between the epoch bump that
+// publishes it and the `remaining == 0` handshake that retires it, a
+// window during which the dispatcher keeps the pointee alive.
+unsafe impl Send for BodyPtr {}
+
+/// Shared pool state behind the mutex.
+struct PoolState {
+    /// Round generation; bumped once per dispatched round.
+    epoch: u64,
+    /// The current round's erased body (present while a round runs).
+    body: Option<BodyPtr>,
+    /// Pool workers that should take part in the current round
+    /// (slots `1..=participants`).
+    participants: usize,
+    /// Participants that have not yet finished the current round.
+    remaining: usize,
+    /// Slot of a worker whose round body escaped panic containment.
+    poisoned: Option<usize>,
+    /// Tells parked workers to exit.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between rounds.
+    work: Condvar,
+    /// The dispatcher parks here until `remaining == 0`.
+    done: Condvar,
+}
+
+/// Locks a mutex, shrugging off poisoning: pool invariants are
+/// maintained under the lock only, and round bodies run outside it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A persistent work-stealing worker pool.
+///
+/// `SweepPool::new(threads)` resolves `threads` ([`resolve_threads`])
+/// to a *capacity* — the maximum workers a round can use, **including
+/// the calling thread** — and parks `capacity − 1` long-lived OS
+/// threads. Every [`SweepPool::run_with`] call is then a *round*: the
+/// task closure is type-erased and handed to the parked workers through
+/// an epoch bump, the caller joins in as worker 0, and the call returns
+/// once every participant has drained the shared atomic-index queue.
+/// No thread is spawned or joined per round, which collapses the
+/// O(rounds × stages) spawn cost of a recursive fit to O(1).
+///
+/// A pool is freely shared (`run_with` takes `&self`); concurrent
+/// dispatches from several threads are serialized, not interleaved.
+/// Worker panics are contained per round ([`SweepError::WorkerPanicked`])
+/// and leave the pool reusable. Dropping the pool parks out and joins
+/// its workers.
+///
+/// Determinism: results land in write-once slots addressed by task
+/// index, so for any task that is a pure function of
+/// `(workspace-as-scratch, index)` the output is bit-identical for
+/// every capacity, worker count, and claim interleaving — the property
+/// the parallel vector-fitting layer builds on.
+pub struct SweepPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    capacity: usize,
+    /// Serializes rounds from concurrent dispatchers.
+    dispatch: Mutex<()>,
+    sweeps: AtomicU64,
+    rounds: AtomicU64,
+}
+
+impl core::fmt::Debug for SweepPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SweepPool")
+            .field("capacity", &self.capacity)
+            .field("sweeps", &self.sweeps())
+            .field("rounds", &self.rounds())
+            .finish()
+    }
+}
+
+impl SweepPool {
+    /// Builds a pool with `threads` worker capacity (`0` = one per
+    /// available core; the capacity counts the calling thread, so
+    /// `capacity − 1` OS threads are spawned and parked).
+    pub fn new(threads: usize) -> Self {
+        POOL_CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
+        let capacity = resolve_threads(threads).max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                body: None,
+                participants: 0,
+                remaining: 0,
+                poisoned: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..capacity)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared, w))
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            capacity,
+            dispatch: Mutex::new(()),
+            sweeps: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker capacity of the pool (calling thread included).
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of sweeps this pool has executed (inline ones included).
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps.load(Ordering::Relaxed)
+    }
+
+    /// Number of *parallel* rounds dispatched to the parked workers
+    /// (sweeps that resolved to the inline path are not counted).
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Runs `n_tasks` workspace-free tasks on the pool; the counterpart
+    /// of [`run_sweep`] for a persistent runtime.
+    ///
+    /// # Errors
+    ///
+    /// Same failure semantics as [`SweepPool::run_with`].
+    pub fn run<T, E, F>(
+        &self,
+        n_tasks: usize,
+        cfg: &SweepConfig,
+        task: F,
+    ) -> Result<Vec<T>, SweepError<E>>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        let mut units = vec![(); self.capacity];
+        self.run_with(n_tasks, cfg, &mut units, |(), i| task(i))
+    }
+
+    /// Runs one sweep round on the pool: `task(ws, i)` is called exactly
+    /// once for every `i` in `0..n_tasks` (unless an earlier task
+    /// fails), with worker `w` exclusively borrowing `workspaces[w]`
+    /// for the round — keep the workspace pool alive across rounds and
+    /// its buffers are paid for once. Results come back in task order.
+    ///
+    /// The effective worker count is the minimum of the resolved
+    /// `cfg.threads`, `n_tasks`, `workspaces.len()`, and the pool
+    /// capacity; with one effective worker the round runs inline on the
+    /// calling thread (no handoff, same semantics). `cfg.batch` indices
+    /// are claimed per queue pop (see [`SweepConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Task`] wrapping the first task error
+    /// observed (by claim order; ties across workers are raced) and
+    /// [`SweepError::WorkerPanicked`] if a task panicked. In both cases
+    /// the queue is drained early: tasks not yet claimed when the
+    /// failure is flagged are never started, and a workspace a
+    /// panicking task ran on is left in an unspecified (but valid)
+    /// state. The pool itself survives either failure and can run
+    /// further sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tasks > 0` and `workspaces` is empty.
+    pub fn run_with<W, T, E, F>(
+        &self,
+        n_tasks: usize,
+        cfg: &SweepConfig,
+        workspaces: &mut [W],
+        task: F,
+    ) -> Result<Vec<T>, SweepError<E>>
+    where
+        W: Send,
+        T: Send,
+        E: Send,
+        F: Fn(&mut W, usize) -> Result<T, E> + Sync,
+    {
+        if n_tasks == 0 {
+            return Ok(Vec::new());
+        }
+        assert!(!workspaces.is_empty(), "sweep needs at least one workspace");
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        let batch = cfg.batch.max(1);
+        let workers =
+            resolve_threads(cfg.threads).min(n_tasks).min(workspaces.len()).min(self.capacity);
+        if workers <= 1 {
+            return run_inline(n_tasks, &mut workspaces[0], &task);
+        }
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        // One write-once slot per task: workers deposit results directly
+        // at their claimed index, so nothing is collected per item and
+        // no reordering pass is needed at the end of the round.
+        let slots: Vec<Slot<T>> = (0..n_tasks).map(|_| Slot(UnsafeCell::new(None))).collect();
+        let first_err: Mutex<Option<SweepError<E>>> = Mutex::new(None);
+        let ws_base = WsPtr(workspaces.as_mut_ptr(), PhantomData);
+        let (slots_ref, task_ref, ws_ref) = (slots.as_slice(), &task, &ws_base);
+
+        let body = |w: usize| {
+            // SAFETY: slot `w` is handed to exactly one thread per round
+            // (worker w), so this &mut aliases nothing.
+            let ws: &mut W = unsafe { &mut *ws_ref.0.add(w) };
+            loop {
+                if abort.load(Ordering::Acquire) {
+                    return;
+                }
+                let start = next.fetch_add(batch, Ordering::Relaxed);
+                if start >= n_tasks {
+                    return;
+                }
+                for i in start..(start + batch).min(n_tasks) {
+                    if abort.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match catch_task(task_ref, ws, i) {
+                        // SAFETY: the fetch_add hands every index to
+                        // exactly one worker, so this slot is written by
+                        // this thread only, and the round handshake
+                        // happens before the slots are read.
+                        Ok(v) => unsafe { *slots_ref[i].0.get() = Some(v) },
+                        Err(e) => {
+                            // The first failure (error or contained
+                            // panic) wins and flags the other workers
+                            // down before they claim more work.
+                            abort.store(true, Ordering::Release);
+                            lock(&first_err).get_or_insert(e.into_error(w));
+                            return;
+                        }
+                    }
+                }
+            }
+        };
+        let poisoned = self.dispatch_round(&body, workers);
+
+        if let Some(e) = lock(&first_err).take() {
+            return Err(e);
+        }
+        if let Some(worker) = poisoned {
+            // Backstop: a panic escaping catch_task (e.g. from a
+            // panicking Drop) still stays contained at the handshake.
+            return Err(SweepError::WorkerPanicked { worker });
+        }
+        // Every participant exited cleanly and no error was flagged, so
+        // every index was claimed and filled exactly once.
+        Ok(slots.into_iter().map(|s| s.0.into_inner().expect("sweep slot filled")).collect())
+    }
+
+    /// Publishes `body` to `workers − 1` parked pool threads, runs the
+    /// caller's share as worker 0, and blocks until every participant
+    /// has finished. Returns the slot of a worker whose body escaped
+    /// panic containment, if any.
+    fn dispatch_round(&self, body: &(dyn Fn(usize) + Sync), workers: usize) -> Option<usize> {
+        let _round = lock(&self.dispatch);
+        {
+            let mut st = lock(&self.shared.state);
+            // SAFETY (lifetime erasure): workers dereference this
+            // pointer only between the epoch bump below and the
+            // `remaining == 0` handshake we wait for before returning,
+            // and `body` outlives this call.
+            st.body = Some(BodyPtr(unsafe {
+                core::mem::transmute::<*const (dyn Fn(usize) + Sync), *const RoundBody>(body)
+            }));
+            st.participants = workers - 1;
+            st.remaining = workers - 1;
+            st.poisoned = None;
+            st.epoch += 1;
+            self.shared.work.notify_all();
+        }
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(0)));
+        let poisoned = {
+            let mut st = lock(&self.shared.state);
+            while st.remaining > 0 {
+                st = self.shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.body = None;
+            let mut poisoned = st.poisoned.take();
+            if caller.is_err() {
+                poisoned.get_or_insert(0);
+            }
+            poisoned
+        };
+        poisoned
+    }
+}
+
+impl Drop for SweepPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The parked-worker loop: wait for an epoch that includes this slot,
+/// run the round body, report completion, park again.
+fn worker_loop(shared: &PoolShared, w: usize) {
+    let mut seen = 0u64;
+    loop {
+        let body = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    if w <= st.participants {
+                        let ptr = st.body.as_ref().expect("round body published").0;
+                        break BodyPtr(ptr);
+                    }
+                    // Not part of this round; park until the next epoch.
+                }
+                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: the dispatcher keeps the body alive until every
+        // participant (us included) has decremented `remaining`.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            (*body.0)(w);
+        }));
+        let mut st = lock(&shared.state);
+        if outcome.is_err() {
+            st.poisoned.get_or_insert(w);
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Raw base pointer into the workspace slice, shared with the round
+/// body.
+///
+/// SAFETY invariant: worker `w` (and only worker `w`) derives
+/// `&mut *ptr.add(w)`, and the dispatching call keeps the slice
+/// exclusively borrowed until the round completes.
+struct WsPtr<W>(*mut W, PhantomData<W>);
+
+// SAFETY: see the type-level invariant above.
+unsafe impl<W: Send> Sync for WsPtr<W> {}
+
+/// The no-handoff path shared by every entry point: run all tasks on
+/// the calling thread with full failure-semantics parity (including
+/// panic containment), so a single-worker sweep pays no spawn and no
+/// dispatch.
+fn run_inline<W, T, E, F>(n_tasks: usize, ws: &mut W, task: &F) -> Result<Vec<T>, SweepError<E>>
+where
+    F: Fn(&mut W, usize) -> Result<T, E> + Sync,
+{
+    let mut out = Vec::with_capacity(n_tasks);
+    for i in 0..n_tasks {
+        match catch_task(task, ws, i) {
+            Ok(v) => out.push(v),
+            Err(e) => return Err(e.into_error(0)),
+        }
+    }
+    Ok(out)
+}
+
+/// Runs `n_tasks` independent tasks over `threads` workers using an
+/// atomic-index task queue and returns the results in task order.
 ///
 /// `task(i)` is called exactly once for every `i` in `0..n_tasks`
 /// (unless an earlier task fails — see below). Workers claim indices
 /// with a relaxed `fetch_add` on a shared counter, so a slow task only
 /// occupies one worker while the rest keep draining the queue; there is
 /// no up-front partition to go stale.
+///
+/// This is the one-shot form: a transient [`SweepPool`] is built for
+/// the call and dropped afterwards. Callers that sweep repeatedly (the
+/// relocation loop of a vector fit, consecutive extractions) should
+/// hold a pool and use [`SweepPool::run`] /
+/// [`SweepPool::run_with`] so the spawn cost is paid once.
 ///
 /// `threads == 0` resolves to [`std::thread::available_parallelism`];
 /// the worker count is additionally clamped to `n_tasks`. With one
@@ -149,6 +607,10 @@ where
 /// the resolved `cfg.threads`, `n_tasks`, and `workspaces.len()`; with
 /// one worker (or one task) the sweep runs inline on the calling thread
 /// using `workspaces[0]`.
+///
+/// This is the one-shot form (a transient [`SweepPool`] backs the
+/// multi-worker path); repeated sweeps should borrow a persistent pool
+/// via [`SweepPool::run_with`] instead.
 ///
 /// `cfg.batch` indices are claimed per queue pop (see [`SweepConfig`]).
 /// Results come back in task order, and because every task runs exactly
@@ -198,87 +660,14 @@ where
         return Ok(Vec::new());
     }
     assert!(!workspaces.is_empty(), "run_sweep_with needs at least one workspace");
-    let batch = cfg.batch.max(1);
     let workers = resolve_threads(cfg.threads).min(n_tasks).min(workspaces.len());
     if workers <= 1 {
-        // Inline fast path: no spawn, same semantics — including panic
-        // containment, so a single-snapshot sweep behaves like a
-        // multi-worker one.
-        let ws = &mut workspaces[0];
-        let mut out = Vec::with_capacity(n_tasks);
-        for i in 0..n_tasks {
-            match catch_task(&task, ws, i) {
-                Ok(v) => out.push(v),
-                Err(e) => return Err(e.into_error(0)),
-            }
-        }
-        return Ok(out);
+        // Inline fast path: no pool, no spawn, same semantics —
+        // including panic containment, so a single-snapshot sweep
+        // behaves like a multi-worker one.
+        return run_inline(n_tasks, &mut workspaces[0], &task);
     }
-
-    let next = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
-    // One write-once slot per task: workers deposit results directly at
-    // their claimed index, so nothing is collected per item and no
-    // reordering pass is needed at the join.
-    let slots: Vec<Slot<T>> = (0..n_tasks).map(|_| Slot(UnsafeCell::new(None))).collect();
-    let first_err = thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for (w, ws) in workspaces.iter_mut().take(workers).enumerate() {
-            let (next, abort, task, slots) = (&next, &abort, &task, slots.as_slice());
-            handles.push(scope.spawn(move || -> Result<(), SweepError<E>> {
-                // The first failure (error or panic) wins and flags the
-                // other workers down before they claim more work.
-                loop {
-                    if abort.load(Ordering::Acquire) {
-                        return Ok(());
-                    }
-                    let start = next.fetch_add(batch, Ordering::Relaxed);
-                    if start >= n_tasks {
-                        return Ok(());
-                    }
-                    for i in start..(start + batch).min(n_tasks) {
-                        if abort.load(Ordering::Acquire) {
-                            return Ok(());
-                        }
-                        match catch_task(task, ws, i) {
-                            // SAFETY: the fetch_add hands every index to
-                            // exactly one worker, so this slot is written
-                            // by this thread only, and the scope joins
-                            // all workers before the slots are read.
-                            Ok(v) => unsafe { *slots[i].0.get() = Some(v) },
-                            Err(e) => {
-                                abort.store(true, Ordering::Release);
-                                return Err(e.into_error(w));
-                            }
-                        }
-                    }
-                }
-            }));
-        }
-        let mut first_err: Option<SweepError<E>> = None;
-        for (w, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => {
-                    abort.store(true, Ordering::Release);
-                    first_err.get_or_insert(e);
-                }
-                // Backstop: a panic escaping catch_task (e.g. from a
-                // panicking Drop) still stays contained at the join.
-                Err(_panic) => {
-                    abort.store(true, Ordering::Release);
-                    first_err.get_or_insert(SweepError::WorkerPanicked { worker: w });
-                }
-            }
-        }
-        first_err
-    });
-    if let Some(e) = first_err {
-        return Err(e);
-    }
-    // All workers exited cleanly and no error was flagged, so every
-    // index was claimed and filled exactly once.
-    Ok(slots.into_iter().map(|s| s.0.into_inner().expect("sweep slot filled")).collect())
+    SweepPool::new(workers).run_with(n_tasks, cfg, workspaces, task)
 }
 
 /// Outcome of one guarded task invocation.
@@ -525,5 +914,147 @@ mod tests {
         assert!(e.to_string().contains("task 2"));
         let e: SweepError<&str> = SweepError::WorkerPanicked { worker: 1 };
         assert!(e.to_string().contains("panicked"));
+    }
+
+    // ---- persistent pool ----
+
+    #[test]
+    fn pool_results_in_task_order_across_rounds() {
+        let pool = SweepPool::new(3);
+        let mut units = vec![(); pool.workers()];
+        for round in 0..5usize {
+            let out = pool
+                .run_with(17, &SweepConfig::threads(3), &mut units, |(), i| {
+                    Ok::<_, ()>(round * 100 + i)
+                })
+                .unwrap();
+            assert_eq!(out, (0..17).map(|i| round * 100 + i).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.sweeps(), 5);
+        assert_eq!(pool.rounds(), 5);
+    }
+
+    #[test]
+    fn pool_reuses_workspaces_across_many_rounds() {
+        let pool = SweepPool::new(4);
+        let mut tallies = vec![0usize; 4];
+        for _ in 0..50 {
+            pool.run_with(40, &SweepConfig::threads(4).with_batch(3), &mut tallies, |t, i| {
+                *t += 1;
+                Ok::<_, ()>(i)
+            })
+            .unwrap();
+        }
+        assert_eq!(tallies.iter().sum::<usize>(), 50 * 40);
+        assert_eq!(pool.rounds(), 50);
+    }
+
+    #[test]
+    fn pool_inline_path_skips_round_dispatch() {
+        let pool = SweepPool::new(4);
+        let mut units = vec![(); 4];
+        // One task (and separately one requested thread) stays inline.
+        pool.run_with(1, &SweepConfig::threads(4), &mut units, |(), i| Ok::<_, ()>(i)).unwrap();
+        pool.run_with(9, &SweepConfig::threads(1), &mut units, |(), i| Ok::<_, ()>(i)).unwrap();
+        assert_eq!(pool.sweeps(), 2);
+        assert_eq!(pool.rounds(), 0);
+    }
+
+    #[test]
+    fn pool_clamps_workers_to_capacity_and_workspaces() {
+        let pool = SweepPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        // Request 8 threads on a 2-capacity pool with 2 workspaces.
+        let mut tallies = vec![0usize; 2];
+        let out = pool
+            .run_with(20, &SweepConfig::threads(8), &mut tallies, |t, i| {
+                *t += 1;
+                Ok::<_, ()>(i)
+            })
+            .unwrap();
+        assert_eq!(out.len(), 20);
+        assert_eq!(tallies.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn pool_error_aborts_and_reports_index() {
+        let pool = SweepPool::new(3);
+        let mut units = vec![(); 3];
+        let err = pool
+            .run_with(64, &SweepConfig::threads(3), &mut units, |(), i| {
+                if i == 5 {
+                    Err("boom")
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SweepError::Task { index: 5, error: "boom" }), "got {err:?}");
+    }
+
+    #[test]
+    fn pool_contains_panics_and_stays_usable() {
+        let pool = SweepPool::new(3);
+        let mut units = vec![(); 3];
+        let err = pool
+            .run_with(16, &SweepConfig::threads(3), &mut units, |(), i| {
+                if i == 7 {
+                    panic!("poisoned");
+                }
+                Ok::<_, ()>(i)
+            })
+            .unwrap_err();
+        assert!(matches!(err, SweepError::WorkerPanicked { .. }), "got {err:?}");
+        // The pool survives the contained panic and runs a clean round.
+        let out =
+            pool.run_with(16, &SweepConfig::threads(3), &mut units, |(), i| Ok::<_, ()>(i * 2));
+        assert_eq!(out.unwrap()[15], 30);
+    }
+
+    #[test]
+    fn pool_shared_across_threads_serializes_rounds() {
+        // run_with takes &self: two dispatching threads must both
+        // complete correctly (rounds are serialized internally).
+        let pool = SweepPool::new(2);
+        let totals: Vec<usize> = thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut units = vec![(); 2];
+                        let mut total = 0usize;
+                        for _ in 0..10 {
+                            let out = pool
+                                .run_with(8, &SweepConfig::threads(2), &mut units, |(), i| {
+                                    Ok::<_, ()>(i)
+                                })
+                                .unwrap();
+                            total += out.iter().sum::<usize>();
+                        }
+                        total
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(totals, vec![280, 280]);
+    }
+
+    #[test]
+    fn pool_construction_counter_is_monotonic() {
+        // Other tests in this process construct pools concurrently, so
+        // only a lower bound is asserted here; the exact O(1)-per-fit
+        // delta is pinned in its own integration-test binary.
+        let before = pool_constructions();
+        let _pool = SweepPool::new(2);
+        let _transient = run_sweep(4, 2, |i| Ok::<_, ()>(i)).unwrap();
+        assert!(pool_constructions() >= before + 2);
+    }
+
+    #[test]
+    fn pool_run_without_workspaces() {
+        let pool = SweepPool::new(3);
+        let out = pool.run(9, &SweepConfig::threads(3).with_batch(2), |i| Ok::<_, ()>(i + 1));
+        assert_eq!(out.unwrap(), (1..=9).collect::<Vec<_>>());
     }
 }

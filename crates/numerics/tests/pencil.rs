@@ -96,6 +96,28 @@ proptest! {
     }
 
     #[test]
+    fn jw_real_kernel_matches_complex_hessenberg_solve(
+        (g, cm) in stable_pencil(6),
+        bt in prop::collection::vec(-5.0..5.0f64, 6),
+        w in -1.0e6..1.0e6f64,
+    ) {
+        // The real-arithmetic jω kernel must track the general complex
+        // reference path to ≤1e-12 relative on the reduced system —
+        // this is the pin behind HtPencil::solve's automatic dispatch
+        // for purely imaginary evaluation points.
+        let p = HtPencil::reduce(&g, &cm).unwrap();
+        let reference = p.solve_reduced_complex(Complex::from_im(w), &bt).unwrap();
+        let fast = p.solve_reduced_jw(w, &bt).unwrap();
+        let scale = reference.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
+        for (a, r) in fast.iter().zip(&reference) {
+            prop_assert!(
+                (*a - *r).abs() <= 1e-12 * scale,
+                "jω vs complex mismatch at w={}: {:?} vs {:?}", w, a, r
+            );
+        }
+    }
+
+    #[test]
     fn projected_transfer_equals_unprojected_dot(
         (g, cm) in stable_pencil(5),
         b in prop::collection::vec(-3.0..3.0f64, 5),

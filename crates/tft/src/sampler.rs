@@ -14,8 +14,9 @@
 //!   so each frequency point is an `O(n²)` back-substitution instead of
 //!   an `O(n³)` dense LU — `O(K·(n³ + L·n²))` overall instead of
 //!   `O(K·L·n³)`;
-//! * across snapshots, the work is spread over scoped worker threads by
-//!   the work-stealing executor [`rvf_numerics::run_sweep`], so a slow
+//! * across snapshots, the work is spread over the work-stealing sweep
+//!   runtime of `rvf-numerics` — one [`rvf_numerics::SweepPool`] round
+//!   per extraction, batched claiming for small snapshots — so a slow
 //!   snapshot (near-singular operating point, pivoting churn) occupies
 //!   one worker while the rest keep draining the queue.
 
@@ -23,7 +24,7 @@ use rvf_circuit::{
     dc_operating_point, transfer_sweep, transient, Circuit, DcOptions, JacobianSnapshot,
     TranOptions, TranResult,
 };
-use rvf_numerics::{logspace, run_sweep, Complex, Lu};
+use rvf_numerics::{logspace, resolve_threads, Complex, Lu, SweepConfig, SweepPool};
 
 use crate::dataset::{StateSample, TftDataset};
 use crate::error::TftError;
@@ -121,11 +122,22 @@ pub fn tft_from_snapshots(
     let s_grid: Vec<Complex> =
         freqs_hz.iter().map(|&f| Complex::from_im(2.0 * core::f64::consts::PI * f)).collect();
 
-    // One task per snapshot on the work-stealing executor: scoped
-    // threads borrow snapshots/b/d without Arc, and a slow snapshot no
-    // longer idles the workers that finished their share.
+    // One task per snapshot, dispatched as a single round on a worker
+    // pool shared with the rest of the extraction pipeline's runtime
+    // conventions: workers borrow snapshots/b/d without Arc, and a slow
+    // snapshot no longer idles the workers that finished their share.
+    // Small-dimension snapshots are claimed in batches (uniformly cheap
+    // tasks: claim-queue traffic would otherwise dominate); large ones
+    // keep task-granular stealing for load balance.
+    // Capacity clamped to the snapshot count before spawning: a sweep
+    // of 4 snapshots on a many-core machine must not park unusable
+    // workers.
+    let pool = SweepPool::new(resolve_threads(threads).min(snapshots.len()));
+    let workers = pool.workers();
+    let cfg =
+        SweepConfig::threads(threads).with_batch(snapshot_batch(snapshots.len(), dim, workers));
     let mut samples: Vec<StateSample> =
-        run_sweep(snapshots.len(), threads, |k| -> Result<StateSample, TftError> {
+        pool.run(snapshots.len(), &cfg, |k| -> Result<StateSample, TftError> {
             let snap = &snapshots[k];
             // Reduced-pencil sweep: one O(n³) reduction, O(n²) per
             // frequency (transfer_sweep falls back to per-point LU for
@@ -157,6 +169,24 @@ pub fn tft_from_snapshots(
         }
     }
     Ok(TftDataset::new(freqs_hz.to_vec(), samples))
+}
+
+/// MNA dimension at or below which a snapshot's frequency sweep is
+/// cheap and uniform enough that claim-queue traffic, not load
+/// imbalance, is the binding cost — such sweeps are chunked several
+/// snapshots per claim.
+const SMALL_SNAPSHOT_DIM: usize = 16;
+
+/// Claim batch for the snapshot sweep: small snapshots (MNA dimension ≤
+/// [`SMALL_SNAPSHOT_DIM`]) are chunked so each worker aims for ~4
+/// claims over the whole sweep; larger snapshots — an `O(n³)` reduction
+/// each, and irregular near singular operating points — keep
+/// task-granular stealing.
+fn snapshot_batch(n_snapshots: usize, dim: usize, workers: usize) -> usize {
+    if dim > SMALL_SNAPSHOT_DIM || workers <= 1 {
+        return 1;
+    }
+    (n_snapshots / (workers * 4)).max(1)
 }
 
 impl TftError {
@@ -317,8 +347,10 @@ mod tests {
     fn worker_panic_becomes_error_not_abort() {
         // Regression for the old `h.join().expect("tft worker panicked")`:
         // a poisoned worker must surface as TftError::WorkerPanicked
-        // through the executor's containment, not tear down the caller.
-        let swept = run_sweep(8, 2, |k| -> Result<usize, TftError> {
+        // through the runtime's containment — on the pooled path the
+        // sampler now takes — not tear down the caller.
+        let pool = SweepPool::new(2);
+        let swept = pool.run(8, &SweepConfig::threads(2), |k| -> Result<usize, TftError> {
             if k == 3 {
                 panic!("poisoned snapshot");
             }
@@ -331,7 +363,8 @@ mod tests {
 
     #[test]
     fn sweep_task_error_unwraps_to_inner_tft_error() {
-        let swept = run_sweep(4, 2, |k| -> Result<usize, TftError> {
+        let pool = SweepPool::new(2);
+        let swept = pool.run(4, &SweepConfig::threads(2), |k| -> Result<usize, TftError> {
             if k == 1 {
                 Err(TftError::NoSnapshots)
             } else {
@@ -340,6 +373,18 @@ mod tests {
         });
         let err: TftError = swept.unwrap_err().into();
         assert!(matches!(err, TftError::NoSnapshots));
+    }
+
+    #[test]
+    fn snapshot_batch_chunks_small_snapshots_only() {
+        // Small MNA dimension: ~4 claims per worker over the sweep.
+        assert_eq!(snapshot_batch(100, 4, 4), 6);
+        assert_eq!(snapshot_batch(100, SMALL_SNAPSHOT_DIM, 2), 12);
+        // Never zero, even for tiny sweeps.
+        assert_eq!(snapshot_batch(3, 4, 4), 1);
+        // Large snapshots and serial sweeps keep task granularity.
+        assert_eq!(snapshot_batch(100, SMALL_SNAPSHOT_DIM + 1, 4), 1);
+        assert_eq!(snapshot_batch(100, 4, 1), 1);
     }
 
     #[test]

@@ -22,20 +22,25 @@
 //!    frequency axis, conjugate-pair enforcement on the state axis).
 //!
 //! Steps 1–2 are independent per response, so they fan out over the
-//! work-stealing executor [`rvf_numerics::run_sweep_with`] when
-//! [`VfOptions::threads`] asks for workers: each worker owns a
+//! work-stealing sweep runtime of `rvf-numerics` when
+//! [`VfOptions::threads`] asks for workers: every parallel region of a
+//! fit — each relocation round and the final residue identification —
+//! is one [`SweepPool::run_with`] *round* on a single persistent pool
+//! that lives for the whole fit (or is borrowed from the caller via
+//! [`fit_in`] / [`fit_with_initial_in`], so a pole-growth loop pays one
+//! pool for its entire sequence of fits). Each worker owns a
 //! `BlockScratch` of reusable buffers (block, RHS, complex row, QR
 //! scalars) held in a `FitScratch` that lives for the whole fit, so
 //! the steady-state relocation round performs no per-response heap
-//! allocation. Every response writes its `R₂₂` rows to a fixed row
-//! range of the stacked system (`k·kept .. (k+1)·kept`), which makes
-//! the parallel result **bit-identical** to the serial one regardless
-//! of worker count or claim order. The final residue identification
-//! fans out the same way.
+//! allocation — and, with the pool, no thread spawn either. Every
+//! response writes its `R₂₂` rows to a fixed row range of the stacked
+//! system (`k·kept .. (k+1)·kept`), which makes the parallel result
+//! **bit-identical** to the serial one regardless of worker count or
+//! claim order.
 
 use rvf_numerics::{
-    eigenvalues, factor_with_rhs_in_place, lstsq_ridge, resolve_threads, run_sweep_with, Complex,
-    Mat, NumericsError, SweepConfig, SweepError,
+    eigenvalues, factor_with_rhs_in_place, lstsq_ridge, resolve_threads, Complex, Mat,
+    NumericsError, SweepConfig, SweepError, SweepPool, AUTO_PARALLEL_CROSSOVER,
 };
 
 use crate::basis::{basis_row, Residues};
@@ -43,10 +48,6 @@ use crate::error::VecfitError;
 use crate::model::{RationalModel, ResponseTerms};
 use crate::options::{Axis, VfOptions, Weighting};
 use crate::poles::{PoleEntry, PoleSet};
-
-/// Below this many responses, `threads == 0` (auto) stays serial: the
-/// per-response QR blocks are too few for spawn overhead to pay off.
-const PARALLEL_CROSSOVER: usize = 8;
 
 /// Result of a vector fitting run.
 #[derive(Debug, Clone)]
@@ -129,13 +130,57 @@ pub fn fit_with_initial(
     opts: &VfOptions,
     initial: Option<&PoleSet>,
 ) -> Result<VfFit, VecfitError> {
-    match fit_inner(samples, data, opts, initial) {
-        Err(VecfitError::Numerics(_)) if initial.is_some() => fit_inner(samples, data, opts, None),
+    let pool = SweepPool::new(auto_workers(opts.threads, data.len()));
+    fit_with_initial_in(&pool, samples, data, opts, initial)
+}
+
+/// [`fit`] running its parallel regions on a caller-owned [`SweepPool`].
+///
+/// The pool is borrowed, not consumed: callers that fit repeatedly —
+/// the RVF pole-growth loops fit once per pole count, each fit running
+/// one sweep round per relocation iteration — construct one pool and
+/// thread it through every fit, collapsing the per-fit spawn/join cost
+/// to a single pool construction for the whole sequence. The effective
+/// worker count of each round is still governed by
+/// [`VfOptions::threads`] (clamped to the pool capacity and the
+/// response count), and the result is bit-identical to [`fit`] for
+/// every pool size.
+///
+/// # Errors
+///
+/// See [`fit`].
+pub fn fit_in(
+    pool: &SweepPool,
+    samples: &[Complex],
+    data: &[Vec<Complex>],
+    opts: &VfOptions,
+) -> Result<VfFit, VecfitError> {
+    fit_with_initial_in(pool, samples, data, opts, None)
+}
+
+/// [`fit_with_initial`] running on a caller-owned [`SweepPool`]
+/// (see [`fit_in`]).
+///
+/// # Errors
+///
+/// See [`fit`].
+pub fn fit_with_initial_in(
+    pool: &SweepPool,
+    samples: &[Complex],
+    data: &[Vec<Complex>],
+    opts: &VfOptions,
+    initial: Option<&PoleSet>,
+) -> Result<VfFit, VecfitError> {
+    match fit_inner(pool, samples, data, opts, initial) {
+        Err(VecfitError::Numerics(_)) if initial.is_some() => {
+            fit_inner(pool, samples, data, opts, None)
+        }
         other => other,
     }
 }
 
 fn fit_inner(
+    pool: &SweepPool,
     samples: &[Complex],
     data: &[Vec<Complex>],
     opts: &VfOptions,
@@ -163,11 +208,12 @@ fn fit_inner(
     if poles.n_poles() > opts.n_poles {
         validate(samples, data, opts, poles.n_poles())?;
     }
-    let mut scratch = FitScratch::new(fit_workers(opts.threads, data.len()));
+    let mut scratch = FitScratch::new(auto_workers(opts.threads, data.len()).min(pool.workers()));
     let mut displacement = f64::INFINITY;
     let mut iterations_run = 0;
     for _ in 0..opts.iterations {
         let new_poles = relocate_once(
+            pool,
             samples,
             data,
             &weights,
@@ -184,7 +230,7 @@ fn fit_inner(
             break;
         }
     }
-    let model = identify_residues(samples, data, &weights, poles, opts, &mut scratch)?;
+    let model = identify_residues(pool, samples, data, &weights, poles, opts, &mut scratch)?;
     let rms_error = model_rms(&model, samples, data);
     Ok(VfFit { model, rms_error, iterations_run, final_displacement: displacement })
 }
@@ -203,10 +249,17 @@ pub fn fit_single(
 }
 
 /// Resolves the per-response worker count for `threads` over `k_count`
-/// responses (see [`VfOptions::threads`]).
-fn fit_workers(threads: usize, k_count: usize) -> usize {
+/// responses (see [`VfOptions::threads`]): an auto request (`0`) stays
+/// serial below [`AUTO_PARALLEL_CROSSOVER`] responses — the measured
+/// break-even of the per-response block stages (`vf_k_scaling` benches)
+/// — and resolves to one worker per core above it; explicit counts are
+/// clamped to the response count.
+///
+/// Public so stage drivers (the RVF pole-growth loops) can size a
+/// [`SweepPool`] once for a whole sequence of fits over the same data.
+pub fn auto_workers(threads: usize, k_count: usize) -> usize {
     let resolved = match threads {
-        0 if k_count < PARALLEL_CROSSOVER => 1,
+        0 if k_count < AUTO_PARALLEL_CROSSOVER => 1,
         t => resolve_threads(t),
     };
     resolved.clamp(1, k_count.max(1))
@@ -240,20 +293,23 @@ struct FitScratch {
     sig_norms: Vec<f64>,
     stacked: Mat,
     stacked_rhs: Vec<f64>,
-    pool: Vec<BlockScratch>,
+    /// Per-worker block scratch; its length is the fit's effective
+    /// worker count (threads resolved against the response count and
+    /// the sweep pool's capacity).
+    block_pool: Vec<BlockScratch>,
 }
 
 impl FitScratch {
     fn new(workers: usize) -> Self {
-        let mut pool = Vec::with_capacity(workers);
-        pool.resize_with(workers, BlockScratch::default);
+        let mut block_pool = Vec::with_capacity(workers);
+        block_pool.resize_with(workers, BlockScratch::default);
         Self {
             loc: Vec::new(),
             sig: Vec::new(),
             sig_norms: Vec::new(),
             stacked: Mat::default(),
             stacked_rhs: Vec::new(),
-            pool,
+            block_pool,
         }
     }
 }
@@ -500,9 +556,11 @@ fn equilibrate_columns(m: &mut Mat) -> Vec<f64> {
     norms
 }
 
-/// One sigma-identification + pole-relocation round.
+/// One sigma-identification + pole-relocation round: one sweep round on
+/// the borrowed pool, no thread spawn.
 #[allow(clippy::too_many_arguments)]
 fn relocate_once(
+    sweep_pool: &SweepPool,
     samples: &[Complex],
     data: &[Vec<Complex>],
     weights: &[Vec<f64>],
@@ -519,7 +577,7 @@ fn relocate_once(
     let n_sig = n_basis + usize::from(opts.relaxed);
     let n_cols = n_loc + n_sig;
 
-    let FitScratch { loc, sig, sig_norms, stacked, stacked_rhs, pool } = scratch;
+    let FitScratch { loc, sig, sig_norms, stacked, stacked_rhs, block_pool } = scratch;
     fill_local_columns(poles, samples, opts, loc);
     fill_sigma_columns(poles, samples, opts, sig);
     let (loc, sig) = (&*loc, &*sig);
@@ -569,71 +627,72 @@ fn relocate_once(
         rhs: stacked_rhs.as_mut_ptr(),
         n_sig,
     };
-    let workers = fit_workers(opts.threads, k_count);
+    let workers = block_pool.len();
     let cfg = SweepConfig::threads(workers).with_batch(response_batch(k_count, workers));
-    run_sweep_with(k_count, &cfg, &mut pool[..], |ws: &mut BlockScratch, k| {
-        ws.mdata.clear();
-        ws.bdata.clear();
-        for li in 0..l {
-            let w = weights[k][li];
-            let h = data[k][li];
-            ws.crow.clear();
-            for v in &loc[li] {
-                ws.crow.push(v.scale(w));
+    sweep_pool
+        .run_with(k_count, &cfg, &mut block_pool[..], |ws: &mut BlockScratch, k| {
+            ws.mdata.clear();
+            ws.bdata.clear();
+            for li in 0..l {
+                let w = weights[k][li];
+                let h = data[k][li];
+                ws.crow.clear();
+                for v in &loc[li] {
+                    ws.crow.push(v.scale(w));
+                }
+                for (j, v) in sig[li].iter().enumerate() {
+                    ws.crow.push(*v * h * (-w / sig_norms[j]));
+                }
+                let rhs = if opts.relaxed {
+                    Complex::ZERO
+                } else {
+                    // Classic VF: σ = 1 + Σ c̃φ moves H·1 to the RHS.
+                    h.scale(w)
+                };
+                realify_rows(opts.axis, &ws.crow, rhs, &mut ws.mdata, &mut ws.bdata);
             }
-            for (j, v) in sig[li].iter().enumerate() {
-                ws.crow.push(*v * h * (-w / sig_norms[j]));
+            // Equilibrate the local columns only (sigma columns already share
+            // the global scaling; rescaling them per-block would break the
+            // stacking).
+            ws.loc_norms.clear();
+            ws.loc_norms.resize(n_loc, 0.0);
+            for i in 0..block_rows {
+                let row = &ws.mdata[i * n_cols..i * n_cols + n_loc];
+                for (nj, v) in ws.loc_norms.iter_mut().zip(row) {
+                    *nj += v * v;
+                }
             }
-            let rhs = if opts.relaxed {
-                Complex::ZERO
-            } else {
-                // Classic VF: σ = 1 + Σ c̃φ moves H·1 to the RHS.
-                h.scale(w)
-            };
-            realify_rows(opts.axis, &ws.crow, rhs, &mut ws.mdata, &mut ws.bdata);
-        }
-        // Equilibrate the local columns only (sigma columns already share
-        // the global scaling; rescaling them per-block would break the
-        // stacking).
-        ws.loc_norms.clear();
-        ws.loc_norms.resize(n_loc, 0.0);
-        for i in 0..block_rows {
-            let row = &ws.mdata[i * n_cols..i * n_cols + n_loc];
-            for (nj, v) in ws.loc_norms.iter_mut().zip(row) {
-                *nj += v * v;
+            for n in &mut ws.loc_norms {
+                *n = n.sqrt().max(f64::MIN_POSITIVE);
             }
-        }
-        for n in &mut ws.loc_norms {
-            *n = n.sqrt().max(f64::MIN_POSITIVE);
-        }
-        for i in 0..block_rows {
-            for (j, nj) in ws.loc_norms.iter().enumerate() {
-                ws.mdata[i * n_cols + j] /= nj;
+            for i in 0..block_rows {
+                for (j, nj) in ws.loc_norms.iter().enumerate() {
+                    ws.mdata[i * n_cols + j] /= nj;
+                }
             }
-        }
-        // Fused in-place QR: reflectors hit the RHS during the
-        // factorization (no qt_mul pass), the block buffer is donated to
-        // the Mat and reclaimed (no clone), and only the R₂₂ rows are
-        // read out (no full R copy).
-        let mut block = Mat::from_vec(block_rows, n_cols, core::mem::take(&mut ws.mdata));
-        factor_with_rhs_in_place(&mut block, &mut ws.tau, &mut ws.bdata);
-        for (ri, row_out) in (n_loc..n_loc + kept).enumerate() {
-            let dest = k * kept + ri;
-            for j in 0..n_sig {
-                let col = n_loc + j;
-                // R is upper triangular; below-diagonal entries of the
-                // packed factor hold reflectors, not R.
-                let v = if col >= row_out { block[(row_out, col)] } else { 0.0 };
-                // SAFETY: response k owns this row range exclusively.
-                unsafe { writer.write(dest, j, v) };
+            // Fused in-place QR: reflectors hit the RHS during the
+            // factorization (no qt_mul pass), the block buffer is donated to
+            // the Mat and reclaimed (no clone), and only the R₂₂ rows are
+            // read out (no full R copy).
+            let mut block = Mat::from_vec(block_rows, n_cols, core::mem::take(&mut ws.mdata));
+            factor_with_rhs_in_place(&mut block, &mut ws.tau, &mut ws.bdata);
+            for (ri, row_out) in (n_loc..n_loc + kept).enumerate() {
+                let dest = k * kept + ri;
+                for j in 0..n_sig {
+                    let col = n_loc + j;
+                    // R is upper triangular; below-diagonal entries of the
+                    // packed factor hold reflectors, not R.
+                    let v = if col >= row_out { block[(row_out, col)] } else { 0.0 };
+                    // SAFETY: response k owns this row range exclusively.
+                    unsafe { writer.write(dest, j, v) };
+                }
+                // SAFETY: as above.
+                unsafe { writer.write_rhs(dest, ws.bdata[row_out]) };
             }
-            // SAFETY: as above.
-            unsafe { writer.write_rhs(dest, ws.bdata[row_out]) };
-        }
-        ws.mdata = block.into_vec();
-        Ok::<(), VecfitError>(())
-    })
-    .map_err(unwrap_sweep)?;
+            ws.mdata = block.into_vec();
+            Ok::<(), VecfitError>(())
+        })
+        .map_err(unwrap_sweep)?;
 
     // Relaxation constraint: Σ_l Re{σ(s_l)} = L, scaled to the data norm.
     if opts.relaxed {
@@ -704,8 +763,10 @@ fn relocate_once(
 }
 
 /// Final residue identification with the poles fixed, one independent
-/// least-squares solve per response fanned out over the executor.
+/// least-squares solve per response fanned out as one round on the
+/// borrowed pool.
 fn identify_residues(
+    sweep_pool: &SweepPool,
     samples: &[Complex],
     data: &[Vec<Complex>],
     weights: &[Vec<f64>],
@@ -716,7 +777,7 @@ fn identify_residues(
     let l = samples.len();
     let n_basis = poles.n_basis();
     let n_loc = n_basis + usize::from(opts.include_const) + usize::from(opts.include_linear);
-    let FitScratch { loc, pool, .. } = scratch;
+    let FitScratch { loc, block_pool, .. } = scratch;
     fill_local_columns(&poles, samples, opts, loc);
     let loc = &*loc;
     let rows_per_sample = match opts.axis {
@@ -726,11 +787,11 @@ fn identify_residues(
     let block_rows = rows_per_sample * l;
 
     let k_count = data.len();
-    let workers = fit_workers(opts.threads, k_count);
+    let workers = block_pool.len();
     let cfg = SweepConfig::threads(workers).with_batch(response_batch(k_count, workers));
     let poles_ref = &poles;
-    let terms: Vec<ResponseTerms> =
-        run_sweep_with(k_count, &cfg, &mut pool[..], |ws: &mut BlockScratch, k| {
+    let terms: Vec<ResponseTerms> = sweep_pool
+        .run_with(k_count, &cfg, &mut block_pool[..], |ws: &mut BlockScratch, k| {
             ws.mdata.clear();
             ws.bdata.clear();
             for li in 0..l {

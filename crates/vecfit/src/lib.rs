@@ -21,13 +21,18 @@
 //! The per-response stages of a fit — block assembly + QR compression in
 //! every relocation round, and the final residue identification — are
 //! independent across responses and fan out over the work-stealing
-//! executor of `rvf-numerics` when [`VfOptions::threads`] asks for
-//! workers (`0` = one per core, `1` = serial, the default). The result
-//! is **bit-identical** for every thread count: each response's
-//! compressed `R₂₂` block lands in a fixed row range of the stacked
-//! sigma system, so neither the worker count nor the claim order can
-//! reach the arithmetic. Warm starts across pole counts go through
-//! [`fit_with_initial`].
+//! sweep runtime of `rvf-numerics` when [`VfOptions::threads`] asks for
+//! workers (`0` = one per core, `1` = serial, the default). Every
+//! parallel region of a fit is a *round* on one persistent
+//! [`rvf_numerics::SweepPool`] — constructed once per [`fit()`] call, or
+//! borrowed from the caller via [`fit_in`] / [`fit_with_initial_in`] so
+//! a pole-growth loop shares a single pool across all of its fits and
+//! never pays a per-round (or even per-fit) thread spawn. The result is
+//! **bit-identical** for every thread count and pool size: each
+//! response's compressed `R₂₂` block lands in a fixed row range of the
+//! stacked sigma system, so neither the worker count nor the claim
+//! order can reach the arithmetic. Warm starts across pole counts go
+//! through [`fit_with_initial`].
 //!
 //! # Examples
 //!
@@ -64,7 +69,9 @@ pub mod realization;
 
 pub use basis::{basis_matrix, basis_row, Residues};
 pub use error::VecfitError;
-pub use fit::{fit, fit_single, fit_with_initial, model_rms, VfFit};
+pub use fit::{
+    auto_workers, fit, fit_in, fit_single, fit_with_initial, fit_with_initial_in, model_rms, VfFit,
+};
 pub use model::{RationalModel, ResponseTerms};
 pub use options::{Axis, PoleSpread, VfOptions, Weighting};
 pub use poles::{PoleEntry, PoleSet};
