@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the compiled batch-serving runtime: the
+//! macromodel-deployment scenario behind Table I "Speedup" — one
+//! extracted buffer model, many bit-pattern stimuli.
+//!
+//! Rows:
+//!
+//! * `serving_reference_single` — the scalar oracle loop
+//!   (`HammersteinModel::simulate_reference`);
+//! * `serving_compiled_single` — the same stimulus through a
+//!   pre-compiled [`rvf_core::CompiledSim`];
+//! * `serving_compile_lowering` — the one-off model → tables lowering;
+//! * `serving_batch_b{001,016,256}` — batch evaluation of 1/16/256
+//!   distinct bit patterns through one compiled model (serial worker:
+//!   the win on a 1-core runner is lane vectorization + memoized
+//!   drives, not threads);
+//! * `serving_sequential_b256` — the same 256 stimuli as 256 separate
+//!   single-stimulus calls, the baseline the batch path must beat.
+//!
+//! Throughput = (stimuli × samples) / time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvf_bench::{buffer_circuit, paper_rvf_options, paper_tft_config, test_pattern};
+use rvf_circuit::Waveform;
+use rvf_core::fit_tft;
+use rvf_tft::extract_from_circuit;
+
+/// One 2.5 GS/s bit pattern, 2 ps sampling. The 20 symbols come from a
+/// seeded LCG (not `prbs7`, whose 7-bit LFSR only has 127 phases), so
+/// all 256 batch stimuli are genuinely distinct.
+fn pattern_stimulus(seed: u64, n_samples: usize, dt: f64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let bits: Vec<bool> = (0..20)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 62) & 1 == 1
+        })
+        .collect();
+    let wave =
+        Waveform::BitPattern { v0: 0.5, v1: 1.3, bits, rate_hz: 2.5e9, rise: 60e-12, delay: 0.0 };
+    (0..n_samples).map(|i| wave.value(i as f64 * dt)).collect()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    // One extracted buffer model shared by every row.
+    let mut circuit = buffer_circuit();
+    let (dataset, _) = extract_from_circuit(&mut circuit, &paper_tft_config()).unwrap();
+    let model = fit_tft(&dataset, &paper_rvf_options()).unwrap().model;
+    let sim = model.compile();
+
+    // The Fig. 9 validation stimulus for the single-stimulus rows.
+    let (wave, dt, t_stop) = test_pattern();
+    let inputs: Vec<f64> = {
+        let n = (t_stop / dt) as usize;
+        (0..=n).map(|i| wave.value(i as f64 * dt)).collect()
+    };
+
+    c.bench_function("serving_reference_single", |b| {
+        b.iter(|| model.simulate_reference(dt, &inputs))
+    });
+    c.bench_function("serving_compiled_single", |b| b.iter(|| sim.simulate(dt, &inputs)));
+    c.bench_function("serving_compile_lowering", |b| b.iter(|| model.compile()));
+
+    // Batch serving: 256 distinct 1000-sample bit patterns.
+    let stimuli: Vec<Vec<f64>> = (0..256).map(|k| pattern_stimulus(k, 1000, dt)).collect();
+    let refs: Vec<&[f64]> = stimuli.iter().map(Vec::as_slice).collect();
+    for batch in [1usize, 16, 256] {
+        let id = format!("serving_batch_b{batch:03}");
+        let slice = &refs[..batch];
+        c.bench_function(&id, |b| b.iter(|| sim.simulate_batch(dt, slice)));
+    }
+    c.bench_function("serving_sequential_b256", |b| {
+        b.iter(|| refs.iter().map(|s| sim.simulate(dt, s)).collect::<Vec<_>>())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+}
+criterion_main!(benches);

@@ -1,27 +1,37 @@
 //! Diffs two `CRITERION_OUT` JSON directories and prints per-bench
-//! median deltas — the cross-run comparator behind the CI bench step.
+//! median deltas with noise-aware verdicts — the cross-run comparator
+//! behind the CI bench step.
 //!
 //! ```text
-//! cargo run -p rvf-bench --bin bench_diff -- <baseline-dir> <current-dir> [--fail-above <factor>]
+//! cargo run -p rvf-bench --bin bench_diff -- <baseline-dir> <current-dir> \
+//!     [--fail-above <factor>] [--update-baseline]
 //! ```
 //!
 //! By default the comparison is **warn-only** (exit 0 regardless of
 //! deltas): CI timings on shared runners are trend data. Passing
-//! `--fail-above 1.5` turns medians more than 1.5× the baseline into a
-//! non-zero exit for local gating.
+//! `--fail-above 1.5` turns *significant* regressions — median more
+//! than 1.5× the baseline **and** outside the overlap of the two
+//! `median ± K·MAD` sample intervals — into a non-zero exit for local
+//! gating. `--update-baseline` rewrites `<baseline-dir>` from
+//! `<current-dir>` after reporting (run it from a trusted machine, then
+//! commit the refreshed records).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rvf_bench::compare::diff_dirs;
+use rvf_bench::compare::{diff_dirs, update_baseline};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let (Some(baseline), Some(current)) = (args.next(), args.next()) else {
-        eprintln!("usage: bench_diff <baseline-dir> <current-dir> [--fail-above <factor>]");
+        eprintln!(
+            "usage: bench_diff <baseline-dir> <current-dir> \
+             [--fail-above <factor>] [--update-baseline]"
+        );
         return ExitCode::from(2);
     };
     let mut fail_above: Option<f64> = None;
+    let mut refresh = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--fail-above" => match args.next().as_deref().map(str::parse) {
@@ -31,17 +41,39 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--update-baseline" => refresh = true,
             other => {
                 eprintln!("unknown flag: {other}");
                 return ExitCode::from(2);
             }
         }
     }
+    let (baseline, current) = (PathBuf::from(&baseline), PathBuf::from(&current));
 
-    let report = match diff_dirs(&PathBuf::from(&baseline), &PathBuf::from(&current)) {
+    let report = match diff_dirs(&baseline, &current) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("bench_diff: cannot compare {baseline} vs {current}: {e}");
+            eprintln!(
+                "bench_diff: cannot compare {} vs {}: {e}",
+                baseline.display(),
+                current.display()
+            );
+            if refresh && fail_above.is_none() {
+                // A first-time baseline has nothing to diff against;
+                // honour the refresh request — but never under an
+                // explicit gate, which must not pass (or accept a
+                // baseline) with zero benches compared.
+                return match update_baseline(&baseline, &current) {
+                    Ok(u) => {
+                        println!("baseline initialized: {} records written", u.written.len());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("bench_diff: baseline update failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             // In warn-only mode a missing directory is a setup problem,
             // not a perf regression — CI must not block on it. An
             // explicit gate (--fail-above) must not silently pass with
@@ -52,19 +84,56 @@ fn main() -> ExitCode {
     print!("{report}");
 
     // Surface noteworthy slowdowns as warnings even in warn-only mode
-    // (1.5×: generous enough to ride out shared-runner noise).
+    // (1.5×: generous enough to ride out shared-runner noise; the
+    // verdict filter already discards MAD-swamped jumps).
     let warn_factor = fail_above.unwrap_or(1.5);
     let regressions = report.regressions(warn_factor);
     for d in &regressions {
         println!(
-            "::warning::bench {} median {:.1}% over baseline ({:.0} ns -> {:.0} ns)",
+            "::warning::bench {} median {:.1}% over baseline ({:.0} ns -> {:.0} ns, \
+             MAD {:.0}/{:.0} ns)",
             d.id,
             (d.ratio() - 1.0) * 100.0,
             d.baseline_ns,
-            d.current_ns
+            d.current_ns,
+            d.baseline_mad_ns,
+            d.current_mad_ns
         );
     }
-    if fail_above.is_some() && !regressions.is_empty() {
+
+    // An explicit gate must not pass — or accept a baseline — having
+    // compared nothing (empty or fully-renamed baseline dir), nor with
+    // significant regressions outstanding.
+    let gated = fail_above.is_some() && (!regressions.is_empty() || report.deltas.is_empty());
+    if fail_above.is_some() && report.deltas.is_empty() {
+        eprintln!("bench_diff: --fail-above gate compared zero benchmarks");
+    }
+    if refresh {
+        if gated {
+            // Never accept a run the gate is about to reject: rewriting
+            // first would turn the regression into the new baseline and
+            // make a re-run pass vacuously.
+            eprintln!(
+                "bench_diff: refusing --update-baseline: --fail-above gate not clean \
+                 ({} significant regression(s), {} benches compared)",
+                regressions.len(),
+                report.deltas.len()
+            );
+        } else {
+            match update_baseline(&baseline, &current) {
+                Ok(u) => println!(
+                    "baseline updated: {} records written, {} removed",
+                    u.written.len(),
+                    u.removed.len()
+                ),
+                Err(e) => {
+                    eprintln!("bench_diff: baseline update failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if gated {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -166,10 +166,58 @@ impl CaffeineHammerstein {
         acc
     }
 
-    /// Simulates the model for fixed-step inputs. Returns `None` when a
-    /// stage lacks a closed-form primitive (manual integration would be
-    /// required — the paper's automation gap).
+    /// Lowers the model into the shared compiled serving runtime
+    /// ([`rvf_core::CompiledSim`]): every polynomial primitive becomes a
+    /// row of the power-basis coefficient matrix, so one matvec per
+    /// sample prices all stages. Returns `None` when a stage lacks a
+    /// closed-form primitive (manual integration would be required —
+    /// the paper's automation gap).
+    pub fn compile(&self) -> Option<rvf_core::CompiledSim> {
+        if self.integrability() != Integrability::Closed {
+            return None;
+        }
+        let mut b = rvf_core::SimBuilder::new();
+        let mut row = |stage: &CaffeineStage| -> Option<usize> {
+            Some(b.drive_poly(stage.primitive.as_ref()?.coeffs()))
+        };
+        let s = row(&self.static_path)?;
+        let mut specs = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            match block {
+                CafBlock::Real { a, f } => specs.push((false, *a, 0.0, row(f)?, usize::MAX)),
+                CafBlock::Pair { sigma, omega, f1, f2 } => {
+                    specs.push((true, *sigma, *omega, row(f1)?, row(f2)?));
+                }
+            }
+        }
+        b.set_static_drive(s);
+        for (pair, sigma, omega, d1, d2) in specs {
+            if pair {
+                b.block_pair(sigma, omega, d1, d2);
+            } else {
+                b.block_real(sigma, d1);
+            }
+        }
+        Some(b.build())
+    }
+
+    /// Simulates the model for fixed-step inputs through the compiled
+    /// serving runtime (see [`compile`](CaffeineHammerstein::compile);
+    /// [`simulate_reference`](CaffeineHammerstein::simulate_reference)
+    /// is the scalar oracle). Returns `None` when a stage lacks a
+    /// closed-form primitive.
     pub fn simulate(&self, dt: f64, inputs: &[f64]) -> Option<Vec<f64>> {
+        if inputs.is_empty() {
+            // Matches the reference loop: an empty stimulus is trivially
+            // simulable even when the model lacks closed-form primitives.
+            return Some(Vec::new());
+        }
+        Some(self.compile()?.simulate(dt, inputs))
+    }
+
+    /// The scalar reference simulation loop, kept as the oracle the
+    /// compiled path is pinned against in tests.
+    pub fn simulate_reference(&self, dt: f64, inputs: &[f64]) -> Option<Vec<f64>> {
         if inputs.is_empty() {
             return Some(Vec::new());
         }
@@ -345,6 +393,50 @@ mod tests {
         let m = CaffeineHammerstein { static_path: stage, blocks: Vec::new(), u0: 0.0, y0: 0.0 };
         assert_eq!(m.integrability(), Integrability::ManualRequired);
         assert!(m.simulate(1e-11, &[0.0, 1.0]).is_none());
+        assert!(m.compile().is_none());
+        // An empty stimulus stays trivially simulable (pre-serving
+        // contract preserved): Some(empty), not None.
+        assert_eq!(m.simulate(1e-11, &[]), Some(Vec::new()));
+        assert_eq!(m.simulate_reference(1e-11, &[]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn compiled_simulation_pinned_to_reference() {
+        // The compiled runtime evaluates the polynomial primitives over
+        // the shared power basis instead of per-stage Horner passes;
+        // pin it to the scalar oracle at 1e-12 relative.
+        let xs = linspace(-1.0, 1.0, 60);
+        let f1 = poly_stage(&xs, |x| 1.0 + x - 0.4 * x * x);
+        let f2 = poly_stage(&xs, |x| 0.5 - 0.8 * x);
+        let fr = poly_stage(&xs, |x| 0.2 * x + 0.7 * x * x * x);
+        let stat = poly_stage(&xs, |x| 2.0 - 0.3 * x);
+        let m = CaffeineHammerstein {
+            static_path: stat,
+            blocks: vec![
+                CafBlock::Pair { sigma: -1.0e9, omega: 4.0e9, f1, f2 },
+                CafBlock::Real { a: -2.5e9, f: fr },
+            ],
+            u0: 0.0,
+            y0: 1.0,
+        };
+        let inputs: Vec<f64> = (0..400).map(|i| 0.9 * ((i / 7) as f64 * 0.61).sin()).collect();
+        let want = m.simulate_reference(1e-11, &inputs).unwrap();
+        let got = m.simulate(1e-11, &inputs).unwrap();
+        let peak = want.iter().fold(0.0f64, |p, v| p.max(v.abs())).max(1.0);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-12 * peak, "{g} vs {w}");
+        }
+        // And the batch path is bit-identical to per-stimulus serial.
+        let sim = m.compile().unwrap();
+        let halves: Vec<&[f64]> = inputs.chunks(57).collect();
+        let batch = sim.simulate_batch(1e-11, &halves);
+        for (s, out) in halves.iter().zip(&batch) {
+            let single = sim.simulate(1e-11, s);
+            assert_eq!(out.len(), single.len());
+            for (a, b) in out.iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

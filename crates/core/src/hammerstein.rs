@@ -171,13 +171,52 @@ impl HammersteinModel {
         self.static_path.integral(u)
     }
 
+    /// Lowers the model into the flat serving tables of
+    /// [`CompiledSim`](crate::CompiledSim): call once, then evaluate
+    /// many stimuli through [`CompiledSim::simulate`](crate::CompiledSim::simulate)
+    /// / [`CompiledSim::simulate_batch`](crate::CompiledSim::simulate_batch).
+    pub fn compile(&self) -> crate::CompiledSim {
+        let mut b = crate::SimBuilder::new();
+        let s = b.drive_rational(&self.static_path.primitive);
+        b.set_static_drive(s);
+        for block in &self.blocks {
+            match block {
+                DynBlock::Real { a, f } => {
+                    let d = b.drive_rational(&f.primitive);
+                    b.block_real(*a, d);
+                }
+                DynBlock::Pair { sigma, omega, f1, f2 } => {
+                    let d1 = b.drive_rational(&f1.primitive);
+                    let d2 = b.drive_rational(&f2.primitive);
+                    b.block_pair(*sigma, *omega, d1, d2);
+                }
+            }
+        }
+        b.build()
+    }
+
     /// Simulates the model for inputs sampled at fixed `dt`, returning
     /// the output at every sample (paper eq. 7, exact-exponential
     /// stepping).
     ///
     /// The LTI blocks start in steady state for the first input value,
     /// matching the circuit starting from its DC operating point.
+    ///
+    /// This routes through the compiled serving runtime
+    /// ([`compile`](HammersteinModel::compile) + one-lane kernel) and is
+    /// equal to [`simulate_reference`](HammersteinModel::simulate_reference)
+    /// sample-for-sample under `f64` comparison; callers evaluating many
+    /// stimuli should compile once and reuse the
+    /// [`CompiledSim`](crate::CompiledSim).
     pub fn simulate(&self, dt: f64, inputs: &[f64]) -> Vec<f64> {
+        self.compile().simulate(dt, inputs)
+    }
+
+    /// The scalar reference simulation loop — per-block enum dispatch,
+    /// per-response log-term passes — kept as the readable
+    /// specification and the oracle the compiled runtime is pinned
+    /// against.
+    pub fn simulate_reference(&self, dt: f64, inputs: &[f64]) -> Vec<f64> {
         if inputs.is_empty() {
             return Vec::new();
         }

@@ -19,7 +19,11 @@
 //! 4. **The Hammerstein model** ([`hammerstein`]) — stable-by-
 //!    construction parallel structure with exact-exponential simulation;
 //! 5. **Export** ([`export`]) — lossless text serialization, Verilog-A
-//!    and MATLAB code generation.
+//!    and MATLAB code generation;
+//! 6. **Serving** ([`serving`]) — the compiled batch-evaluation runtime
+//!    behind [`HammersteinModel::simulate`](hammerstein::HammersteinModel::simulate):
+//!    models lowered to flat shared-basis tables, single-stimulus and
+//!    pooled batch APIs.
 //!
 //! # Examples
 //!
@@ -57,6 +61,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod recursive;
 pub mod rvf;
+pub mod serving;
 
 pub use error::RvfError;
 pub use export::{matlab::to_matlab, text, verilog_a::to_verilog_a};
@@ -69,3 +74,4 @@ pub use rvf::{
     fit_frequency_stage, fit_frequency_stage_in, fit_state_stage, fit_state_stage_in, RvfOptions,
     StageFit,
 };
+pub use serving::{CompiledSim, SimBuilder, SimScratch, BATCH_LANES};

@@ -1,0 +1,866 @@
+//! Compiled batch-serving runtime for extracted Hammerstein models.
+//!
+//! [`HammersteinModel::simulate`](crate::HammersteinModel::simulate) is
+//! the deployment hot path (the paper's Table I "Speedup" is a claim
+//! about *evaluation* cost), but the reference loop pays per sample ×
+//! per block: an enum match to find each block's kind, and — much worse
+//! — an independent log-term pass for every response of every block,
+//! even though the two responses of a pair block share one fitted pole
+//! set and the input value `u` is the same everywhere.
+//!
+//! [`CompiledSim`] lowers a model **once** into flat structure-of-arrays
+//! tables:
+//!
+//! * the static nonlinearities become rows of one coefficient matrix
+//!   over a *shared feature basis* evaluated once per sample — the
+//!   power basis `[1, u, u², …]` for polynomial stages (the CAFFEINE
+//!   primitives) plus, for the RVF log-form primitives, the pair
+//!   `(Re ln(u − x̃), Im ln(u − x̃))` per **distinct** pole. Pole
+//!   sequences are deduplicated by bit pattern, so the two responses of
+//!   a pair block price their transcendentals once instead of twice;
+//! * every LTI block becomes one uniform 2-wide state slot with
+//!   contiguous first-order-hold coefficients (a real pole is a pair
+//!   with zero imaginary parts — the extra multiplies are by ±0.0 and
+//!   exact), so the inner loop has **no enum dispatch per block per
+//!   sample**;
+//! * consecutive equal inputs (`u.to_bits()` unchanged — the flat
+//!   stretches of a bit pattern) reuse the previous drive vector
+//!   instead of re-evaluating the basis, which is exact because the
+//!   drives are pure functions of `u`.
+//!
+//! Every arithmetic expression in the kernel reproduces the reference
+//! loop's operation order, so the compiled single-stimulus output is
+//! equal sample-for-sample under `f64` comparison (`==`; signed zeros
+//! may differ in sign) — the reference loop stays available as
+//! [`HammersteinModel::simulate_reference`](crate::HammersteinModel::simulate_reference)
+//! and is the test oracle.
+//!
+//! [`CompiledSim::simulate_batch`] fans many stimuli over the
+//! persistent [`SweepPool`] runtime (one task per lane group, borrowed
+//! pools via [`CompiledSim::simulate_batch_in`]), and orders the
+//! per-block state updates lane-innermost so they vectorize across the
+//! batch. Batch output is bit-identical to per-stimulus serial calls
+//! for every worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use rvf_core::{CompiledSim, SimBuilder};
+//! use rvf_numerics::c;
+//! use rvf_core::{IntegratedStateFn, LogTerm};
+//!
+//! // One real pole driven by f(u) = u (linear drive), zero static path.
+//! let mut b = SimBuilder::new();
+//! let zero = b.drive_poly(&[0.0]);
+//! b.set_static_drive(zero);
+//! let f = b.drive_rational(&IntegratedStateFn {
+//!     terms: vec![],
+//!     linear: 1.0e9,
+//!     quadratic: 0.0,
+//!     constant: 0.0,
+//! });
+//! b.block_real(-1.0e9, f);
+//! let sim: CompiledSim = b.build();
+//! let y = sim.simulate(1.0e-10, &[0.0, 1.0, 1.0, 1.0]);
+//! assert_eq!(y.len(), 4);
+//! assert!(y[0].abs() < 1e-15); // starts in steady state
+//! ```
+
+use std::collections::HashMap;
+
+use rvf_numerics::{Complex, FohPair, FohScalar, SweepConfig, SweepPool};
+
+use crate::integrated::IntegratedStateFn;
+
+/// Lane width of the batch kernel: stimuli in one task are advanced in
+/// lockstep groups of up to this many, so the per-block state updates
+/// (lane-innermost loops over contiguous slots) vectorize across the
+/// batch. Per-lane arithmetic never crosses lanes, which is what makes
+/// batch output bit-identical to per-stimulus serial runs.
+pub const BATCH_LANES: usize = 8;
+
+/// A static-stage drive registered with [`SimBuilder`].
+#[derive(Debug, Clone)]
+enum DriveSpec {
+    /// RVF log-form primitive: quadratic head + logarithmic terms.
+    Rational { c: [f64; 3], terms: Vec<(Complex, Complex)> },
+    /// Polynomial primitive by ascending coefficients (CAFFEINE path).
+    Poly { coeffs: Vec<f64> },
+}
+
+/// An LTI block registered with [`SimBuilder`].
+#[derive(Debug, Clone, Copy)]
+enum BlockSpec {
+    Real { a: f64, drive: usize },
+    Pair { sigma: f64, omega: f64, d1: usize, d2: usize },
+}
+
+/// Builds a [`CompiledSim`] from drives (static-stage primitives) and
+/// LTI blocks.
+///
+/// This is the lowering entry point shared by the RVF model
+/// ([`HammersteinModel::compile`](crate::HammersteinModel::compile))
+/// and the CAFFEINE baseline (`rvf-caffeine`): register every stage
+/// primitive as a *drive row*, point the blocks at their rows, mark the
+/// static path, and [`build`](SimBuilder::build).
+#[derive(Debug, Clone, Default)]
+pub struct SimBuilder {
+    drives: Vec<DriveSpec>,
+    blocks: Vec<BlockSpec>,
+    static_drive: Option<usize>,
+}
+
+impl SimBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the analytic primitive of an RVF state fit as a drive
+    /// row and returns its row id. The row evaluates exactly like
+    /// [`IntegratedStateFn::eval`].
+    pub fn drive_rational(&mut self, primitive: &IntegratedStateFn) -> usize {
+        // 0.5·q is exact (power-of-two scaling), so precomputing it
+        // preserves the reference expression `… + 0.5*q*u*u` bit for bit.
+        self.drives.push(DriveSpec::Rational {
+            c: [primitive.constant, primitive.linear, 0.5 * primitive.quadratic],
+            terms: primitive.terms.iter().map(|t| (t.pole, t.rho)).collect(),
+        });
+        self.drives.len() - 1
+    }
+
+    /// Registers a polynomial drive row `Σ cⱼ·uʲ` (ascending
+    /// coefficients) and returns its row id. Rows of this family are
+    /// packed into one matrix over the shared power basis
+    /// `[1, u, u², …]`, so all of them together cost one matvec per
+    /// sample.
+    pub fn drive_poly(&mut self, coeffs: &[f64]) -> usize {
+        self.drives.push(DriveSpec::Poly { coeffs: coeffs.to_vec() });
+        self.drives.len() - 1
+    }
+
+    /// Marks `row` as the static path: its value is added directly to
+    /// every output sample.
+    pub fn set_static_drive(&mut self, row: usize) {
+        self.static_drive = Some(row);
+    }
+
+    /// Adds a first-order block `ẏ = a·y + f(u)` fed by drive `drive`.
+    pub fn block_real(&mut self, a: f64, drive: usize) {
+        self.blocks.push(BlockSpec::Real { a, drive });
+    }
+
+    /// Adds a second-order block for the pole pair `σ ± jω` fed by the
+    /// input-shifted component drives `(d1, d2)`.
+    pub fn block_pair(&mut self, sigma: f64, omega: f64, d1: usize, d2: usize) {
+        self.blocks.push(BlockSpec::Pair { sigma, omega, d1, d2 });
+    }
+
+    /// Lowers the registered drives and blocks into the packed runtime
+    /// tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no static drive was set or a block references an
+    /// out-of-range drive row — both are construction bugs of the
+    /// caller, not data-dependent conditions.
+    pub fn build(mut self) -> CompiledSim {
+        let static_row = self.static_drive.expect("SimBuilder: static drive row not set");
+        assert!(static_row < self.drives.len(), "SimBuilder: static drive row out of range");
+        let n_user = self.drives.len();
+        let check = |d: usize| {
+            assert!(d < n_user, "SimBuilder: block drive row {d} out of range ({n_user} rows)")
+        };
+        // Real blocks need a second (identically zero) drive component
+        // so every block is a uniform 2-wide slot; one synthetic all-zero
+        // row serves them all.
+        let needs_zero = self.blocks.iter().any(|b| matches!(b, BlockSpec::Real { .. }));
+        let zero_row = if needs_zero {
+            self.drives.push(DriveSpec::Rational { c: [0.0; 3], terms: Vec::new() });
+            self.drives.len() - 1
+        } else {
+            usize::MAX
+        };
+
+        let n_drives = self.drives.len();
+        let mut head = vec![[0.0f64; 3]; n_drives];
+        let mut row_off = Vec::with_capacity(n_drives + 1);
+        let mut term_w: Vec<[f64; 2]> = Vec::new();
+        let mut term_pole: Vec<usize> = Vec::new();
+        let mut poles: Vec<Complex> = Vec::new();
+        // Pole-sequence dedup: rows whose pole sequences agree bit for
+        // bit (the two responses of a pair block — they come from one
+        // stage fit) share one run of feature slots, so the ln per pole
+        // is paid once per sample however many rows consume it.
+        let mut runs: HashMap<Vec<(u64, u64)>, usize> = HashMap::new();
+        let mut prow: Vec<usize> = Vec::new();
+        let mut pcoeffs: Vec<Vec<f64>> = Vec::new();
+        row_off.push(0);
+        for (d, spec) in self.drives.iter().enumerate() {
+            match spec {
+                DriveSpec::Rational { c, terms } => {
+                    head[d] = *c;
+                    if !terms.is_empty() {
+                        let sig: Vec<(u64, u64)> =
+                            terms.iter().map(|(p, _)| (p.re.to_bits(), p.im.to_bits())).collect();
+                        let start = *runs.entry(sig).or_insert_with(|| {
+                            let s = poles.len();
+                            poles.extend(terms.iter().map(|(p, _)| *p));
+                            s
+                        });
+                        for (i, (_, rho)) in terms.iter().enumerate() {
+                            term_w.push([rho.re, rho.im]);
+                            term_pole.push(start + i);
+                        }
+                    }
+                }
+                DriveSpec::Poly { coeffs } => {
+                    prow.push(d);
+                    pcoeffs.push(coeffs.clone());
+                }
+            }
+            row_off.push(term_w.len());
+        }
+        let pdeg = pcoeffs.iter().map(|c| c.len().saturating_sub(1)).max().unwrap_or(0);
+        let mut pmat = vec![0.0f64; prow.len() * (pdeg + 1)];
+        for (r, coeffs) in pcoeffs.iter().enumerate() {
+            pmat[r * (pdeg + 1)..r * (pdeg + 1) + coeffs.len()].copy_from_slice(coeffs);
+        }
+
+        let n_blocks = self.blocks.len();
+        let mut pair = Vec::with_capacity(n_blocks);
+        let mut sigma = Vec::with_capacity(n_blocks);
+        let mut omega = Vec::with_capacity(n_blocks);
+        let mut d1 = Vec::with_capacity(n_blocks);
+        let mut d2 = Vec::with_capacity(n_blocks);
+        for b in &self.blocks {
+            match *b {
+                BlockSpec::Real { a, drive } => {
+                    check(drive);
+                    pair.push(false);
+                    sigma.push(a);
+                    omega.push(0.0);
+                    d1.push(drive);
+                    d2.push(zero_row);
+                }
+                BlockSpec::Pair { sigma: s, omega: w, d1: a, d2: bb } => {
+                    check(a);
+                    check(bb);
+                    pair.push(true);
+                    sigma.push(s);
+                    omega.push(w);
+                    d1.push(a);
+                    d2.push(bb);
+                }
+            }
+        }
+
+        CompiledSim {
+            threads: 1,
+            static_row,
+            n_drives,
+            head,
+            row_off,
+            term_w,
+            term_pole,
+            poles,
+            prow,
+            pmat,
+            pdeg,
+            pair,
+            sigma,
+            omega,
+            d1,
+            d2,
+        }
+    }
+}
+
+/// Per-block first-order-hold coefficients in the uniform 2-wide
+/// representation (real blocks carry exact zeros in the imaginary
+/// parts), laid out contiguously for the batch kernel.
+#[derive(Debug, Clone, Copy)]
+struct BlockCoef {
+    er: f64,
+    ei: f64,
+    g1r: f64,
+    g1i: f64,
+    g2r: f64,
+    g2i: f64,
+}
+
+/// A Hammerstein model lowered into flat serving tables.
+///
+/// Build one with [`HammersteinModel::compile`](crate::HammersteinModel::compile)
+/// (or [`SimBuilder`] directly), then evaluate stimuli with
+/// [`simulate`](CompiledSim::simulate) /
+/// [`simulate_batch`](CompiledSim::simulate_batch). Compilation is
+/// cheap (no transcendentals — the first-order-hold coefficients are
+/// computed per `dt` at simulation time), but callers serving many
+/// requests should still compile once and reuse the instance.
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    /// Worker threads for [`simulate_batch`](CompiledSim::simulate_batch)
+    /// (`1` = serial, `0` = one per core).
+    threads: usize,
+    static_row: usize,
+    n_drives: usize,
+    /// `[c0, c1, 0.5·q]` quadratic heads, one row per drive.
+    head: Vec<[f64; 3]>,
+    /// CSR offsets into `term_w`/`term_pole`, length `n_drives + 1`.
+    row_off: Vec<usize>,
+    /// `(Re ρ, Im ρ)` per log term.
+    term_w: Vec<[f64; 2]>,
+    /// Distinct-pole feature index per log term.
+    term_pole: Vec<usize>,
+    /// Deduplicated pole table (the shared log-feature basis).
+    poles: Vec<Complex>,
+    /// Drive rows evaluated by the power-basis matvec.
+    prow: Vec<usize>,
+    /// Power-basis coefficient matrix, `prow.len() × (pdeg + 1)`.
+    pmat: Vec<f64>,
+    pdeg: usize,
+    /// Block kind (pair vs real) — used only when preparing the FOH
+    /// coefficients for a `dt`, never in the per-sample loop.
+    pair: Vec<bool>,
+    sigma: Vec<f64>,
+    omega: Vec<f64>,
+    /// Drive row feeding each block's first/second state component.
+    d1: Vec<usize>,
+    d2: Vec<usize>,
+}
+
+/// Reusable per-worker buffers of the serving kernel. One instance per
+/// pool worker keeps the batch path allocation-free across lane groups
+/// (apart from the output vectors themselves).
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    /// Previous-sample drive values, `[drive][lane]`.
+    v0: Vec<f64>,
+    /// Current-sample drive values, `[drive][lane]`.
+    v1: Vec<f64>,
+    /// Block state, real components, `[block][lane]`.
+    sre: Vec<f64>,
+    /// Block state, imaginary components, `[block][lane]`.
+    sim: Vec<f64>,
+    /// Per-lane log-feature temporaries (one slot per distinct pole).
+    lr: Vec<f64>,
+    li: Vec<f64>,
+    /// Per-lane shared power basis `[1, u, …, u^pdeg]`.
+    pw: Vec<f64>,
+    /// Per-lane bit pattern of the last input that rebuilt the drives.
+    uprev: Vec<u64>,
+    /// Per-lane output accumulator of the emit pass.
+    acc: Vec<f64>,
+}
+
+impl SimScratch {
+    /// Sizes every buffer for `lanes` concurrent stimuli of `sim`.
+    fn reset(&mut self, sim: &CompiledSim, lanes: usize) {
+        let resize = |v: &mut Vec<f64>, n: usize| {
+            v.clear();
+            v.resize(n, 0.0);
+        };
+        resize(&mut self.v0, sim.n_drives * lanes);
+        resize(&mut self.v1, sim.n_drives * lanes);
+        resize(&mut self.sre, sim.n_blocks() * lanes);
+        resize(&mut self.sim, sim.n_blocks() * lanes);
+        resize(&mut self.lr, sim.poles.len());
+        resize(&mut self.li, sim.poles.len());
+        resize(&mut self.pw, sim.pdeg + 1);
+        resize(&mut self.acc, lanes);
+        self.uprev.clear();
+        self.uprev.resize(lanes, 0);
+    }
+}
+
+/// Evaluates every drive row at input `u` into lane `l` of `v1`.
+///
+/// Pass 1 fills the shared log-feature basis (one `ln` per *distinct*
+/// pole), pass 2 accumulates the quadratic heads + CSR log terms in the
+/// reference operation order, pass 3 runs the power-basis matvec for
+/// the polynomial rows.
+fn eval_drives_lane(
+    sim: &CompiledSim,
+    u: f64,
+    l: usize,
+    lanes: usize,
+    v1: &mut [f64],
+    lr: &mut [f64],
+    li: &mut [f64],
+    pw: &mut [f64],
+) {
+    for (p, &pole) in sim.poles.iter().enumerate() {
+        let z = (Complex::from_re(u) - pole).ln();
+        lr[p] = z.re;
+        li[p] = z.im;
+    }
+    for d in 0..sim.n_drives {
+        let h = sim.head[d];
+        // Matches `constant + linear*u + 0.5*quadratic*u*u` bit for bit
+        // (h[2] is the exactly-precomputed 0.5·q).
+        let mut acc = h[0] + h[1] * u + h[2] * u * u;
+        for t in sim.row_off[d]..sim.row_off[d + 1] {
+            let w = sim.term_w[t];
+            let p = sim.term_pole[t];
+            // Matches `2.0 * (rho * z.ln()).re`.
+            acc += 2.0 * (w[0] * lr[p] - w[1] * li[p]);
+        }
+        v1[d * lanes + l] = acc;
+    }
+    if !sim.prow.is_empty() {
+        let width = sim.pdeg + 1;
+        pw[0] = 1.0;
+        for j in 1..width {
+            pw[j] = pw[j - 1] * u;
+        }
+        for (r, &d) in sim.prow.iter().enumerate() {
+            let row = &sim.pmat[r * width..(r + 1) * width];
+            let mut acc = 0.0;
+            for j in 0..width {
+                acc += row[j] * pw[j];
+            }
+            v1[d * lanes + l] = acc;
+        }
+    }
+}
+
+impl CompiledSim {
+    /// Sets the worker-thread request of
+    /// [`simulate_batch`](CompiledSim::simulate_batch) (`1` = serial —
+    /// the default, `0` = one worker per core), following the
+    /// `VfOptions::threads` convention.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured batch worker request.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of drive rows (static stages, including the synthetic
+    /// zero row real blocks share).
+    pub fn n_drives(&self) -> usize {
+        self.n_drives
+    }
+
+    /// Number of LTI blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.pair.len()
+    }
+
+    /// Number of *distinct* poles in the shared log-feature basis —
+    /// after dedup, so a pair block's two responses count their common
+    /// poles once.
+    pub fn n_pole_features(&self) -> usize {
+        self.poles.len()
+    }
+
+    /// First-order-hold coefficients of every block for step `dt`,
+    /// computed with the exact per-kind propagators of the reference
+    /// loop.
+    fn propagators(&self, dt: f64) -> Vec<BlockCoef> {
+        (0..self.n_blocks())
+            .map(|b| {
+                if self.pair[b] {
+                    let p = FohPair::new(self.sigma[b], self.omega[b], dt);
+                    BlockCoef {
+                        er: p.e.re,
+                        ei: p.e.im,
+                        g1r: p.g1.re,
+                        g1i: p.g1.im,
+                        g2r: p.g2.re,
+                        g2i: p.g2.im,
+                    }
+                } else {
+                    let p = FohScalar::new(self.sigma[b], dt);
+                    BlockCoef { er: p.e, ei: 0.0, g1r: p.g1, g1i: 0.0, g2r: p.g2, g2i: 0.0 }
+                }
+            })
+            .collect()
+    }
+
+    /// Advances one lane group of equal-length stimuli through the
+    /// compiled tables. This is the whole serving kernel: single
+    /// stimuli run it with one lane, the batch path with up to
+    /// [`BATCH_LANES`]; per-lane arithmetic never crosses lanes, so the
+    /// grouping is unobservable in the output bits.
+    fn run_group(
+        &self,
+        coef: &[BlockCoef],
+        stims: &[&[f64]],
+        scratch: &mut SimScratch,
+    ) -> Vec<Vec<f64>> {
+        let lanes = stims.len();
+        let n = stims[0].len();
+        let mut outs: Vec<Vec<f64>> = stims.iter().map(|s| Vec::with_capacity(s.len())).collect();
+        if n == 0 {
+            return outs;
+        }
+        scratch.reset(self, lanes);
+        let SimScratch { v0, v1, sre, sim, lr, li, pw, uprev, acc } = scratch;
+        let n_blocks = self.n_blocks();
+
+        // t = 0: build the drives, start every block in steady state
+        // for its first input (the circuit's DC operating point).
+        for (l, stim) in stims.iter().enumerate() {
+            let u = stim[0];
+            eval_drives_lane(self, u, l, lanes, v1, lr, li, pw);
+            uprev[l] = u.to_bits();
+        }
+        for b in 0..n_blocks {
+            let (o1, o2, sb) = (self.d1[b] * lanes, self.d2[b] * lanes, b * lanes);
+            if self.pair[b] {
+                let lambda = Complex::new(self.sigma[b], -self.omega[b]);
+                for l in 0..lanes {
+                    let w = Complex::new(v1[o1 + l], v1[o2 + l]);
+                    let z = -(w / lambda);
+                    sre[sb + l] = z.re;
+                    sim[sb + l] = z.im;
+                }
+            } else {
+                let a = self.sigma[b];
+                for l in 0..lanes {
+                    let v = v1[o1 + l];
+                    sre[sb + l] = -v / a;
+                    sim[sb + l] = 0.0;
+                }
+            }
+        }
+        emit(self, lanes, v1, sre, sim, acc);
+        for (l, out) in outs.iter_mut().enumerate() {
+            out.push(acc[l]);
+        }
+        core::mem::swap(v0, v1);
+
+        for t in 1..n {
+            // Drive pass, lane-at-a-time: re-evaluate only the lanes
+            // whose input actually changed (bit compare — flat
+            // bit-pattern stretches skip the transcendentals entirely;
+            // exact, since the drives are pure functions of `u`).
+            for (l, stim) in stims.iter().enumerate() {
+                let u = stim[t];
+                let bits = u.to_bits();
+                if bits == uprev[l] {
+                    for d in 0..self.n_drives {
+                        v1[d * lanes + l] = v0[d * lanes + l];
+                    }
+                } else {
+                    eval_drives_lane(self, u, l, lanes, v1, lr, li, pw);
+                    uprev[l] = bits;
+                }
+            }
+            // Block pass, lane-innermost: uniform complex-scalar FOH
+            // madds over contiguous slots — no per-block dispatch, and
+            // the lane loops vectorize across the batch.
+            for b in 0..n_blocks {
+                let c = coef[b];
+                let (o1, o2, sb) = (self.d1[b] * lanes, self.d2[b] * lanes, b * lanes);
+                for l in 0..lanes {
+                    let (xr, xi) = (sre[sb + l], sim[sb + l]);
+                    let (w0r, w0i) = (v0[o1 + l], v0[o2 + l]);
+                    let (dvr, dvi) = (v1[o1 + l] - w0r, v1[o2 + l] - w0i);
+                    // e·z + g1·w0 + g2·(w1 − w0), component-wise in the
+                    // reference association.
+                    sre[sb + l] = (c.er * xr - c.ei * xi + (c.g1r * w0r - c.g1i * w0i))
+                        + (c.g2r * dvr - c.g2i * dvi);
+                    sim[sb + l] = (c.er * xi + c.ei * xr + (c.g1r * w0i + c.g1i * w0r))
+                        + (c.g2r * dvi + c.g2i * dvr);
+                }
+            }
+            emit(self, lanes, v1, sre, sim, acc);
+            for (l, out) in outs.iter_mut().enumerate() {
+                out.push(acc[l]);
+            }
+            core::mem::swap(v0, v1);
+        }
+        outs
+    }
+
+    /// Simulates one stimulus sampled at fixed `dt` — the compiled
+    /// equivalent of
+    /// [`HammersteinModel::simulate_reference`](crate::HammersteinModel::simulate_reference),
+    /// equal to it sample-for-sample under `f64` comparison.
+    pub fn simulate(&self, dt: f64, inputs: &[f64]) -> Vec<f64> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let coef = self.propagators(dt);
+        let mut scratch = SimScratch::default();
+        self.run_group(&coef, &[inputs], &mut scratch).pop().expect("one lane in, one lane out")
+    }
+
+    /// Pushes many stimuli through the model, fanning lane groups of up
+    /// to [`BATCH_LANES`] consecutive equal-length stimuli over the
+    /// configured worker count ([`with_threads`](CompiledSim::with_threads);
+    /// `1` = serial default). Outputs come back in stimulus order and
+    /// are **bit-identical** to calling
+    /// [`simulate`](CompiledSim::simulate) per stimulus, for every
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked mid-batch (the kernel itself has no
+    /// panicking paths for finite or non-finite input data).
+    pub fn simulate_batch(&self, dt: f64, stimuli: &[&[f64]]) -> Vec<Vec<f64>> {
+        let groups = lane_groups(stimuli);
+        let workers = rvf_numerics::resolve_threads(self.threads).min(groups.len().max(1));
+        if workers <= 1 {
+            let coef = self.propagators(dt);
+            let mut scratch = SimScratch::default();
+            let mut out = Vec::with_capacity(stimuli.len());
+            for g in &groups {
+                out.extend(self.run_group(&coef, &stimuli[g.clone()], &mut scratch));
+            }
+            return out;
+        }
+        let pool = SweepPool::new(workers);
+        self.simulate_batch_in(&pool, dt, stimuli)
+    }
+
+    /// [`simulate_batch`](CompiledSim::simulate_batch) on a borrowed
+    /// [`SweepPool`] (the PR-4 `_in` convention): lane groups run as one
+    /// round on the pool's already-parked workers, so a serving process
+    /// pays the spawn cost once, not per batch. The effective worker
+    /// count is the pool capacity clamped to the group count; output is
+    /// bit-identical to the serial path regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panicked mid-batch.
+    pub fn simulate_batch_in(
+        &self,
+        pool: &SweepPool,
+        dt: f64,
+        stimuli: &[&[f64]],
+    ) -> Vec<Vec<f64>> {
+        let groups = lane_groups(stimuli);
+        let coef = self.propagators(dt);
+        let mut scratch: Vec<SimScratch> = vec![SimScratch::default(); pool.workers()];
+        let per_group = pool
+            .run_with(groups.len(), &SweepConfig::threads(pool.workers()), &mut scratch, |ws, g| {
+                Ok::<_, core::convert::Infallible>(self.run_group(
+                    &coef,
+                    &stimuli[groups[g].clone()],
+                    ws,
+                ))
+            })
+            .unwrap_or_else(|e| panic!("serving batch worker failed: {e}"));
+        let mut out = Vec::with_capacity(stimuli.len());
+        for g in per_group {
+            out.extend(g);
+        }
+        out
+    }
+}
+
+/// Emit pass: output = static drive value + Σ block state components,
+/// accumulated per block (`y += sre + sim`) in model block order — the
+/// reference summation.
+fn emit(sim: &CompiledSim, lanes: usize, v1: &[f64], sre: &[f64], simc: &[f64], acc: &mut [f64]) {
+    let so = sim.static_row * lanes;
+    acc[..lanes].copy_from_slice(&v1[so..so + lanes]);
+    for b in 0..sim.n_blocks() {
+        let sb = b * lanes;
+        for l in 0..lanes {
+            acc[l] += sre[sb + l] + simc[sb + l];
+        }
+    }
+}
+
+/// Splits stimuli into maximal runs of consecutive equal-length inputs,
+/// chopped to [`BATCH_LANES`]. Deterministic and order-preserving, so
+/// the flattened group outputs are already in stimulus order.
+fn lane_groups(stimuli: &[&[f64]]) -> Vec<core::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < stimuli.len() {
+        let len = stimuli[start].len();
+        let mut end = start + 1;
+        while end < stimuli.len() && end - start < BATCH_LANES && stimuli[end].len() == len {
+            end += 1;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_real_sim(a: f64, slope: f64) -> CompiledSim {
+        let mut b = SimBuilder::new();
+        let zero = b.drive_poly(&[0.0]);
+        b.set_static_drive(zero);
+        let f = b.drive_rational(&IntegratedStateFn {
+            terms: vec![],
+            linear: slope,
+            quadratic: 0.0,
+            constant: 0.0,
+        });
+        b.block_real(a, f);
+        b.build()
+    }
+
+    #[test]
+    fn real_block_step_response_matches_analytic() {
+        // ẏ = a·y + w0·u with a = −w0: unit-DC-gain low-pass.
+        let w0 = 1.0e9;
+        let sim = linear_real_sim(-w0, w0);
+        let dt = 1.0e-11;
+        let n = 600;
+        let mut u = vec![0.0; n];
+        for v in u.iter_mut().skip(1) {
+            *v = 1.0;
+        }
+        let y = sim.simulate(dt, &u);
+        let t_end = (n - 1) as f64 * dt;
+        let want = 1.0 - (-w0 * (t_end - dt)).exp();
+        assert!((y[n - 1] - want).abs() < 2e-3, "{} vs {want}", y[n - 1]);
+        assert!(y[0].abs() < 1e-12, "starts in steady state");
+    }
+
+    #[test]
+    fn memoized_constant_input_stays_in_steady_state() {
+        let sim = linear_real_sim(-2.0e9, 3.0);
+        let y = sim.simulate(1e-10, &vec![0.75; 200]);
+        for v in &y {
+            assert_eq!(*v, y[0], "constant input must hold the DC point exactly");
+        }
+    }
+
+    #[test]
+    fn pair_pole_dedup_shares_features_between_components() {
+        let pole = Complex::new(0.3, 0.8);
+        let t1 = IntegratedStateFn {
+            terms: vec![crate::LogTerm { pole, rho: Complex::new(1.0, -0.5) }],
+            linear: 0.1,
+            quadratic: 0.0,
+            constant: 0.0,
+        };
+        let t2 = IntegratedStateFn {
+            terms: vec![crate::LogTerm { pole, rho: Complex::new(-0.25, 0.4) }],
+            linear: 0.2,
+            quadratic: 0.0,
+            constant: 0.0,
+        };
+        let mut b = SimBuilder::new();
+        let s = b.drive_poly(&[0.0]);
+        b.set_static_drive(s);
+        let d1 = b.drive_rational(&t1);
+        let d2 = b.drive_rational(&t2);
+        b.block_pair(-1.0e9, 4.0e9, d1, d2);
+        let sim = b.build();
+        // Identical pole sequences collapse to ONE feature slot.
+        assert_eq!(sim.n_pole_features(), 1);
+        assert_eq!(sim.n_drives(), 3);
+    }
+
+    #[test]
+    fn distinct_pole_sequences_are_not_merged() {
+        let term = |re: f64| IntegratedStateFn {
+            terms: vec![crate::LogTerm {
+                pole: Complex::new(re, 0.5),
+                rho: Complex::new(1.0, 0.0),
+            }],
+            linear: 0.0,
+            quadratic: 0.0,
+            constant: 0.0,
+        };
+        let mut b = SimBuilder::new();
+        let d1 = b.drive_rational(&term(0.1));
+        let d2 = b.drive_rational(&term(0.2));
+        b.set_static_drive(d1);
+        b.block_pair(-1.0e9, 2.0e9, d1, d2);
+        assert_eq!(b.build().n_pole_features(), 2);
+    }
+
+    #[test]
+    fn batch_equals_serial_on_mixed_lengths() {
+        let sim = linear_real_sim(-1.5e9, 2.0);
+        let stims: Vec<Vec<f64>> = (0..11)
+            .map(|k| (0..(5 + 13 * k % 29)).map(|i| ((i * (k + 1)) as f64 * 0.37).sin()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = stims.iter().map(Vec::as_slice).collect();
+        let serial: Vec<Vec<f64>> = refs.iter().map(|s| sim.simulate(2.0e-11, s)).collect();
+        for threads in [1, 2, 4, 0] {
+            let got = sim.clone().with_threads(threads).simulate_batch(2.0e-11, &refs);
+            for (k, (a, b)) in got.iter().zip(&serial).enumerate() {
+                assert_eq!(a.len(), b.len(), "stimulus {k}, threads {threads}");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "stimulus {k}, threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_on_borrowed_pool_matches_owned() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        let stims: Vec<Vec<f64>> = (0..20).map(|k| vec![0.1 * k as f64; 40]).collect();
+        let refs: Vec<&[f64]> = stims.iter().map(Vec::as_slice).collect();
+        let owned = sim.simulate_batch(1e-10, &refs);
+        let pool = SweepPool::new(3);
+        let borrowed = sim.simulate_batch_in(&pool, 1e-10, &refs);
+        assert_eq!(owned, borrowed);
+        assert!(pool.sweeps() >= 1);
+    }
+
+    #[test]
+    fn empty_and_zero_length_stimuli() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        assert!(sim.simulate(1e-10, &[]).is_empty());
+        assert!(sim.simulate_batch(1e-10, &[]).is_empty());
+        let out = sim.simulate_batch(1e-10, &[&[][..], &[1.0, 2.0][..]]);
+        assert!(out[0].is_empty());
+        assert_eq!(out[1].len(), 2);
+    }
+
+    #[test]
+    fn lane_groups_chop_by_length_and_width() {
+        let a = vec![0.0; 3];
+        let b = vec![0.0; 4];
+        let stims: Vec<&[f64]> =
+            (0..10).map(|i| if i < 9 { a.as_slice() } else { b.as_slice() }).collect();
+        let groups = lane_groups(&stims);
+        assert_eq!(groups, vec![0..8, 8..9, 9..10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "static drive row not set")]
+    fn builder_requires_static_row() {
+        let _ = SimBuilder::new().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_dangling_drive_reference() {
+        let mut b = SimBuilder::new();
+        let s = b.drive_poly(&[0.0]);
+        b.set_static_drive(s);
+        b.block_real(-1.0, 7);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn poly_drive_rows_share_the_power_basis() {
+        // Static path y_s(u) = 1 + u²; one real block driven by u³.
+        let mut b = SimBuilder::new();
+        let s = b.drive_poly(&[1.0, 0.0, 1.0]);
+        b.set_static_drive(s);
+        let f = b.drive_poly(&[0.0, 0.0, 0.0, 1.0]);
+        b.block_real(-1.0e12, f);
+        let sim = b.build();
+        assert_eq!(sim.pdeg, 3);
+        // With a pole this fast the block output is ≈ −f(u)/a at every
+        // sample; check the static path + near-static block algebra.
+        let y = sim.simulate(1e-9, &[0.5; 50]);
+        let want = (1.0 + 0.25) + (0.125 / 1.0e12);
+        assert!((y[0] - want).abs() < 1e-12, "{} vs {want}", y[0]);
+    }
+}

@@ -27,6 +27,79 @@ fn arb_statefn() -> impl Strategy<Value = StateFn> {
         .prop_map(|(pre, pim, rre, rim, d, k)| statefn(c(pre, pim), c(rre, rim), d, k))
 }
 
+/// A state function with several log terms and an optional quadratic
+/// tail — wider coverage than [`arb_statefn`] for the serving-runtime
+/// equivalence tests (randomized pole counts and polynomial degrees).
+fn arb_statefn_multi() -> impl Strategy<Value = StateFn> {
+    (
+        prop::collection::vec((-2.0..2.0f64, 0.01..2.0f64, -3.0..3.0f64, -3.0..3.0f64), 0..4),
+        -2.0..2.0f64,
+        -0.5..0.5f64,
+        -5.0..5.0f64,
+    )
+        .prop_map(|(terms, d, e, k)| {
+            let terms: Vec<LogTerm> = terms
+                .into_iter()
+                .map(|(pre, pim, rre, rim)| LogTerm {
+                    pole: c(pre, pim.max(1e-3)),
+                    rho: c(rre, rim),
+                })
+                .collect();
+            let pole_entries: Vec<rvf_vecfit::PoleEntry> =
+                terms.iter().map(|t| PoleEntry::Pair(t.pole)).collect();
+            let residues = Residues(terms.iter().map(|t| t.rho).collect());
+            StateFn {
+                rational: RationalModel::new(
+                    PoleSet::new(pole_entries),
+                    vec![ResponseTerms { residues, d, e }],
+                ),
+                primitive: IntegratedStateFn { terms, linear: d, quadratic: e, constant: k },
+            }
+        })
+}
+
+/// Mixed real/pair block structures for the serving runtime.
+fn arb_serving_model() -> impl Strategy<Value = HammersteinModel> {
+    (
+        arb_statefn_multi(),
+        prop::collection::vec(
+            (
+                0usize..2,
+                arb_statefn_multi(),
+                arb_statefn_multi(),
+                -5.0e9..-1.0e6f64,
+                1.0e6..5.0e9f64,
+            ),
+            0..4,
+        ),
+        -1.0..1.0f64,
+        -2.0..2.0f64,
+    )
+        .prop_map(|(static_path, blocks, u0, y0)| HammersteinModel {
+            static_path,
+            blocks: blocks
+                .into_iter()
+                .map(|(is_pair, f1, f2, sigma, omega)| {
+                    if is_pair == 1 {
+                        DynBlock::Pair { sigma, omega, f1, f2 }
+                    } else {
+                        DynBlock::Real { a: sigma, f: f1 }
+                    }
+                })
+                .collect(),
+            u0,
+            y0,
+        })
+}
+
+/// A stimulus with bit-pattern-like held stretches so the memoized
+/// drive path of the compiled kernel is exercised alongside the
+/// recompute path.
+fn arb_stimulus() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((-2.5..2.5f64, 1usize..6), 0..24)
+        .prop_map(|segs| segs.into_iter().flat_map(|(v, hold)| vec![v; hold]).collect())
+}
+
 fn arb_model() -> impl Strategy<Value = HammersteinModel> {
     (
         arb_statefn(),
@@ -111,6 +184,44 @@ proptest! {
             .collect();
         let y = m.simulate(1e-10, &inputs);
         prop_assert!(y.iter().all(|v| v.is_finite()), "non-finite output");
+    }
+
+    #[test]
+    fn compiled_simulate_matches_reference(m in arb_serving_model(),
+                                           inputs in arb_stimulus(),
+                                           dt_exp in -11.0..-9.0f64) {
+        // The compiled serving kernel reproduces the reference loop's
+        // operation order: outputs agree sample-for-sample under `f64`
+        // comparison (far inside the 1e-12 relative pin).
+        let dt = 10.0f64.powf(dt_exp);
+        let want = m.simulate_reference(dt, &inputs);
+        let got = m.compile().simulate(dt, &inputs);
+        prop_assert_eq!(got.len(), want.len());
+        let peak = want.iter().fold(0.0f64, |p, v| p.max(v.abs())).max(1.0);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!(g == w || (g - w).abs() <= 1e-12 * peak,
+                         "sample {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn batch_bit_identical_to_serial_for_every_thread_count(
+        m in arb_serving_model(),
+        stims in prop::collection::vec(arb_stimulus(), 1..12),
+        thread_pick in 0usize..4,
+    ) {
+        let threads = [1usize, 2, 4, 0][thread_pick];
+        let refs: Vec<&[f64]> = stims.iter().map(Vec::as_slice).collect();
+        let sim = m.compile();
+        let serial: Vec<Vec<f64>> = refs.iter().map(|s| sim.simulate(1e-10, s)).collect();
+        let batch = sim.clone().with_threads(threads).simulate_batch(1e-10, &refs);
+        prop_assert_eq!(batch.len(), serial.len());
+        for (k, (a, b)) in batch.iter().zip(&serial).enumerate() {
+            prop_assert_eq!(a.len(), b.len(), "stimulus {}", k);
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "stimulus {}", k);
+            }
+        }
     }
 
     #[test]

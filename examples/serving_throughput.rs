@@ -1,0 +1,89 @@
+//! Batch-serving an extracted model: push many distinct bit patterns
+//! through one compiled buffer macromodel and report throughput — the
+//! deployment scenario behind the paper's Table I "Speedup".
+//!
+//! ```sh
+//! cargo run --release --example serving_throughput
+//! ```
+
+use std::time::Instant;
+
+use rvf::circuit::{high_speed_buffer, prbs7, BufferParams, Waveform};
+use rvf::model::{extract_model, RvfOptions};
+use rvf::numerics::SweepPool;
+use rvf::tft::TftConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Extract the analytical model once (paper §IV setup).
+    let train =
+        Waveform::Sine { offset: 0.9, amplitude: 0.5, freq_hz: 1.0e5, phase_rad: 0.0, delay: 0.0 };
+    let mut buffer = high_speed_buffer(&BufferParams::default(), train);
+    let tft_cfg = TftConfig {
+        f_min_hz: 1.0,
+        f_max_hz: 1.0e10,
+        n_freqs: 60,
+        t_train: 1.0e-5,
+        steps: 2000,
+        n_snapshots: 100,
+        embed_depth: 1,
+        threads: 0,
+    };
+    let opts = RvfOptions { epsilon: 1e-4, max_state_poles: 20, ..Default::default() };
+    println!("extracting the buffer model…");
+    let (report, _dataset, _train) = extract_model(&mut buffer, &tft_cfg, &opts)?;
+    let model = report.model;
+
+    // 2. Lower it into the compiled serving tables — once.
+    let sim = model.compile().with_threads(0);
+    println!(
+        "compiled: {} blocks, {} drive rows, {} shared pole features",
+        sim.n_blocks(),
+        sim.n_drives(),
+        sim.n_pole_features()
+    );
+
+    // 3. A workload of distinct 2.5 GS/s bit patterns (different PRBS
+    //    seeds), sampled at 2 ps.
+    let dt = 2.0e-12;
+    let n_samples = 2000;
+    let stimuli: Vec<Vec<f64>> = (1..=256u32)
+        .map(|seed| {
+            let wave = Waveform::BitPattern {
+                v0: 0.5,
+                v1: 1.3,
+                bits: prbs7((seed % 127 + 1) as u8, 20),
+                rate_hz: 2.5e9,
+                rise: 60e-12,
+                delay: 0.0,
+            };
+            (0..n_samples).map(|i| wave.value(i as f64 * dt)).collect()
+        })
+        .collect();
+    let refs: Vec<&[f64]> = stimuli.iter().map(Vec::as_slice).collect();
+    let total_samples = (refs.len() * n_samples) as f64;
+
+    // 4. Serve: one batch call fans lane groups over a worker pool; a
+    //    long-lived server would keep the pool and use
+    //    `simulate_batch_in` so the threads are spawned once.
+    let pool = SweepPool::new(0);
+    for round in 1..=3 {
+        let start = Instant::now();
+        let outputs = sim.simulate_batch_in(&pool, dt, &refs);
+        let secs = start.elapsed().as_secs_f64();
+        let last = outputs.last().and_then(|o| o.last()).copied().unwrap_or(0.0);
+        println!(
+            "round {round}: {} stimuli × {n_samples} samples in {:.1} ms  \
+             ({:.2} Msamples/s, last output {last:.4} V)",
+            refs.len(),
+            secs * 1e3,
+            total_samples / secs / 1e6
+        );
+    }
+
+    // Sanity: the batch output is bit-identical to a serial call.
+    let serial = sim.simulate(dt, refs[0]);
+    let batch = sim.simulate_batch_in(&pool, dt, &refs[..1]);
+    assert!(serial.iter().zip(&batch[0]).all(|(a, b)| a.to_bits() == b.to_bits()));
+    println!("bit-identity check passed; pool ran {} sweeps", pool.sweeps());
+    Ok(())
+}
