@@ -14,7 +14,15 @@
 //!   the win on a 1-core runner is lane vectorization + memoized
 //!   drives, not threads);
 //! * `serving_sequential_b256` — the same 256 stimuli as 256 separate
-//!   single-stimulus calls, the baseline the batch path must beat.
+//!   single-stimulus calls, the baseline the batch path must beat;
+//! * `serving_stream_sustained_c064` / `serving_stream_sustained_c512`
+//!   — 64k samples pushed through one `StreamingSession` via the
+//!   zero-allocation `feed_into` in 64- / 512-sample chunks: the
+//!   sustained-Msamples/s figure of the streaming tier (must hold the
+//!   batch path's throughput);
+//! * `serving_session_set_s064` — 64 live sessions advanced in lockstep
+//!   lane groups through four 256-sample chunk rounds (serial advance:
+//!   the 1-core-runner scheduler scenario).
 //!
 //! Throughput = (stimuli × samples) / time.
 
@@ -71,11 +79,53 @@ fn bench_serving(c: &mut Criterion) {
     c.bench_function("serving_sequential_b256", |b| {
         b.iter(|| refs.iter().map(|s| sim.simulate(dt, s)).collect::<Vec<_>>())
     });
+
+    // Sustained streaming: one long stimulus through a StreamingSession
+    // in fixed-size chunks over the allocation-free feed_into path.
+    let stream: Vec<f64> = pattern_stimulus(999, 65_536, dt);
+    for chunk in [64usize, 512] {
+        let id = format!("serving_stream_sustained_c{chunk:03}");
+        c.bench_function(&id, |b| {
+            b.iter(|| {
+                let mut session = sim.session(dt).unwrap();
+                let mut out = vec![0.0; chunk];
+                let mut acc = 0.0;
+                for piece in stream.chunks(chunk) {
+                    session.feed_into(piece, &mut out[..piece.len()]).unwrap();
+                    acc += out[piece.len() - 1];
+                }
+                acc
+            })
+        });
+    }
+
+    // Many live sessions advanced in lockstep lane groups: 64 sessions
+    // × 4 rounds × 256-sample chunks (65,536 samples per iteration).
+    let session_stims: Vec<Vec<f64>> =
+        (0..64).map(|k| pattern_stimulus(1000 + k, 1024, dt)).collect();
+    c.bench_function("serving_session_set_s064", |b| {
+        b.iter(|| {
+            let mut set = sim.sessions(dt).unwrap();
+            let ids: Vec<_> = (0..64).map(|_| set.open()).collect();
+            let mut acc = 0.0;
+            for round in 0..4 {
+                for (id, u) in ids.iter().zip(&session_stims) {
+                    set.push(*id, &u[round * 256..(round + 1) * 256]).unwrap();
+                }
+                for (_, out) in set.advance().unwrap() {
+                    acc += out[out.len() - 1];
+                }
+            }
+            acc
+        })
+    });
 }
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    // 7 quick-mode samples (vs the global default of 3): the committed
+    // baselines for this suite need a usable median ± MAD interval.
+    config = Criterion::default().sample_size(10).quick_sample_size(7);
     targets = bench_serving
 }
 criterion_main!(benches);

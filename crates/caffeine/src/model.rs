@@ -198,7 +198,11 @@ impl CaffeineHammerstein {
                 b.block_real(sigma, d1);
             }
         }
-        Some(b.build())
+        // The wiring above registers every row before referencing it, so
+        // lowering cannot fail on drive references; go through the typed
+        // path anyway so a future wiring bug surfaces as the error text
+        // instead of a builder assert.
+        Some(b.try_build().expect("caffeine lowering wires every drive row"))
     }
 
     /// Simulates the model for fixed-step inputs through the compiled
@@ -436,6 +440,18 @@ mod tests {
             for (a, b) in out.iter().zip(&single) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
+        }
+        // Streaming the same stimulus chunk by chunk reproduces the
+        // one-shot bits: the CAFFEINE power-basis rows go through the
+        // same chunk kernel as the RVF log-form rows.
+        let mut session = sim.session(1e-11).unwrap();
+        let mut streamed = Vec::new();
+        for chunk in inputs.chunks(23) {
+            streamed.extend(session.feed(chunk));
+        }
+        assert_eq!(streamed.len(), got.len());
+        for (a, b) in streamed.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -7,6 +7,8 @@ use rvf_numerics::NumericsError;
 use rvf_tft::TftError;
 use rvf_vecfit::VecfitError;
 
+use crate::serving::ServingError;
+
 /// Errors produced by the RVF extraction pipeline.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -44,6 +46,8 @@ pub enum RvfError {
     Circuit(CircuitError),
     /// Numerical kernel failure.
     Numerics(NumericsError),
+    /// The compiled serving runtime rejected a request.
+    Serving(ServingError),
 }
 
 impl fmt::Display for RvfError {
@@ -63,6 +67,7 @@ impl fmt::Display for RvfError {
             Self::Tft(e) => write!(f, "tft extraction failed: {e}"),
             Self::Circuit(e) => write!(f, "circuit analysis failed: {e}"),
             Self::Numerics(e) => write!(f, "numerical kernel failed: {e}"),
+            Self::Serving(e) => write!(f, "serving runtime failed: {e}"),
         }
     }
 }
@@ -74,6 +79,7 @@ impl std::error::Error for RvfError {
             Self::Tft(e) => Some(e),
             Self::Circuit(e) => Some(e),
             Self::Numerics(e) => Some(e),
+            Self::Serving(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +109,12 @@ impl From<NumericsError> for RvfError {
     }
 }
 
+impl From<ServingError> for RvfError {
+    fn from(e: ServingError) -> Self {
+        Self::Serving(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +130,9 @@ mod tests {
         };
         assert!(e.to_string().contains("frequency"));
         let e = RvfError::from(VecfitError::EmptyData);
+        assert!(e.source().is_some());
+        let e = RvfError::from(ServingError::BadDt { dt: 0.0 });
+        assert!(e.to_string().contains("serving"));
         assert!(e.source().is_some());
     }
 }

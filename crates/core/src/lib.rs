@@ -20,10 +20,11 @@
 //!    construction parallel structure with exact-exponential simulation;
 //! 5. **Export** ([`export`]) — lossless text serialization, Verilog-A
 //!    and MATLAB code generation;
-//! 6. **Serving** ([`serving`]) — the compiled batch-evaluation runtime
-//!    behind [`HammersteinModel::simulate`](hammerstein::HammersteinModel::simulate):
-//!    models lowered to flat shared-basis tables, single-stimulus and
-//!    pooled batch APIs.
+//! 6. **Serving** ([`serving`]) — the compiled evaluation runtime behind
+//!    [`HammersteinModel::simulate`](hammerstein::HammersteinModel::simulate):
+//!    models lowered to flat shared-basis tables, with one-shot, pooled
+//!    batch, and streaming/resumable session APIs
+//!    ([`SimState`], [`StreamingSession`], [`SessionSet`]).
 //!
 //! # Examples
 //!
@@ -74,4 +75,7 @@ pub use rvf::{
     fit_frequency_stage, fit_frequency_stage_in, fit_state_stage, fit_state_stage_in, RvfOptions,
     StageFit,
 };
-pub use serving::{CompiledSim, SimBuilder, SimScratch, BATCH_LANES};
+pub use serving::{
+    CompiledSim, ServingError, SessionId, SessionSet, SimBuilder, SimState, StreamingSession,
+    BATCH_LANES,
+};

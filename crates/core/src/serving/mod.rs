@@ -1,0 +1,221 @@
+//! Compiled serving runtime for extracted Hammerstein models: one-shot,
+//! batched, and streaming evaluation.
+//!
+//! [`HammersteinModel::simulate`](crate::HammersteinModel::simulate) is
+//! the deployment hot path (the paper's Table I "Speedup" is a claim
+//! about *evaluation* cost). The runtime lowers a model **once** into
+//! flat structure-of-arrays tables ([`SimBuilder`] → [`CompiledSim`],
+//! see [`compile`]) and then evaluates stimuli through three entry
+//! styles:
+//!
+//! * **one-shot** — [`CompiledSim::simulate`] /
+//!   [`CompiledSim::try_simulate`]: one stimulus in, one output vector
+//!   out, sample-for-sample equal to
+//!   [`HammersteinModel::simulate_reference`](crate::HammersteinModel::simulate_reference)
+//!   under `f64` comparison;
+//! * **batched** — [`CompiledSim::simulate_batch`] and the checked
+//!   [`CompiledSim::try_simulate_batch`] /
+//!   [`CompiledSim::try_simulate_batch_in`]: many stimuli chopped into
+//!   lane groups of up to [`BATCH_LANES`] and fanned over the
+//!   [`SweepPool`](rvf_numerics::SweepPool) runtime ([`batch`]);
+//! * **streaming** — [`SimState`] + [`CompiledSim::simulate_into`]
+//!   ([`state`]) carry the per-simulation first-order-hold state across
+//!   chunk boundaries, so a stimulus fed in N chunks produces exactly
+//!   the bits of the one-shot call; [`StreamingSession`] and the
+//!   many-session [`SessionSet`] ([`session`]) build resumable serving
+//!   sessions on top.
+//!
+//! Every kernel expression reproduces the reference loop's operation
+//! order, so compiled output equals the reference sample-for-sample
+//! (`f64` `==`), batch output is bit-identical to per-stimulus serial
+//! calls for every worker count, and chunked session output is
+//! bit-identical to one-shot evaluation for every chunk split.
+//!
+//! The *checked* entry points (`try_*`, [`CompiledSim::simulate_into`],
+//! the session types) never panic: invalid steps, foreign states,
+//! mis-sized buffers, and mid-batch worker panics all surface as a
+//! typed [`ServingError`]. The legacy infallible signatures are kept as
+//! documented-panic wrappers over the same core.
+
+pub mod batch;
+pub mod compile;
+pub mod session;
+pub mod state;
+
+pub use compile::{CompiledSim, SimBuilder};
+pub use session::{SessionId, SessionSet, StreamingSession};
+pub use state::SimState;
+
+use core::fmt;
+
+/// Lane width of the batch kernel: stimuli (or live sessions) in one
+/// task are advanced in lockstep groups of up to this many, so the
+/// per-block state updates (lane-innermost loops over contiguous slots)
+/// vectorize across the batch. Per-lane arithmetic never crosses lanes,
+/// which is what makes grouped output bit-identical to per-stimulus
+/// serial runs.
+pub const BATCH_LANES: usize = 8;
+
+/// Errors produced by the checked serving APIs.
+///
+/// The serving layer's contract is that the *checked* entry points
+/// ([`CompiledSim::try_simulate_batch`], [`CompiledSim::simulate_into`],
+/// [`StreamingSession`], [`SessionSet`], [`SimBuilder::try_build`])
+/// never panic: every data-dependent failure — including a worker panic
+/// inside a pooled batch round — comes back as one of these variants.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServingError {
+    /// The sample step is not a finite positive number.
+    BadDt {
+        /// The rejected step.
+        dt: f64,
+    },
+    /// A block (or the static path) references a drive row that was
+    /// never registered with the builder.
+    BadDrive {
+        /// The out-of-range drive row id.
+        drive: usize,
+        /// Number of registered drive rows.
+        n_drives: usize,
+    },
+    /// [`SimBuilder::set_static_drive`] was never called.
+    MissingStaticDrive,
+    /// An output buffer's length does not match its stimulus chunk.
+    OutputMismatch {
+        /// Required length (the chunk length).
+        expected: usize,
+        /// Length of the buffer that was passed.
+        got: usize,
+    },
+    /// A [`SimState`] was created by (or for) a different model shape
+    /// than the [`CompiledSim`] it was handed to.
+    StateMismatch,
+    /// A session id is unknown, or the session was already closed.
+    UnknownSession {
+        /// The offending id.
+        id: usize,
+    },
+    /// A worker panicked mid-batch. The round is aborted (no partial
+    /// results are applied) and the pool stays usable.
+    WorkerPanicked {
+        /// Slot of the worker whose task panicked.
+        worker: usize,
+    },
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadDt { dt } => {
+                write!(f, "serving: dt must be finite and positive, got {dt}")
+            }
+            Self::BadDrive { drive, n_drives } => {
+                write!(f, "SimBuilder: block drive row {drive} out of range ({n_drives} rows)")
+            }
+            Self::MissingStaticDrive => write!(f, "SimBuilder: static drive row not set"),
+            Self::OutputMismatch { expected, got } => {
+                write!(f, "serving: output buffer holds {got} samples, chunk needs {expected}")
+            }
+            Self::StateMismatch => {
+                write!(f, "serving: SimState does not match this CompiledSim's shape")
+            }
+            Self::UnknownSession { id } => {
+                write!(f, "serving: unknown or closed session id {id}")
+            }
+            Self::WorkerPanicked { worker } => {
+                write!(f, "serving: batch worker {worker} panicked mid-round")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+/// Whether `dt` is usable as a sample step (finite and strictly
+/// positive) — the predicate behind [`check_dt`] and the
+/// `debug_assert!`s of the legacy infallible signatures.
+pub(crate) fn dt_ok(dt: f64) -> bool {
+    dt.is_finite() && dt > 0.0
+}
+
+/// Validates a sample step once per checked call.
+pub(crate) fn check_dt(dt: f64) -> Result<(), ServingError> {
+    if dt_ok(dt) {
+        Ok(())
+    } else {
+        Err(ServingError::BadDt { dt })
+    }
+}
+
+/// Test-only poison switch: when armed, the next pooled serving group
+/// task panics (exactly one — the flag is consumed atomically). This is
+/// the seam the worker-panic regression tests use to drive a genuine
+/// mid-batch panic through the checked path; it must never be called
+/// outside a dedicated test binary.
+#[doc(hidden)]
+pub fn poison_next_group() {
+    POISON.store(true, core::sync::atomic::Ordering::SeqCst);
+}
+
+pub(crate) static POISON: core::sync::atomic::AtomicBool =
+    core::sync::atomic::AtomicBool::new(false);
+
+/// Consumes the poison flag; the caller panics if it was armed.
+pub(crate) fn trip_poison() {
+    if POISON.swap(false, core::sync::atomic::Ordering::SeqCst) {
+        panic!("injected serving worker panic (test poison)");
+    }
+}
+
+/// Shared fixtures for the serving unit tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::{CompiledSim, SimBuilder};
+    use crate::IntegratedStateFn;
+
+    /// One real block `ẏ = a·y + slope·u` behind a zero static path —
+    /// the smallest model that exercises the full kernel (drive memo,
+    /// DC seed, FOH step, emit).
+    pub(crate) fn linear_real_sim(a: f64, slope: f64) -> CompiledSim {
+        let mut b = SimBuilder::new();
+        let zero = b.drive_poly(&[0.0]);
+        b.set_static_drive(zero);
+        let f = b.drive_rational(&IntegratedStateFn {
+            terms: vec![],
+            linear: slope,
+            quadratic: 0.0,
+            constant: 0.0,
+        });
+        b.block_real(a, f);
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dt_predicate() {
+        assert!(dt_ok(1.0e-12));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(!dt_ok(bad), "{bad}");
+            assert!(matches!(check_dt(bad), Err(ServingError::BadDt { .. })), "{bad}");
+        }
+        assert_eq!(check_dt(2.0e-9), Ok(()));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert!(ServingError::BadDt { dt: f64::NAN }.to_string().contains("finite"));
+        assert!(ServingError::BadDrive { drive: 7, n_drives: 2 }
+            .to_string()
+            .contains("out of range"));
+        assert!(ServingError::MissingStaticDrive.to_string().contains("static drive row not set"));
+        assert!(ServingError::OutputMismatch { expected: 4, got: 3 }.to_string().contains("4"));
+        assert!(ServingError::StateMismatch.to_string().contains("SimState"));
+        assert!(ServingError::UnknownSession { id: 9 }.to_string().contains("9"));
+        assert!(ServingError::WorkerPanicked { worker: 1 }.to_string().contains("panicked"));
+    }
+}

@@ -1,0 +1,629 @@
+//! Resumable serving sessions: one stimulus fed chunk by chunk
+//! ([`StreamingSession`]), and many live sessions advanced in lockstep
+//! lane groups over a borrowed [`SweepPool`] ([`SessionSet`]).
+//!
+//! Both are thin lifecycles around [`SimState`]: a session *is* its
+//! state plus the `dt` it was opened with (validated once at open, so
+//! the per-chunk path has no failure modes beyond buffer shape). The
+//! bit-identity contract carries through — a session fed any chunk
+//! split produces exactly the one-shot [`CompiledSim::simulate`] bits,
+//! and a [`SessionSet`] advance produces exactly the bits each session
+//! would produce alone, whatever the lane grouping or worker count.
+
+use rvf_numerics::{SweepConfig, SweepError, SweepPool};
+
+use super::compile::CompiledSim;
+use super::state::{advance_group, SimState};
+use super::{check_dt, trip_poison, ServingError, BATCH_LANES};
+
+/// A resumable streaming evaluation of one stimulus.
+///
+/// Open one with [`CompiledSim::session`], feed input chunks with
+/// [`feed`](StreamingSession::feed) (allocating) or
+/// [`feed_into`](StreamingSession::feed_into) (zero-allocation in
+/// steady state), checkpoint with
+/// [`checkpoint`](StreamingSession::checkpoint), and resume a
+/// checkpoint later via [`CompiledSim::session_from`]. Chunked output
+/// is bit-identical to the one-shot call for every split.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_core::{IntegratedStateFn, SimBuilder};
+///
+/// let mut b = SimBuilder::new();
+/// let s = b.drive_poly(&[0.0, 1.0]);
+/// b.set_static_drive(s);
+/// b.block_real(-1.0e9, s);
+/// let sim = b.build();
+///
+/// let stimulus = [0.0, 0.5, 1.0, 1.0, 0.25];
+/// let mut session = sim.session(1.0e-10).unwrap();
+/// let mut streamed = Vec::new();
+/// for chunk in stimulus.chunks(2) {
+///     streamed.extend(session.feed(chunk));
+/// }
+/// assert_eq!(streamed, sim.simulate(1.0e-10, &stimulus));
+/// assert_eq!(session.samples(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingSession<'a> {
+    sim: &'a CompiledSim,
+    dt: f64,
+    state: SimState,
+}
+
+impl<'a> StreamingSession<'a> {
+    /// Feeds one chunk and returns its output samples. Allocates the
+    /// return vector; use [`feed_into`](StreamingSession::feed_into)
+    /// for the allocation-free path.
+    pub fn feed(&mut self, chunk: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; chunk.len()];
+        if !chunk.is_empty() {
+            advance_group(self.sim, self.dt, &mut self.state, &[chunk], &mut [out.as_mut_slice()]);
+        }
+        out
+    }
+
+    /// Feeds one chunk, writing its output samples into `out` — the
+    /// zero-allocation steady-state path (`dt` was validated at open,
+    /// the propagator cache lives in the state).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::OutputMismatch`] when `out.len() !=
+    /// chunk.len()`; the session state is untouched in that case.
+    pub fn feed_into(&mut self, chunk: &[f64], out: &mut [f64]) -> Result<(), ServingError> {
+        if out.len() != chunk.len() {
+            return Err(ServingError::OutputMismatch { expected: chunk.len(), got: out.len() });
+        }
+        if !chunk.is_empty() {
+            advance_group(self.sim, self.dt, &mut self.state, &[chunk], &mut [out]);
+        }
+        Ok(())
+    }
+
+    /// A resumable snapshot of the session's current state — hand it to
+    /// [`CompiledSim::session_from`] (or keep feeding this session; the
+    /// snapshot is independent).
+    pub fn checkpoint(&self) -> SimState {
+        self.state.clone()
+    }
+
+    /// Consumes the session, returning its state.
+    pub fn into_state(self) -> SimState {
+        self.state
+    }
+
+    /// The session's current state.
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Samples fed so far.
+    pub fn samples(&self) -> u64 {
+        self.state.samples()
+    }
+
+    /// The sample step the session was opened with.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Rewinds the session to the fresh state (the next chunk's first
+    /// sample re-seeds the blocks at its DC operating point). Keeps all
+    /// buffers, so a reset session still allocates nothing.
+    pub fn reset(&mut self) {
+        self.state.reset();
+    }
+}
+
+impl CompiledSim {
+    /// Opens a [`StreamingSession`] at sample step `dt` (validated once
+    /// here — the per-chunk path cannot fail on `dt`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadDt`] for a non-finite or non-positive `dt`.
+    pub fn session(&self, dt: f64) -> Result<StreamingSession<'_>, ServingError> {
+        check_dt(dt)?;
+        Ok(StreamingSession { sim: self, dt, state: self.new_state() })
+    }
+
+    /// Opens a [`StreamingSession`] resuming from a checkpointed
+    /// `state` (see [`StreamingSession::checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadDt`] for an invalid `dt`,
+    /// [`ServingError::StateMismatch`] when `state` was built for a
+    /// different model shape.
+    pub fn session_from(
+        &self,
+        dt: f64,
+        state: SimState,
+    ) -> Result<StreamingSession<'_>, ServingError> {
+        check_dt(dt)?;
+        if state.lanes != 1 || !state.matches(self) {
+            return Err(ServingError::StateMismatch);
+        }
+        Ok(StreamingSession { sim: self, dt, state })
+    }
+}
+
+/// Handle to one live session inside a [`SessionSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub(crate) usize);
+
+impl SessionId {
+    /// The raw slot index (stable for the lifetime of the set).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One slot of a [`SessionSet`].
+#[derive(Debug, Clone)]
+struct SessionSlot {
+    state: SimState,
+    /// Input samples pushed since the last advance.
+    pending: Vec<f64>,
+    open: bool,
+}
+
+/// Many live streaming sessions advanced together.
+///
+/// A scheduler-shaped serving loop: [`open`](SessionSet::open)
+/// sessions, [`push`](SessionSet::push) each one's next input chunk,
+/// then [`advance`](SessionSet::advance) (serial) or
+/// [`advance_in`](SessionSet::advance_in) (over a borrowed
+/// [`SweepPool`]) to evaluate every pending chunk in one step. Sessions
+/// whose pending chunks have **equal length** are grouped into lockstep
+/// lanes of up to [`BATCH_LANES`] and advanced through the batch
+/// kernel, so a heavily loaded set gets the same vectorization and
+/// parallelism as [`CompiledSim::simulate_batch`] — while each
+/// session's output stays bit-identical to running it alone.
+///
+/// An advance is transactional: on any error (including a worker panic,
+/// surfaced as [`ServingError::WorkerPanicked`]) no session state is
+/// updated, every pending chunk is retained, and both the set and the
+/// pool remain usable.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_core::{IntegratedStateFn, SimBuilder};
+///
+/// let mut b = SimBuilder::new();
+/// let s = b.drive_poly(&[0.0, 1.0]);
+/// b.set_static_drive(s);
+/// b.block_real(-1.0e9, s);
+/// let sim = b.build();
+///
+/// let mut set = sim.sessions(1.0e-10).unwrap();
+/// let a = set.open();
+/// let c = set.open();
+/// set.push(a, &[0.1, 0.2]).unwrap();
+/// set.push(c, &[0.9, 0.8]).unwrap();
+/// let outputs = set.advance().unwrap();
+/// assert_eq!(outputs.len(), 2);
+/// assert_eq!(outputs[0].0, a);
+/// assert_eq!(outputs[0].1, sim.simulate(1.0e-10, &[0.1, 0.2]));
+/// let state = set.close(a).unwrap(); // resumable checkpoint
+/// assert_eq!(state.samples(), 2);
+/// ```
+#[derive(Debug)]
+pub struct SessionSet<'a> {
+    sim: &'a CompiledSim,
+    dt: f64,
+    slots: Vec<SessionSlot>,
+    /// Group advance scratch for the serial path (lane-group states are
+    /// rebuilt per group; capacity persists across advances).
+    scratch: SimState,
+}
+
+impl<'a> SessionSet<'a> {
+    /// Opens a new session and returns its id.
+    pub fn open(&mut self) -> SessionId {
+        self.slots.push(SessionSlot {
+            state: self.sim.new_state(),
+            pending: Vec::new(),
+            open: true,
+        });
+        SessionId(self.slots.len() - 1)
+    }
+
+    /// Opens a session resuming from a checkpointed `state`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::StateMismatch`] when `state` was built for a
+    /// different model shape.
+    pub fn open_with_state(&mut self, state: SimState) -> Result<SessionId, ServingError> {
+        if state.lanes != 1 || !state.matches(self.sim) {
+            return Err(ServingError::StateMismatch);
+        }
+        self.slots.push(SessionSlot { state, pending: Vec::new(), open: true });
+        Ok(SessionId(self.slots.len() - 1))
+    }
+
+    /// Appends `chunk` to the session's pending input (evaluated at the
+    /// next advance).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::UnknownSession`] for a closed or foreign id.
+    pub fn push(&mut self, id: SessionId, chunk: &[f64]) -> Result<(), ServingError> {
+        let slot = self.slot_mut(id)?;
+        slot.pending.extend_from_slice(chunk);
+        Ok(())
+    }
+
+    /// Closes a session, returning its final state (a checkpoint — it
+    /// can seed [`open_with_state`](SessionSet::open_with_state) or
+    /// [`CompiledSim::session_from`] later). Pending input that was
+    /// never advanced is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::UnknownSession`] for a closed or foreign id.
+    pub fn close(&mut self, id: SessionId) -> Result<SimState, ServingError> {
+        let sim = self.sim;
+        let slot = self.slot_mut(id)?;
+        slot.open = false;
+        slot.pending.clear();
+        Ok(core::mem::replace(&mut slot.state, sim.new_state()))
+    }
+
+    /// Number of open sessions.
+    pub fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.open).count()
+    }
+
+    /// Samples absorbed so far by session `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::UnknownSession`] for a closed or foreign id.
+    pub fn samples(&self, id: SessionId) -> Result<u64, ServingError> {
+        match self.slots.get(id.0) {
+            Some(s) if s.open => Ok(s.state.samples()),
+            _ => Err(ServingError::UnknownSession { id: id.0 }),
+        }
+    }
+
+    /// Advances every session with pending input, serially on the
+    /// calling thread. Returns `(id, output)` pairs in id order, one
+    /// output sample per pending input sample; pending buffers are
+    /// drained.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (the `Result` keeps the
+    /// signature aligned with [`advance_in`](SessionSet::advance_in)).
+    pub fn advance(&mut self) -> Result<Vec<(SessionId, Vec<f64>)>, ServingError> {
+        let groups = self.lane_groups();
+        let mut applied = Vec::with_capacity(groups.len());
+        for members in &groups {
+            applied.push(group_task(self.sim, self.dt, &self.slots, members, &mut self.scratch));
+        }
+        Ok(self.apply(applied))
+    }
+
+    /// Advances every session with pending input over the borrowed
+    /// pool, one lane group per pool task. The caller's thread
+    /// participates as worker 0 (the [`SweepPool`] convention).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::WorkerPanicked`] if a pool worker's task
+    /// panicked. The advance is transactional: no session state is
+    /// updated, all pending chunks are retained, and the pool remains
+    /// usable for the next call.
+    pub fn advance_in(
+        &mut self,
+        pool: &SweepPool,
+    ) -> Result<Vec<(SessionId, Vec<f64>)>, ServingError> {
+        let groups = self.lane_groups();
+        if groups.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = pool.workers();
+        let mut workspaces: Vec<SimState> =
+            (0..workers).map(|_| SimState::for_lanes(self.sim, 0)).collect();
+        let (sim, dt, slots) = (self.sim, self.dt, &self.slots);
+        let applied = pool
+            .run_with(groups.len(), &SweepConfig::threads(workers), &mut workspaces, |ws, g| {
+                trip_poison();
+                Ok::<_, core::convert::Infallible>(group_task(sim, dt, slots, &groups[g], ws))
+            })
+            .map_err(|e| match e {
+                SweepError::WorkerPanicked { worker } => ServingError::WorkerPanicked { worker },
+                SweepError::Task { .. } => unreachable!("group tasks are infallible"),
+            })?;
+        Ok(self.apply(applied))
+    }
+
+    /// Groups the open sessions that have pending input into lockstep
+    /// lanes: sorted by (pending length, slot), maximal runs of equal
+    /// length chopped to [`BATCH_LANES`]. Equal-length grouping is what
+    /// lets lanes advance through one kernel call without padding — and
+    /// padding would break bit-identity bookkeeping, not just waste
+    /// work.
+    fn lane_groups(&self) -> Vec<Vec<usize>> {
+        let mut ready: Vec<(usize, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.open && !s.pending.is_empty())
+            .map(|(i, s)| (s.pending.len(), i))
+            .collect();
+        ready.sort_unstable();
+        let mut groups = Vec::new();
+        let mut i = 0;
+        while i < ready.len() {
+            let len = ready[i].0;
+            let mut j = i;
+            while j < ready.len() && ready[j].0 == len && j - i < BATCH_LANES {
+                j += 1;
+            }
+            groups.push(ready[i..j].iter().map(|&(_, slot)| slot).collect());
+            i = j;
+        }
+        groups
+    }
+
+    /// Commits the per-group results: stores the advanced states,
+    /// drains the pending buffers, returns `(id, output)` in id order.
+    fn apply(
+        &mut self,
+        applied: Vec<Vec<(usize, Vec<f64>, SimState)>>,
+    ) -> Vec<(SessionId, Vec<f64>)> {
+        let mut outputs = Vec::new();
+        for (slot_idx, out, state) in applied.into_iter().flatten() {
+            self.slots[slot_idx].state = state;
+            self.slots[slot_idx].pending.clear();
+            outputs.push((SessionId(slot_idx), out));
+        }
+        outputs.sort_unstable_by_key(|(id, _)| id.0);
+        outputs
+    }
+
+    fn slot_mut(&mut self, id: SessionId) -> Result<&mut SessionSlot, ServingError> {
+        match self.slots.get_mut(id.0) {
+            Some(s) if s.open => Ok(s),
+            _ => Err(ServingError::UnknownSession { id: id.0 }),
+        }
+    }
+}
+
+/// Advances one lane group: loads each member's state into a lane,
+/// runs the chunk kernel once across the group, and extracts the
+/// advanced per-lane states. Pure with respect to `slots` — commit
+/// happens in [`SessionSet::apply`] only after every group succeeded,
+/// which is what makes a failed advance transactional.
+fn group_task(
+    sim: &CompiledSim,
+    dt: f64,
+    slots: &[SessionSlot],
+    members: &[usize],
+    ws: &mut SimState,
+) -> Vec<(usize, Vec<f64>, SimState)> {
+    let lanes = members.len();
+    let n = slots[members[0]].pending.len();
+    ws.reset_for(sim, lanes);
+    for (l, &slot_idx) in members.iter().enumerate() {
+        ws.load_lane(l, &slots[slot_idx].state);
+    }
+    let stims: Vec<&[f64]> = members.iter().map(|&i| slots[i].pending.as_slice()).collect();
+    let mut outs: Vec<Vec<f64>> = members.iter().map(|_| vec![0.0; n]).collect();
+    {
+        let mut out_refs: Vec<&mut [f64]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+        advance_group(sim, dt, ws, &stims, &mut out_refs);
+    }
+    members
+        .iter()
+        .zip(outs)
+        .enumerate()
+        .map(|(l, (&slot_idx, out))| {
+            let mut state = ws.extract_lane(sim, l);
+            state.set_samples(slots[slot_idx].state.samples() + n as u64);
+            (slot_idx, out, state)
+        })
+        .collect()
+}
+
+impl CompiledSim {
+    /// Opens an empty [`SessionSet`] at sample step `dt` (validated
+    /// once here).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadDt`] for a non-finite or non-positive `dt`.
+    pub fn sessions(&self, dt: f64) -> Result<SessionSet<'_>, ServingError> {
+        check_dt(dt)?;
+        Ok(SessionSet { sim: self, dt, slots: Vec::new(), scratch: SimState::for_lanes(self, 0) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::linear_real_sim;
+    use super::*;
+
+    fn stim(seed: u64, n: usize) -> Vec<f64> {
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Held stretches exercise the memo path.
+                if x % 5 == 0 {
+                    0.5
+                } else {
+                    (x % 1000) as f64 / 1000.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn session_open_errors() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(sim.session(bad), Err(ServingError::BadDt { .. })), "{bad}");
+            assert!(matches!(sim.sessions(bad), Err(ServingError::BadDt { .. })), "{bad}");
+        }
+        let mut b = crate::SimBuilder::new();
+        let s = b.drive_poly(&[0.0, 1.0, 1.0]);
+        b.set_static_drive(s);
+        b.block_real(-1.0e9, s);
+        b.block_real(-2.0e9, s);
+        let other = b.build();
+        assert!(matches!(
+            sim.session_from(1e-10, other.new_state()),
+            Err(ServingError::StateMismatch)
+        ));
+    }
+
+    #[test]
+    fn chunked_session_matches_one_shot() {
+        let sim = linear_real_sim(-1.2e9, 1.7);
+        let u = stim(7, 120);
+        let dt = 3.0e-11;
+        let want = sim.simulate(dt, &u);
+        let mut session = sim.session(dt).unwrap();
+        let mut got = Vec::new();
+        for chunk in u.chunks(7) {
+            got.extend(session.feed(chunk));
+        }
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn feed_into_checks_output_shape() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        let mut session = sim.session(1e-10).unwrap();
+        let mut out = [0.0; 2];
+        assert_eq!(
+            session.feed_into(&[1.0, 2.0, 3.0], &mut out),
+            Err(ServingError::OutputMismatch { expected: 3, got: 2 })
+        );
+        assert_eq!(session.samples(), 0, "failed feed leaves the session untouched");
+        session.feed_into(&[1.0, 2.0], &mut out).unwrap();
+        assert_eq!(session.samples(), 2);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_session_from() {
+        let sim = linear_real_sim(-2.0e9, 0.9);
+        let u = stim(3, 64);
+        let dt = 1.0e-10;
+        let want = sim.simulate(dt, &u);
+        let mut first = sim.session(dt).unwrap();
+        let head = first.feed(&u[..20]);
+        let snapshot = first.checkpoint();
+        drop(first);
+        let mut resumed = sim.session_from(dt, snapshot).unwrap();
+        let tail = resumed.feed(&u[20..]);
+        for (g, w) in head.iter().chain(&tail).zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn session_set_matches_individual_sessions() {
+        let sim = linear_real_sim(-1.5e9, 1.1);
+        let dt = 2.0e-11;
+        // 11 sessions with three distinct chunk lengths → mixed lane
+        // groups, several advances.
+        let mut set = sim.sessions(dt).unwrap();
+        let specs: Vec<(SessionId, Vec<f64>)> =
+            (0..11).map(|i| (set.open(), stim(100 + i as u64, 40 + 13 * (i % 3)))).collect();
+        let mut streamed: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+        for round in 0..4 {
+            for (i, (id, u)) in specs.iter().enumerate() {
+                let chunk_len = 5 + (i + round) % 7;
+                let fed = streamed[i].len();
+                let end = (fed + chunk_len).min(u.len());
+                if fed < end {
+                    set.push(*id, &u[fed..end]).unwrap();
+                }
+            }
+            for (id, out) in set.advance().unwrap() {
+                let i = specs.iter().position(|(s, _)| *s == id).unwrap();
+                streamed[i].extend(out);
+            }
+        }
+        // Drain the rest in one final advance.
+        for (i, (id, u)) in specs.iter().enumerate() {
+            let fed = streamed[i].len();
+            if fed < u.len() {
+                set.push(*id, &u[fed..]).unwrap();
+            }
+        }
+        for (id, out) in set.advance().unwrap() {
+            let i = specs.iter().position(|(s, _)| *s == id).unwrap();
+            streamed[i].extend(out);
+        }
+        for (i, (id, u)) in specs.iter().enumerate() {
+            let want = sim.simulate(dt, u);
+            assert_eq!(streamed[i].len(), want.len(), "session {i}");
+            for (g, w) in streamed[i].iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "session {i}");
+            }
+            assert_eq!(set.samples(*id).unwrap(), u.len() as u64);
+        }
+    }
+
+    #[test]
+    fn session_set_lifecycle_errors() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        let mut set = sim.sessions(1e-10).unwrap();
+        let id = set.open();
+        assert_eq!(set.live(), 1);
+        set.push(id, &[0.5; 4]).unwrap();
+        set.advance().unwrap();
+        let state = set.close(id).unwrap();
+        assert_eq!(state.samples(), 4);
+        assert_eq!(set.live(), 0);
+        // Closed and foreign ids are typed errors.
+        assert_eq!(set.push(id, &[1.0]), Err(ServingError::UnknownSession { id: 0 }));
+        assert_eq!(set.close(id).unwrap_err(), ServingError::UnknownSession { id: 0 });
+        assert_eq!(set.samples(SessionId(9)).unwrap_err(), ServingError::UnknownSession { id: 9 });
+        // The checkpoint reopens and continues.
+        let id2 = set.open_with_state(state).unwrap();
+        assert_eq!(set.samples(id2).unwrap(), 4);
+        // Advance with nothing pending is a no-op.
+        assert!(set.advance().unwrap().is_empty());
+    }
+
+    #[test]
+    fn session_set_pooled_matches_serial() {
+        let sim = linear_real_sim(-1.1e9, 1.4);
+        let dt = 4.0e-11;
+        for threads in [1usize, 2, 4, 0] {
+            let pool = SweepPool::new(threads);
+            let mut set = sim.sessions(dt).unwrap();
+            let ids: Vec<SessionId> = (0..10).map(|_| set.open()).collect();
+            let stims: Vec<Vec<f64>> =
+                (0..10).map(|i| stim(500 + i as u64, 30 + 10 * (i % 2))).collect();
+            for (id, u) in ids.iter().zip(&stims) {
+                set.push(*id, u).unwrap();
+            }
+            let outputs = set.advance_in(&pool).unwrap();
+            assert_eq!(outputs.len(), 10);
+            for ((id, out), u) in outputs.iter().zip(&stims) {
+                let want = sim.simulate(dt, u);
+                assert_eq!(out.len(), want.len());
+                for (g, w) in out.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "threads {threads} id {id:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,702 @@
+//! Checkpointable per-simulation state and the streaming kernel.
+//!
+//! [`SimState`] extracts the first-order-hold block state and the
+//! drive-memo registers out of the kernel loop into a first-class
+//! value: create one with [`CompiledSim::new_state`], advance it chunk
+//! by chunk with [`CompiledSim::simulate_into`], clone it to
+//! checkpoint, and hand the clone back later to resume. Feeding a
+//! stimulus in N chunks produces exactly the bits of the one-shot
+//! [`CompiledSim::simulate`] call — the kernel's per-sample arithmetic
+//! never depends on where a chunk boundary falls.
+//!
+//! A state is *multi-lane* internally (the batch and session-set paths
+//! advance up to [`BATCH_LANES`](super::BATCH_LANES) simulations in
+//! lockstep through the same kernel), but the public constructor always
+//! hands out a single-lane state; per-lane arithmetic never crosses
+//! lanes, so the lane grouping is unobservable in the output bits.
+
+use rvf_numerics::Complex;
+
+use super::compile::{BlockCoef, CompiledSim};
+use super::{check_dt, dt_ok, ServingError};
+
+/// Checkpointable state of one running simulation.
+///
+/// Holds everything the kernel carries from one sample to the next:
+/// the 2-wide first-order-hold state of every block, the previous
+/// sample's drive vector, and the bit pattern of the input that built
+/// it (the drive-memo register). `Clone` is the checkpoint operation —
+/// a cloned state resumed later continues bit-for-bit where the
+/// original stood.
+///
+/// The buffers double as the kernel's scratch space, so a chunk
+/// advanced through [`CompiledSim::simulate_into`] performs **no heap
+/// allocation** in steady state (the first-order-hold coefficients are
+/// cached per `dt` inside the state, in capacity reserved up front).
+///
+/// # Examples
+///
+/// ```
+/// use rvf_core::{IntegratedStateFn, SimBuilder};
+///
+/// let mut b = SimBuilder::new();
+/// let zero = b.drive_poly(&[0.0]);
+/// b.set_static_drive(zero);
+/// let f = b.drive_rational(&IntegratedStateFn {
+///     terms: vec![],
+///     linear: 1.0e9,
+///     quadratic: 0.0,
+///     constant: 0.0,
+/// });
+/// b.block_real(-1.0e9, f);
+/// let sim = b.build();
+///
+/// // Stream a stimulus in two chunks; the result is bit-identical to
+/// // the one-shot call.
+/// let stimulus = [0.0, 0.4, 0.8, 0.8, 0.8, 0.2];
+/// let mut state = sim.new_state();
+/// let mut out = [0.0; 6];
+/// sim.simulate_into(1.0e-10, &stimulus[..3], &mut state, &mut out[..3]).unwrap();
+/// let checkpoint = state.clone(); // resumable snapshot
+/// sim.simulate_into(1.0e-10, &stimulus[3..], &mut state, &mut out[3..]).unwrap();
+/// assert_eq!(out.to_vec(), sim.simulate(1.0e-10, &stimulus));
+/// assert_eq!(checkpoint.samples(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimState {
+    /// Concurrent simulations carried by this state (1 for public
+    /// states; the batch/session kernels run up to `BATCH_LANES`).
+    pub(crate) lanes: usize,
+    /// Previous-sample drive values, `[drive][lane]`.
+    pub(crate) v0: Vec<f64>,
+    /// Current-sample drive values (scratch), `[drive][lane]`.
+    pub(crate) v1: Vec<f64>,
+    /// Block state, real components, `[block][lane]`.
+    pub(crate) sre: Vec<f64>,
+    /// Block state, imaginary components, `[block][lane]`.
+    pub(crate) sim: Vec<f64>,
+    /// Per-lane bit pattern of the last input that rebuilt the drives.
+    pub(crate) uprev: Vec<u64>,
+    /// Per-lane flag: has this lane absorbed its first sample (which
+    /// seeds the blocks at the DC steady state of that input)?
+    pub(crate) started: Vec<bool>,
+    /// Per-lane log-feature temporaries (one slot per distinct pole).
+    lr: Vec<f64>,
+    li: Vec<f64>,
+    /// Shared power basis `[1, u, …, u^pdeg]` (scratch).
+    pw: Vec<f64>,
+    /// Per-lane output accumulator of the emit pass (scratch).
+    acc: Vec<f64>,
+    /// Cached first-order-hold coefficients for `coef_dt`.
+    coef: Vec<BlockCoef>,
+    /// Bit pattern of the `dt` the cache was computed for.
+    coef_dt: u64,
+    /// Model shape fingerprint: (drives, blocks, pole features, pdeg).
+    shape: [usize; 4],
+    /// Samples advanced so far (per lane — lanes advance in lockstep).
+    samples: u64,
+}
+
+impl SimState {
+    /// A fresh state with every buffer sized for `lanes` concurrent
+    /// simulations of `sim`, including capacity for the propagator
+    /// cache — after this, advancing chunks allocates nothing.
+    pub(crate) fn for_lanes(sim: &CompiledSim, lanes: usize) -> Self {
+        Self {
+            lanes,
+            v0: vec![0.0; sim.n_drives * lanes],
+            v1: vec![0.0; sim.n_drives * lanes],
+            sre: vec![0.0; sim.n_blocks() * lanes],
+            sim: vec![0.0; sim.n_blocks() * lanes],
+            uprev: vec![0; lanes],
+            started: vec![false; lanes],
+            lr: vec![0.0; sim.poles.len()],
+            li: vec![0.0; sim.poles.len()],
+            pw: vec![0.0; sim.pdeg + 1],
+            acc: vec![0.0; lanes],
+            coef: Vec::with_capacity(sim.n_blocks()),
+            coef_dt: u64::MAX,
+            shape: shape_of(sim),
+            samples: 0,
+        }
+    }
+
+    /// Re-sizes this state in place for a new lane group of `sim`
+    /// (shrinking never releases capacity, so a per-worker scratch
+    /// state reused across groups stops allocating once it has seen the
+    /// widest group). All lanes come back fresh.
+    pub(crate) fn reset_for(&mut self, sim: &CompiledSim, lanes: usize) {
+        let resize = |v: &mut Vec<f64>, n: usize| {
+            v.clear();
+            v.resize(n, 0.0);
+        };
+        self.lanes = lanes;
+        resize(&mut self.v0, sim.n_drives * lanes);
+        resize(&mut self.v1, sim.n_drives * lanes);
+        resize(&mut self.sre, sim.n_blocks() * lanes);
+        resize(&mut self.sim, sim.n_blocks() * lanes);
+        resize(&mut self.lr, sim.poles.len());
+        resize(&mut self.li, sim.poles.len());
+        resize(&mut self.pw, sim.pdeg + 1);
+        resize(&mut self.acc, lanes);
+        self.uprev.clear();
+        self.uprev.resize(lanes, 0);
+        self.started.clear();
+        self.started.resize(lanes, false);
+        self.shape = shape_of(sim);
+        self.samples = 0;
+    }
+
+    /// Whether this state was sized for `sim`'s table shape. (A
+    /// fingerprint check: two models with identical shape are
+    /// interchangeable as far as buffer safety goes.)
+    pub(crate) fn matches(&self, sim: &CompiledSim) -> bool {
+        self.shape == shape_of(sim)
+    }
+
+    /// Copies lane 0 of the single-lane state `src` into lane `l`.
+    pub(crate) fn load_lane(&mut self, l: usize, src: &SimState) {
+        debug_assert_eq!(src.lanes, 1);
+        let (lanes, n_drives, n_blocks) = (self.lanes, self.shape[0], self.shape[1]);
+        for d in 0..n_drives {
+            self.v0[d * lanes + l] = src.v0[d];
+        }
+        for b in 0..n_blocks {
+            self.sre[b * lanes + l] = src.sre[b];
+            self.sim[b * lanes + l] = src.sim[b];
+        }
+        self.uprev[l] = src.uprev[0];
+        self.started[l] = src.started[0];
+    }
+
+    /// Extracts lane `l` as a fresh single-lane state of `sim`.
+    pub(crate) fn extract_lane(&self, sim: &CompiledSim, l: usize) -> SimState {
+        let mut out = SimState::for_lanes(sim, 1);
+        let (lanes, n_drives, n_blocks) = (self.lanes, self.shape[0], self.shape[1]);
+        for d in 0..n_drives {
+            out.v0[d] = self.v0[d * lanes + l];
+        }
+        for b in 0..n_blocks {
+            out.sre[b] = self.sre[b * lanes + l];
+            out.sim[b] = self.sim[b * lanes + l];
+        }
+        out.uprev[0] = self.uprev[l];
+        out.started[0] = self.started[l];
+        out
+    }
+
+    /// Re-fills the cached propagators if `dt` changed (bit compare);
+    /// the cache vector's capacity was reserved at construction, so
+    /// this never allocates.
+    pub(crate) fn ensure_coef(&mut self, sim: &CompiledSim, dt: f64) {
+        let bits = dt.to_bits();
+        if self.coef_dt == bits && self.coef.len() == sim.n_blocks() {
+            return;
+        }
+        self.coef.clear();
+        sim.fill_propagators(dt, &mut self.coef);
+        self.coef_dt = bits;
+    }
+
+    /// Samples this state has absorbed since creation (or the last
+    /// [`reset`](SimState::reset)).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Overrides the absorbed-sample counter (used when a lane is
+    /// scattered back out of a group advance).
+    pub(crate) fn set_samples(&mut self, samples: u64) {
+        self.samples = samples;
+    }
+
+    /// Whether the state has absorbed at least one sample. A fresh
+    /// state seeds every block at the DC steady state of the first
+    /// input it sees.
+    pub fn is_started(&self) -> bool {
+        self.started.iter().all(|&s| s)
+    }
+
+    /// Rewinds to the fresh state: the next chunk's first sample
+    /// re-seeds the blocks at its DC operating point. Buffers (and the
+    /// propagator cache) are kept, so a reset session still allocates
+    /// nothing.
+    pub fn reset(&mut self) {
+        self.started.fill(false);
+        self.samples = 0;
+    }
+}
+
+/// The shape fingerprint [`SimState::matches`] compares.
+fn shape_of(sim: &CompiledSim) -> [usize; 4] {
+    [sim.n_drives, sim.n_blocks(), sim.poles.len(), sim.pdeg]
+}
+
+/// Evaluates every drive row at input `u` into lane `l` of `v1`.
+///
+/// Pass 1 fills the shared log-feature basis (one `ln` per *distinct*
+/// pole), pass 2 accumulates the quadratic heads + CSR log terms in the
+/// reference operation order, pass 3 runs the power-basis matvec for
+/// the polynomial rows.
+#[allow(clippy::too_many_arguments)]
+fn eval_drives_lane(
+    sim: &CompiledSim,
+    u: f64,
+    l: usize,
+    lanes: usize,
+    v1: &mut [f64],
+    lr: &mut [f64],
+    li: &mut [f64],
+    pw: &mut [f64],
+) {
+    for (p, &pole) in sim.poles.iter().enumerate() {
+        let z = (Complex::from_re(u) - pole).ln();
+        lr[p] = z.re;
+        li[p] = z.im;
+    }
+    for d in 0..sim.n_drives {
+        let h = sim.head[d];
+        // Matches `constant + linear*u + 0.5*quadratic*u*u` bit for bit
+        // (h[2] is the exactly-precomputed 0.5·q).
+        let mut acc = h[0] + h[1] * u + h[2] * u * u;
+        for t in sim.row_off[d]..sim.row_off[d + 1] {
+            let w = sim.term_w[t];
+            let p = sim.term_pole[t];
+            // Matches `2.0 * (rho * z.ln()).re`.
+            acc += 2.0 * (w[0] * lr[p] - w[1] * li[p]);
+        }
+        v1[d * lanes + l] = acc;
+    }
+    if !sim.prow.is_empty() {
+        let width = sim.pdeg + 1;
+        pw[0] = 1.0;
+        for j in 1..width {
+            pw[j] = pw[j - 1] * u;
+        }
+        for (r, &d) in sim.prow.iter().enumerate() {
+            let row = &sim.pmat[r * width..(r + 1) * width];
+            let mut acc = 0.0;
+            for j in 0..width {
+                acc += row[j] * pw[j];
+            }
+            v1[d * lanes + l] = acc;
+        }
+    }
+}
+
+/// Emit pass: output = static drive value + Σ block state components,
+/// accumulated per block (`y += sre + sim`) in model block order — the
+/// reference summation.
+fn emit(sim: &CompiledSim, lanes: usize, v1: &[f64], sre: &[f64], simc: &[f64], acc: &mut [f64]) {
+    let so = sim.static_row * lanes;
+    acc[..lanes].copy_from_slice(&v1[so..so + lanes]);
+    for b in 0..sim.n_blocks() {
+        let sb = b * lanes;
+        for l in 0..lanes {
+            acc[l] += sre[sb + l] + simc[sb + l];
+        }
+    }
+}
+
+/// Advances every lane of `state` through one chunk of samples. This is
+/// the whole serving kernel: single stimuli and streaming sessions run
+/// it with one lane, the batch and session-set paths with up to
+/// [`BATCH_LANES`](super::BATCH_LANES); per-lane arithmetic never
+/// crosses lanes, so the grouping is unobservable in the output bits.
+///
+/// `stims` holds one equal-length chunk per lane; `outs[l][t]` receives
+/// lane `l`'s output sample `t`. Lanes that have not started yet absorb
+/// their first sample as the DC seed (the reference loop's `t = 0`
+/// path); started lanes continue with the first-order-hold step against
+/// the drive vector and memo register carried in the state, so a chunk
+/// boundary is arithmetically invisible.
+pub(crate) fn advance_group(
+    sim: &CompiledSim,
+    dt: f64,
+    state: &mut SimState,
+    stims: &[&[f64]],
+    outs: &mut [&mut [f64]],
+) {
+    let lanes = state.lanes;
+    debug_assert_eq!(stims.len(), lanes);
+    let n = stims[0].len();
+    if n == 0 {
+        return;
+    }
+    state.ensure_coef(sim, dt);
+    state.samples += n as u64;
+    let SimState { v0, v1, sre, sim: simc, uprev, started, lr, li, pw, acc, coef, .. } = state;
+    let n_blocks = sim.n_blocks();
+
+    let mut t0 = 0;
+    if !started.iter().all(|&s| s) {
+        // Chunk sample 0 with at least one fresh lane: per-lane branch
+        // between the DC seed and the regular step. (After this sample
+        // every lane has started, so the uniform loop below takes over.)
+        for (l, stim) in stims.iter().enumerate() {
+            let u = stim[0];
+            let bits = u.to_bits();
+            if started[l] && bits == uprev[l] {
+                for d in 0..sim.n_drives {
+                    v1[d * lanes + l] = v0[d * lanes + l];
+                }
+            } else {
+                eval_drives_lane(sim, u, l, lanes, v1, lr, li, pw);
+                uprev[l] = bits;
+            }
+        }
+        for b in 0..n_blocks {
+            let c = coef[b];
+            let (o1, o2, sb) = (sim.d1[b] * lanes, sim.d2[b] * lanes, b * lanes);
+            if sim.pair[b] {
+                let lambda = Complex::new(sim.sigma[b], -sim.omega[b]);
+                for l in 0..lanes {
+                    if started[l] {
+                        foh_step(&c, v0, v1, sre, simc, o1, o2, sb, l);
+                    } else {
+                        // Steady state for the first input (the
+                        // circuit's DC operating point).
+                        let w = Complex::new(v1[o1 + l], v1[o2 + l]);
+                        let z = -(w / lambda);
+                        sre[sb + l] = z.re;
+                        simc[sb + l] = z.im;
+                    }
+                }
+            } else {
+                let a = sim.sigma[b];
+                for l in 0..lanes {
+                    if started[l] {
+                        foh_step(&c, v0, v1, sre, simc, o1, o2, sb, l);
+                    } else {
+                        let v = v1[o1 + l];
+                        sre[sb + l] = -v / a;
+                        simc[sb + l] = 0.0;
+                    }
+                }
+            }
+        }
+        emit(sim, lanes, v1, sre, simc, acc);
+        for (l, out) in outs.iter_mut().enumerate() {
+            out[0] = acc[l];
+        }
+        core::mem::swap(v0, v1);
+        started.fill(true);
+        t0 = 1;
+    }
+
+    for t in t0..n {
+        // Drive pass, lane-at-a-time: re-evaluate only the lanes whose
+        // input actually changed (bit compare — flat bit-pattern
+        // stretches skip the transcendentals entirely; exact, since the
+        // drives are pure functions of `u`).
+        for (l, stim) in stims.iter().enumerate() {
+            let u = stim[t];
+            let bits = u.to_bits();
+            if bits == uprev[l] {
+                for d in 0..sim.n_drives {
+                    v1[d * lanes + l] = v0[d * lanes + l];
+                }
+            } else {
+                eval_drives_lane(sim, u, l, lanes, v1, lr, li, pw);
+                uprev[l] = bits;
+            }
+        }
+        // Block pass, lane-innermost: uniform complex-scalar FOH madds
+        // over contiguous slots — no per-block dispatch, and the lane
+        // loops vectorize across the batch.
+        for b in 0..n_blocks {
+            let c = coef[b];
+            let (o1, o2, sb) = (sim.d1[b] * lanes, sim.d2[b] * lanes, b * lanes);
+            for l in 0..lanes {
+                foh_step(&c, v0, v1, sre, simc, o1, o2, sb, l);
+            }
+        }
+        emit(sim, lanes, v1, sre, simc, acc);
+        for (l, out) in outs.iter_mut().enumerate() {
+            out[t] = acc[l];
+        }
+        core::mem::swap(v0, v1);
+    }
+}
+
+/// One first-order-hold update of block slot `sb`, lane `l`:
+/// `e·z + g1·w0 + g2·(w1 − w0)`, component-wise in the reference
+/// association.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn foh_step(
+    c: &BlockCoef,
+    v0: &[f64],
+    v1: &[f64],
+    sre: &mut [f64],
+    simc: &mut [f64],
+    o1: usize,
+    o2: usize,
+    sb: usize,
+    l: usize,
+) {
+    let (xr, xi) = (sre[sb + l], simc[sb + l]);
+    let (w0r, w0i) = (v0[o1 + l], v0[o2 + l]);
+    let (dvr, dvi) = (v1[o1 + l] - w0r, v1[o2 + l] - w0i);
+    sre[sb + l] =
+        (c.er * xr - c.ei * xi + (c.g1r * w0r - c.g1i * w0i)) + (c.g2r * dvr - c.g2i * dvi);
+    simc[sb + l] =
+        (c.er * xi + c.ei * xr + (c.g1r * w0i + c.g1i * w0r)) + (c.g2r * dvi + c.g2i * dvr);
+}
+
+impl CompiledSim {
+    /// A fresh single-simulation [`SimState`] sized for this model,
+    /// with all kernel scratch (including the per-`dt` propagator
+    /// cache) allocated up front — advancing chunks through
+    /// [`simulate_into`](CompiledSim::simulate_into) is then
+    /// allocation-free.
+    pub fn new_state(&self) -> SimState {
+        SimState::for_lanes(self, 1)
+    }
+
+    /// The allocation-free streaming kernel: advances `state` through
+    /// the chunk `inputs`, writing one output sample per input into
+    /// `out`. Feeding a stimulus in N chunks (any split, including
+    /// single-sample chunks) produces exactly the bits of the one-shot
+    /// [`simulate`](CompiledSim::simulate) call.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadDt`] for a non-finite or non-positive `dt`,
+    /// [`ServingError::OutputMismatch`] when `out.len() !=
+    /// inputs.len()`, and [`ServingError::StateMismatch`] when `state`
+    /// was built for a different model shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rvf_core::{IntegratedStateFn, ServingError, SimBuilder};
+    ///
+    /// let mut b = SimBuilder::new();
+    /// let s = b.drive_poly(&[0.0, 1.0]);
+    /// b.set_static_drive(s);
+    /// b.block_real(-1.0e9, s);
+    /// let sim = b.build();
+    ///
+    /// let mut state = sim.new_state();
+    /// let mut out = [0.0; 2];
+    /// sim.simulate_into(1e-10, &[0.1, 0.2], &mut state, &mut out).unwrap();
+    /// assert!(matches!(
+    ///     sim.simulate_into(f64::NAN, &[0.1], &mut state, &mut out[..1]),
+    ///     Err(ServingError::BadDt { .. })
+    /// ));
+    /// ```
+    pub fn simulate_into(
+        &self,
+        dt: f64,
+        inputs: &[f64],
+        state: &mut SimState,
+        out: &mut [f64],
+    ) -> Result<(), ServingError> {
+        check_dt(dt)?;
+        if out.len() != inputs.len() {
+            return Err(ServingError::OutputMismatch { expected: inputs.len(), got: out.len() });
+        }
+        if state.lanes != 1 || !state.matches(self) {
+            return Err(ServingError::StateMismatch);
+        }
+        if inputs.is_empty() {
+            return Ok(());
+        }
+        advance_group(self, dt, state, &[inputs], &mut [out]);
+        Ok(())
+    }
+
+    /// Simulates one stimulus sampled at fixed `dt` — the compiled
+    /// equivalent of
+    /// [`HammersteinModel::simulate_reference`](crate::HammersteinModel::simulate_reference),
+    /// equal to it sample-for-sample under `f64` comparison.
+    ///
+    /// A non-finite or non-positive `dt` is a caller bug: it is
+    /// `debug_assert!`ed here and produces non-finite output in release
+    /// builds. Use [`try_simulate`](CompiledSim::try_simulate) to get a
+    /// typed error instead.
+    pub fn simulate(&self, dt: f64, inputs: &[f64]) -> Vec<f64> {
+        debug_assert!(dt_ok(dt), "CompiledSim::simulate: dt must be finite and positive ({dt})");
+        let mut out = vec![0.0; inputs.len()];
+        if !inputs.is_empty() {
+            let mut state = self.new_state();
+            advance_group(self, dt, &mut state, &[inputs], &mut [out.as_mut_slice()]);
+        }
+        out
+    }
+
+    /// Checked [`simulate`](CompiledSim::simulate): validates `dt` once
+    /// per call and never panics.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadDt`] for a non-finite or non-positive `dt`.
+    pub fn try_simulate(&self, dt: f64, inputs: &[f64]) -> Result<Vec<f64>, ServingError> {
+        check_dt(dt)?;
+        let mut out = vec![0.0; inputs.len()];
+        if !inputs.is_empty() {
+            let mut state = self.new_state();
+            advance_group(self, dt, &mut state, &[inputs], &mut [out.as_mut_slice()]);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::linear_real_sim;
+    use super::*;
+
+    #[test]
+    fn real_block_step_response_matches_analytic() {
+        // ẏ = a·y + w0·u with a = −w0: unit-DC-gain low-pass.
+        let w0 = 1.0e9;
+        let sim = linear_real_sim(-w0, w0);
+        let dt = 1.0e-11;
+        let n = 600;
+        let mut u = vec![0.0; n];
+        for v in u.iter_mut().skip(1) {
+            *v = 1.0;
+        }
+        let y = sim.simulate(dt, &u);
+        let t_end = (n - 1) as f64 * dt;
+        let want = 1.0 - (-w0 * (t_end - dt)).exp();
+        assert!((y[n - 1] - want).abs() < 2e-3, "{} vs {want}", y[n - 1]);
+        assert!(y[0].abs() < 1e-12, "starts in steady state");
+    }
+
+    #[test]
+    fn memoized_constant_input_stays_in_steady_state() {
+        let sim = linear_real_sim(-2.0e9, 3.0);
+        let y = sim.simulate(1e-10, &vec![0.75; 200]);
+        for v in &y {
+            assert_eq!(*v, y[0], "constant input must hold the DC point exactly");
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_length_stimuli() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        assert!(sim.simulate(1e-10, &[]).is_empty());
+        assert!(sim.try_simulate(1e-10, &[]).unwrap().is_empty());
+        let mut state = sim.new_state();
+        sim.simulate_into(1e-10, &[], &mut state, &mut []).unwrap();
+        assert_eq!(state.samples(), 0);
+        assert!(!state.is_started());
+    }
+
+    #[test]
+    fn chunked_streaming_is_bit_identical_to_one_shot() {
+        let sim = linear_real_sim(-1.5e9, 2.0);
+        let u: Vec<f64> = (0..97).map(|i| ((i / 5) as f64 * 0.37).sin()).collect();
+        let dt = 2.0e-11;
+        let want = sim.simulate(dt, &u);
+        // Several chunkings, including length-1 chunks.
+        for split in [vec![97], vec![1, 96], vec![10, 1, 1, 30, 55], vec![1; 97]] {
+            let mut state = sim.new_state();
+            let mut got = vec![0.0; u.len()];
+            let mut off = 0;
+            for len in split {
+                sim.simulate_into(dt, &u[off..off + len], &mut state, &mut got[off..off + len])
+                    .unwrap();
+                off += len;
+            }
+            assert_eq!(off, u.len());
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "sample {i}");
+            }
+            assert_eq!(state.samples(), 97);
+            assert!(state.is_started());
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bitwise() {
+        let sim = linear_real_sim(-2.0e9, 1.3);
+        let u: Vec<f64> = (0..60).map(|i| (i as f64 * 0.21).cos()).collect();
+        let dt = 5.0e-11;
+        let want = sim.simulate(dt, &u);
+        let mut state = sim.new_state();
+        let mut head = vec![0.0; 25];
+        sim.simulate_into(dt, &u[..25], &mut state, &mut head).unwrap();
+        // Clone = checkpoint; run the tail twice from the same snapshot.
+        let snapshot = state.clone();
+        for _ in 0..2 {
+            let mut resumed = snapshot.clone();
+            let mut tail = vec![0.0; 35];
+            sim.simulate_into(dt, &u[25..], &mut resumed, &mut tail).unwrap();
+            for (i, (g, w)) in head.iter().chain(&tail).zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "sample {i}");
+            }
+            assert_eq!(resumed.samples(), 60);
+        }
+    }
+
+    #[test]
+    fn reset_rewinds_to_fresh() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        let u = [0.3, 0.6, 0.9];
+        let mut state = sim.new_state();
+        let mut out = [0.0; 3];
+        sim.simulate_into(1e-10, &u, &mut state, &mut out).unwrap();
+        let first = out;
+        state.reset();
+        assert!(!state.is_started());
+        assert_eq!(state.samples(), 0);
+        sim.simulate_into(1e-10, &u, &mut state, &mut out).unwrap();
+        assert_eq!(first, out, "a reset state replays from the DC seed");
+    }
+
+    #[test]
+    fn dt_validation_on_checked_apis() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        let mut state = sim.new_state();
+        let mut out = [0.0; 1];
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(sim.try_simulate(bad, &[1.0]), Err(ServingError::BadDt { .. })),
+                "try_simulate({bad})"
+            );
+            assert!(
+                matches!(
+                    sim.simulate_into(bad, &[1.0], &mut state, &mut out),
+                    Err(ServingError::BadDt { .. })
+                ),
+                "simulate_into({bad})"
+            );
+        }
+        // A rejected call leaves the state untouched.
+        assert_eq!(state.samples(), 0);
+    }
+
+    #[test]
+    fn simulate_into_rejects_misshapen_arguments() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        let mut state = sim.new_state();
+        let mut short = [0.0; 1];
+        assert_eq!(
+            sim.simulate_into(1e-10, &[1.0, 2.0], &mut state, &mut short),
+            Err(ServingError::OutputMismatch { expected: 2, got: 1 })
+        );
+        // A state from a different model shape is refused.
+        let other = linear_real_sim(-1.0e9, 1.0);
+        let mut b = SimBuilder::new();
+        let s = b.drive_poly(&[0.0, 1.0, 2.0]);
+        b.set_static_drive(s);
+        b.block_real(-1.0e9, s);
+        b.block_real(-2.0e9, s);
+        let bigger = b.build();
+        let mut foreign = bigger.new_state();
+        let mut out = [0.0; 1];
+        assert_eq!(
+            sim.simulate_into(1e-10, &[1.0], &mut foreign, &mut out),
+            Err(ServingError::StateMismatch)
+        );
+        // Same-shape states interoperate (documented fingerprint check).
+        let mut twin = other.new_state();
+        sim.simulate_into(1e-10, &[1.0], &mut twin, &mut out).unwrap();
+    }
+
+    use super::super::SimBuilder;
+}

@@ -225,6 +225,80 @@ proptest! {
     }
 
     #[test]
+    fn chunked_sessions_bit_identical_to_one_shot(
+        m in arb_serving_model(),
+        inputs in arb_stimulus(),
+        cuts in prop::collection::vec(0usize..128, 0..8),
+        dt_exp in -11.0..-9.0f64,
+    ) {
+        // A StreamingSession fed any chunk split — including length-1
+        // chunks and boundaries landing inside a memoized bit-equal
+        // hold (arb_stimulus emits held stretches) — reproduces the
+        // one-shot bits exactly.
+        let dt = 10.0f64.powf(dt_exp);
+        let sim = m.compile();
+        let want = sim.simulate(dt, &inputs);
+        // Random cut positions → random chunk boundaries (duplicates
+        // collapse; a cut at 0/len degenerates to an empty chunk,
+        // which must also be a no-op).
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (inputs.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(inputs.len());
+        bounds.sort_unstable();
+        let mut session = sim.session(dt).unwrap();
+        let mut got = Vec::with_capacity(inputs.len());
+        for w in bounds.windows(2) {
+            got.extend(session.feed(&inputs[w[0]..w[1]]));
+        }
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(g.to_bits(), w.to_bits(), "sample {}", i);
+        }
+        prop_assert_eq!(session.samples(), inputs.len() as u64);
+    }
+
+    #[test]
+    fn session_set_bit_identical_to_solo(
+        m in arb_serving_model(),
+        stims in prop::collection::vec(arb_stimulus(), 1..10),
+        dt_exp in -11.0..-9.0f64,
+    ) {
+        // Advancing many sessions in lockstep lane groups (grouped by
+        // remaining chunk length) reproduces each session's solo bits.
+        let dt = 10.0f64.powf(dt_exp);
+        let sim = m.compile();
+        let mut set = sim.sessions(dt).unwrap();
+        let ids: Vec<_> = stims.iter().map(|_| set.open()).collect();
+        let mut streamed: Vec<Vec<f64>> = vec![Vec::new(); stims.len()];
+        let mut round = 0usize;
+        loop {
+            let mut any = false;
+            for (i, id) in ids.iter().enumerate() {
+                let fed = streamed[i].len();
+                let end = (fed + 3 + (i + round) % 5).min(stims[i].len());
+                if fed < end {
+                    set.push(*id, &stims[i][fed..end]).unwrap();
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+            for (id, out) in set.advance().unwrap() {
+                streamed[id.index()].extend(out);
+            }
+            round += 1;
+        }
+        for (i, (got, u)) in streamed.iter().zip(&stims).enumerate() {
+            let want = sim.simulate(dt, u);
+            prop_assert_eq!(got.len(), want.len(), "session {}", i);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.to_bits(), w.to_bits(), "session {}", i);
+            }
+        }
+    }
+
+    #[test]
     fn transfer_hermitian_symmetry(m in arb_model(), w in 1.0..1e10f64, x in -2.0..2.0f64) {
         let s = Complex::from_im(w);
         let a = m.transfer(x, s);

@@ -1,0 +1,76 @@
+//! Regression test for the serving worker-panic path: a panic inside a
+//! pooled batch/advance round must surface as
+//! `Err(ServingError::WorkerPanicked)` from the checked APIs — not
+//! propagate — and the pool must stay usable for the next round.
+//!
+//! Lives in its own test binary with a single `#[test]`: the poison
+//! switch (`poison_next_group`) is process-global, so the armed window
+//! must not race other serving tests.
+
+use rvf_core::serving::poison_next_group;
+use rvf_core::{IntegratedStateFn, ServingError, SimBuilder};
+use rvf_numerics::SweepPool;
+
+#[test]
+fn worker_panic_surfaces_as_typed_error_and_pool_survives() {
+    let mut b = SimBuilder::new();
+    let zero = b.drive_poly(&[0.0]);
+    b.set_static_drive(zero);
+    let f = b.drive_rational(&IntegratedStateFn {
+        terms: vec![],
+        linear: 1.5,
+        quadratic: 0.0,
+        constant: 0.0,
+    });
+    b.block_real(-1.0e9, f);
+    let sim = b.build();
+
+    let dt = 1.0e-10;
+    let stims: Vec<Vec<f64>> = (0..12).map(|k| vec![0.05 * k as f64; 64]).collect();
+    let refs: Vec<&[f64]> = stims.iter().map(Vec::as_slice).collect();
+    let want = sim.try_simulate_batch(dt, &refs).unwrap();
+
+    let pool = SweepPool::new(2);
+
+    // --- batch path ---
+    poison_next_group();
+    let err = sim.try_simulate_batch_in(&pool, dt, &refs).unwrap_err();
+    assert!(matches!(err, ServingError::WorkerPanicked { .. }), "got {err:?}");
+    // The panic was contained to that round: the same pool serves the
+    // retry, and the output is the full, correct batch.
+    let retry = sim.try_simulate_batch_in(&pool, dt, &refs).unwrap();
+    assert_eq!(retry, want);
+
+    // --- session-set path ---
+    let mut set = sim.sessions(dt).unwrap();
+    let ids: Vec<_> = (0..12).map(|_| set.open()).collect();
+    for (id, u) in ids.iter().zip(&refs) {
+        set.push(*id, u).unwrap();
+    }
+    poison_next_group();
+    let err = set.advance_in(&pool).unwrap_err();
+    assert!(matches!(err, ServingError::WorkerPanicked { .. }), "got {err:?}");
+    // Transactional: nothing was applied — every session still has its
+    // full pending chunk and zero absorbed samples.
+    for id in &ids {
+        assert_eq!(set.samples(*id).unwrap(), 0);
+    }
+    // Retrying on the same pool succeeds and matches the solo bits.
+    let outputs = set.advance_in(&pool).unwrap();
+    assert_eq!(outputs.len(), 12);
+    for ((id, out), w) in outputs.iter().zip(&want) {
+        assert_eq!(out, w, "session {id:?}");
+    }
+    for (id, u) in ids.iter().zip(&refs) {
+        assert_eq!(set.samples(*id).unwrap(), u.len() as u64);
+    }
+
+    // The legacy infallible wrapper still panics (documented behaviour).
+    poison_next_group();
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.simulate_batch_in(&pool, dt, &refs)
+    }));
+    assert!(panicked.is_err(), "legacy wrapper keeps its documented panic");
+    // And the pool *still* survives.
+    assert_eq!(sim.try_simulate_batch_in(&pool, dt, &refs).unwrap(), want);
+}

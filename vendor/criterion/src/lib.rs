@@ -20,7 +20,8 @@
 //!   trajectories can be archived as build artifacts and compared
 //!   across commits.
 //! * `CRITERION_QUICK=1` — clamp every benchmark to at most 3 timed
-//!   samples: a smoke-speed run that still exercises the full bench
+//!   samples (or the suite's [`Criterion::quick_sample_size`]
+//!   override): a smoke-speed run that still exercises the full bench
 //!   code path and leaves a JSON breadcrumb.
 //!
 //! [`criterion`]: https://docs.rs/criterion
@@ -86,11 +87,12 @@ impl Bencher {
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    quick_sample_size: usize,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion { sample_size: 10, quick_sample_size: 3 }
     }
 }
 
@@ -101,6 +103,27 @@ impl Criterion {
         self
     }
 
+    /// Sets the per-benchmark sample clamp applied under
+    /// `CRITERION_QUICK=1` (min 1; default 3). A shim extension, not
+    /// upstream criterion API: suites whose quick baselines need a
+    /// tighter median ± MAD interval can buy more quick-mode samples
+    /// without slowing every other suite down.
+    pub fn quick_sample_size(mut self, n: usize) -> Self {
+        self.quick_sample_size = n.max(1);
+        self
+    }
+
+    /// Timed samples a benchmark will take, given whether quick mode is
+    /// active (factored out of [`bench_function`](Criterion::bench_function)
+    /// so the clamp is testable without mutating `CRITERION_QUICK`).
+    fn effective_samples(&self, quick: bool) -> usize {
+        if quick {
+            self.sample_size.min(self.quick_sample_size)
+        } else {
+            self.sample_size
+        }
+    }
+
     /// Runs one named benchmark, prints a summary line, and (when
     /// `CRITERION_OUT` is set) writes the per-bench JSON record.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
@@ -109,7 +132,7 @@ impl Criterion {
     {
         let quick = std::env::var("CRITERION_QUICK")
             .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
-        let samples = if quick { self.sample_size.min(3) } else { self.sample_size };
+        let samples = self.effective_samples(quick);
         let mut b = Bencher { samples, results: Vec::new() };
         f(&mut b);
         report(id, &b.results);
@@ -276,6 +299,22 @@ mod tests {
         });
         // 1 warm-up + 3 samples.
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn quick_sample_size_overrides_the_quick_clamp() {
+        let c = Criterion::default().sample_size(10);
+        assert_eq!(c.effective_samples(false), 10);
+        assert_eq!(c.effective_samples(true), 3, "default quick clamp");
+        let c = Criterion::default().sample_size(10).quick_sample_size(7);
+        assert_eq!(c.effective_samples(true), 7);
+        assert_eq!(c.effective_samples(false), 10, "full runs are unaffected");
+        // The clamp never raises the count above sample_size, and never
+        // drops below one sample.
+        let c = Criterion::default().sample_size(5).quick_sample_size(7);
+        assert_eq!(c.effective_samples(true), 5);
+        let c = Criterion::default().sample_size(5).quick_sample_size(0);
+        assert_eq!(c.effective_samples(true), 1);
     }
 
     #[test]
