@@ -218,6 +218,20 @@ pub trait Device: fmt::Debug + Send {
     /// unknown. Called once when the circuit is finalized.
     fn set_branch_base(&mut self, _base: usize) {}
 
+    /// For current-controlled devices (CCCS/CCVS): the name of the
+    /// device whose branch current is the controlling variable. The
+    /// circuit resolves the name to a branch row during finalize; the
+    /// named device must carry a branch unknown (a voltage source or an
+    /// inductor).
+    fn control_source(&self) -> Option<&str> {
+        None
+    }
+
+    /// Informs a current-controlled device of the absolute row of its
+    /// controlling branch current. Called once when the circuit is
+    /// finalized.
+    fn set_control_branch(&mut self, _row: usize) {}
+
     /// Stamps residuals and Jacobians at the context's `(x, t)`.
     fn stamp(&self, ctx: &mut StampContext<'_>);
 

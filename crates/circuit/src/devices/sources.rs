@@ -252,6 +252,149 @@ impl Device for Vcvs {
     }
 }
 
+/// A current-controlled current source (SPICE `F`): the current
+/// `gain·i_ctrl` flows from `p` to `n`, where `i_ctrl` is the branch
+/// current of a named voltage source (or inductor).
+#[derive(Debug, Clone)]
+pub struct Cccs {
+    name: String,
+    p: NodeId,
+    n: NodeId,
+    control: String,
+    /// Current gain (dimensionless).
+    pub gain: f64,
+    ctrl_row: usize,
+}
+
+impl Cccs {
+    /// Creates a CCCS controlled by the branch current of `control`.
+    pub fn new(
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        control: impl Into<String>,
+        gain: f64,
+    ) -> Self {
+        Self { name: name.into(), p, n, control: control.into(), gain, ctrl_row: usize::MAX }
+    }
+}
+
+impl Device for Cccs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn control_source(&self) -> Option<&str> {
+        Some(&self.control)
+    }
+
+    fn set_control_branch(&mut self, row: usize) {
+        self.ctrl_row = row;
+    }
+
+    fn stamp(&self, ctx: &mut StampContext<'_>) {
+        let i = self.gain * ctx.unknown(self.ctrl_row);
+        ctx.add_f_node(self.p, i);
+        ctx.add_f_node(self.n, -i);
+        if let Some(rp) = ctx.node_row(self.p) {
+            ctx.add_g_rows(rp, self.ctrl_row, self.gain);
+        }
+        if let Some(rn) = ctx.node_row(self.n) {
+            ctx.add_g_rows(rn, self.ctrl_row, -self.gain);
+        }
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        vec![self.p, self.n]
+    }
+}
+
+/// A current-controlled voltage source (SPICE `H`):
+/// `v_p − v_n = r·i_ctrl` with its own branch current unknown, where
+/// `i_ctrl` is the branch current of a named voltage source (or
+/// inductor).
+#[derive(Debug, Clone)]
+pub struct Ccvs {
+    name: String,
+    p: NodeId,
+    n: NodeId,
+    control: String,
+    /// Transresistance in ohms.
+    pub r: f64,
+    branch: usize,
+    ctrl_row: usize,
+}
+
+impl Ccvs {
+    /// Creates a CCVS controlled by the branch current of `control`.
+    pub fn new(
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        control: impl Into<String>,
+        r: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            p,
+            n,
+            control: control.into(),
+            r,
+            branch: usize::MAX,
+            ctrl_row: usize::MAX,
+        }
+    }
+}
+
+impl Device for Ccvs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn n_branches(&self) -> usize {
+        1
+    }
+
+    fn set_branch_base(&mut self, base: usize) {
+        self.branch = base;
+    }
+
+    fn control_source(&self) -> Option<&str> {
+        Some(&self.control)
+    }
+
+    fn set_control_branch(&mut self, row: usize) {
+        self.ctrl_row = row;
+    }
+
+    fn stamp(&self, ctx: &mut StampContext<'_>) {
+        let b = self.branch;
+        let i_b = ctx.unknown(b);
+        ctx.add_f_node(self.p, i_b);
+        ctx.add_f_node(self.n, -i_b);
+        if let Some(rp) = ctx.node_row(self.p) {
+            ctx.add_g_rows(rp, b, 1.0);
+        }
+        if let Some(rn) = ctx.node_row(self.n) {
+            ctx.add_g_rows(rn, b, -1.0);
+        }
+        // Branch equation: v_p − v_n − r·i_ctrl = 0.
+        let res = ctx.v(self.p) - ctx.v(self.n) - self.r * ctx.unknown(self.ctrl_row);
+        ctx.add_f_row(b, res);
+        if let Some(r) = ctx.node_row(self.p) {
+            ctx.add_g_rows(b, r, 1.0);
+        }
+        if let Some(r) = ctx.node_row(self.n) {
+            ctx.add_g_rows(b, r, -1.0);
+        }
+        ctx.add_g_rows(b, self.ctrl_row, -self.r);
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        vec![self.p, self.n]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +479,39 @@ mod tests {
         ckt.add(Resistor::new("RL", b, 0, 1.0e3)).unwrap();
         let x = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
         assert!((x[b - 1] - 2.0).abs() < 1e-9, "vcvs output {}", x[b - 1]);
+    }
+
+    #[test]
+    fn cccs_mirrors_branch_current() {
+        use crate::dc::{dc_operating_point, DcOptions};
+        use crate::netlist::Circuit;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Vsource::new("V1", a, 0, Waveform::Dc(1.0))).unwrap();
+        ckt.add(Resistor::new("R1", a, 0, 1.0e3)).unwrap();
+        // i(V1) = −1 mA (current out of p through the source); the CCCS
+        // pushes 2·i from b to ground through RL: v(b) = −(2·i)·RL = 2 V.
+        ckt.add(Cccs::new("F1", b, 0, "V1", 2.0)).unwrap();
+        ckt.add(Resistor::new("RL", b, 0, 1.0e3)).unwrap();
+        let x = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        assert!((x[b - 1] - 2.0).abs() < 1e-9, "cccs output {}", x[b - 1]);
+    }
+
+    #[test]
+    fn ccvs_senses_branch_current() {
+        use crate::dc::{dc_operating_point, DcOptions};
+        use crate::netlist::Circuit;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Vsource::new("V1", a, 0, Waveform::Dc(2.0))).unwrap();
+        ckt.add(Resistor::new("R1", a, 0, 1.0e3)).unwrap();
+        // i(V1) = −2 mA; v(b) = r·i = 500·(−2 mA) = −1 V.
+        ckt.add(Ccvs::new("H1", b, 0, "V1", 500.0)).unwrap();
+        ckt.add(Resistor::new("RL", b, 0, 1.0e3)).unwrap();
+        let x = dc_operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        assert!((x[b - 1] + 1.0).abs() < 1e-9, "ccvs output {}", x[b - 1]);
     }
 
     #[test]

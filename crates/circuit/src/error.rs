@@ -23,6 +23,14 @@ pub enum CircuitError {
         /// Name of the offending device.
         name: String,
     },
+    /// A current-controlled source (CCCS/CCVS) referenced a controlling
+    /// device that does not exist or carries no branch current.
+    InvalidControl {
+        /// Name of the controlled device.
+        name: String,
+        /// Name of the missing/branchless controlling device.
+        control: String,
+    },
     /// Newton iteration failed to converge.
     NewtonDiverged {
         /// Iterations performed.
@@ -56,6 +64,13 @@ impl fmt::Display for CircuitError {
             Self::DuplicateDevice { name } => write!(f, "duplicate device name '{name}'"),
             Self::InvalidInput { name } => {
                 write!(f, "device '{name}' cannot serve as the circuit input")
+            }
+            Self::InvalidControl { name, control } => {
+                write!(
+                    f,
+                    "device '{name}' needs the branch current of '{control}', which does not \
+                     exist or has no branch unknown"
+                )
             }
             Self::NewtonDiverged { iterations, residual, time } => {
                 if time.is_nan() {

@@ -121,6 +121,13 @@ impl Circuit {
                 return Err(CircuitError::UnknownNode { name: format!("#{n}") });
             }
         }
+        if let Some(control) = device.control_source() {
+            let ok =
+                self.device_index.get(control).is_some_and(|&i| self.devices[i].n_branches() > 0);
+            if !ok {
+                return Err(CircuitError::InvalidControl { name, control: control.to_string() });
+            }
+        }
         self.device_index.insert(name, self.devices.len());
         self.devices.push(Box::new(device));
         self.finalized = false;
@@ -183,20 +190,29 @@ impl Circuit {
         self.n_nodes() + self.n_branches
     }
 
-    /// Assigns branch rows. Called automatically by the analyses.
+    /// Assigns branch rows and resolves current-control references.
+    /// Called automatically by the analyses.
     pub fn finalize(&mut self) {
         if self.finalized {
             return;
         }
         let mut base = self.n_nodes();
+        let mut branch_rows: HashMap<String, usize> = HashMap::new();
         for d in &mut self.devices {
             let nb = d.n_branches();
             if nb > 0 {
                 d.set_branch_base(base);
+                branch_rows.insert(d.name().to_string(), base);
                 base += nb;
             }
         }
         self.n_branches = base - self.n_nodes();
+        // Second pass: wire CCCS/CCVS controls to the branch rows of
+        // their named sources ([`Circuit::add`] verified they exist).
+        for d in &mut self.devices {
+            let Some(row) = d.control_source().map(|c| branch_rows[c]) else { continue };
+            d.set_control_branch(row);
+        }
         self.finalized = true;
     }
 

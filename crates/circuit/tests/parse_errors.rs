@@ -1,0 +1,182 @@
+//! Table-driven error-path tests for the netlist parser: every
+//! malformed deck must produce a *typed* `CircuitError` — never a panic
+//! and never a silently wrong circuit.
+
+use rvf_circuit::{parse_netlist, CircuitError};
+
+/// One malformed deck plus a predicate on the expected error.
+struct Case {
+    name: &'static str,
+    deck: &'static str,
+    check: fn(&CircuitError) -> bool,
+}
+
+fn is_parse_at(line: usize) -> impl Fn(&CircuitError) -> bool {
+    move |e| matches!(e, CircuitError::Parse { line: l, .. } if *l == line)
+}
+
+#[test]
+fn malformed_decks_produce_typed_errors() {
+    let cases: &[Case] = &[
+        Case { name: "resistor missing value", deck: "R1 a b\n", check: |e| is_parse_at(1)(e) },
+        Case {
+            name: "resistor bad value",
+            deck: "R1 a b 1x\n",
+            check: |e| matches!(e, CircuitError::Parse { line: 1, message } if message.contains("bad value")),
+        },
+        Case {
+            name: "value with digits after suffix",
+            deck: "R1 a b 1k3\n",
+            check: |e| is_parse_at(1)(e),
+        },
+        Case {
+            name: "unknown element kind",
+            deck: "V1 a 0 DC 1\nW1 a 0 1k\n",
+            check: |e| matches!(e, CircuitError::Parse { line: 2, message } if message.contains('W')),
+        },
+        Case { name: "unknown directive", deck: ".tran 1n 1u\n", check: |e| is_parse_at(1)(e) },
+        Case {
+            name: "input names a missing device",
+            deck: "R1 a 0 1k\n.input Vin\n",
+            check: |e| matches!(e, CircuitError::InvalidInput { name } if name == "Vin"),
+        },
+        Case {
+            name: "input names a non-source",
+            deck: "R1 a 0 1k\n.input R1\n",
+            check: |e| matches!(e, CircuitError::InvalidInput { name } if name == "R1"),
+        },
+        Case {
+            name: "output names a missing node",
+            deck: "R1 a 0 1k\n.output nosuch\n",
+            check: |e| matches!(e, CircuitError::Parse { line: 2, message } if message.contains("nosuch")),
+        },
+        Case {
+            name: "duplicate device",
+            deck: "R1 a 0 1k\nR1 a 0 2k\n",
+            check: |e| matches!(e, CircuitError::DuplicateDevice { name } if name == "R1"),
+        },
+        Case {
+            name: "sine with too few arguments",
+            deck: "V1 a 0 SINE(0 1)\n",
+            check: |e| is_parse_at(1)(e),
+        },
+        Case {
+            name: "unknown waveform function",
+            deck: "V1 a 0 NOISE(1 2)\n",
+            check: |e| is_parse_at(1)(e),
+        },
+        Case {
+            name: "bit pattern with non-binary symbol",
+            deck: "V1 a 0 BIT(0 1 1e9 1e-10 01a1)\n",
+            check: |e| is_parse_at(1)(e),
+        },
+        Case {
+            name: "mosfet with unknown type",
+            deck: "M1 d g s JFET\n",
+            check: |e| is_parse_at(1)(e),
+        },
+        Case {
+            name: "mosfet with malformed param",
+            deck: "M1 d g s NMOS KP\n",
+            check: |e| matches!(e, CircuitError::Parse { line: 1, message } if message.contains("key=value")),
+        },
+        Case {
+            name: "controlled source wrong arity",
+            deck: "E1 a 0 b 0\n",
+            check: |e| is_parse_at(1)(e),
+        },
+        Case {
+            name: "cccs referencing a missing source",
+            deck: "F1 out 0 V9 2\nRL out 0 1k\n",
+            check: |e| {
+                matches!(e, CircuitError::InvalidControl { name, control }
+                if name == "F1" && control == "V9")
+            },
+        },
+        Case {
+            name: "ccvs referencing a branchless device",
+            deck: "R1 a 0 1k\nH1 out 0 R1 500\nRL out 0 1k\n",
+            check: |e| matches!(e, CircuitError::InvalidControl { control, .. } if control == "R1"),
+        },
+        Case {
+            name: "dangling .subckt reports the definition line",
+            deck: "V1 a 0 DC 1\n.subckt filt p q\nRs p q 1k\n",
+            check: |e| matches!(e, CircuitError::Parse { line: 2, message } if message.contains("missing .ends")),
+        },
+        Case { name: ".ends without .subckt", deck: ".ends\n", check: |e| is_parse_at(1)(e) },
+        Case {
+            name: ".ends closing the wrong name",
+            deck: ".subckt filt a b\nRs a b 1k\n.ends other\n",
+            check: |e| is_parse_at(3)(e),
+        },
+        Case {
+            name: "nested .subckt definition",
+            deck: ".subckt outer a b\n.subckt inner c d\n.ends\n.ends\n",
+            check: |e| is_parse_at(2)(e),
+        },
+        Case {
+            name: "duplicate .subckt name",
+            deck: ".subckt f a b\nR1 a b 1\n.ends\n.subckt f c d\nR1 c d 1\n.ends\n",
+            check: |e| is_parse_at(4)(e),
+        },
+        Case {
+            name: "directive inside .subckt body",
+            deck: ".subckt f a b\n.output a\n.ends\n",
+            check: |e| matches!(e, CircuitError::Parse { line: 2, message } if message.contains("inside .subckt")),
+        },
+        Case {
+            name: "ground as a subcircuit port",
+            deck: ".subckt f a 0\nR1 a 0 1\n.ends\n",
+            check: |e| is_parse_at(1)(e),
+        },
+        Case {
+            name: "duplicate subcircuit port",
+            deck: ".subckt f a a\nR1 a 0 1\n.ends\n",
+            check: |e| is_parse_at(1)(e),
+        },
+        Case {
+            name: "instance of unknown subcircuit",
+            deck: "X1 a b nosuch\n",
+            check: |e| matches!(e, CircuitError::Parse { line: 1, message } if message.contains("NOSUCH")),
+        },
+        Case {
+            name: "instance port-count mismatch",
+            deck: ".subckt f a b\nR1 a b 1k\n.ends\nX1 in f\n",
+            check: |e| matches!(e, CircuitError::Parse { line: 4, message } if message.contains("ports")),
+        },
+        Case {
+            name: "recursive subcircuit instantiation",
+            deck: ".subckt f a b\nX1 a b f\n.ends\nX0 in out f\n",
+            check: |e| matches!(e, CircuitError::Parse { message, .. } if message.contains("nesting")),
+        },
+        Case {
+            name: "duplicate devices across instances of one name",
+            deck: ".subckt f a b\nR1 a b 1k\n.ends\nX1 in out f\nX1 out o2 f\n",
+            check: |e| matches!(e, CircuitError::DuplicateDevice { name } if name == "X1.R1"),
+        },
+    ];
+
+    for case in cases {
+        let result = std::panic::catch_unwind(|| parse_netlist(case.deck));
+        let result = result.unwrap_or_else(|_| panic!("case '{}' panicked", case.name));
+        let err = match result {
+            Ok(_) => panic!("case '{}' unexpectedly parsed", case.name),
+            Err(e) => e,
+        };
+        assert!(
+            (case.check)(&err),
+            "case '{}' produced the wrong error: {err:?} ({err})",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn error_display_is_informative() {
+    // The user-facing rendering carries the line number and context.
+    let e = parse_netlist("V1 a 0 DC 1\nR1 a b\n").unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    let e = parse_netlist("F1 out 0 V9 2\nRL out 0 1k\n").unwrap_err();
+    assert!(e.to_string().contains("V9"));
+}

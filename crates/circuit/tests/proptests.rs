@@ -111,6 +111,51 @@ proptest! {
     }
 
     #[test]
+    fn pwl_clamps_outside_point_range(t0 in 0.0..1.0f64, span in 0.1..2.0f64,
+                                      v0 in -5.0..5.0f64, v1 in -5.0..5.0f64,
+                                      before in 0.0..10.0f64, after in 1e-6..10.0f64) {
+        // Outside [t_first, t_last] a PWL holds the end values exactly.
+        let t1 = t0 + span;
+        let w = Waveform::Pwl(vec![(t0, v0), (t0 + 0.5 * span, 0.3 * (v0 + v1)), (t1, v1)]);
+        prop_assert_eq!(w.value(t0 - before), v0);
+        prop_assert_eq!(w.value(t1 + after), v1);
+        // Inside the range the value stays within the breakpoint hull.
+        let lo = v0.min(v1).min(0.3 * (v0 + v1));
+        let hi = v0.max(v1).max(0.3 * (v0 + v1));
+        let mid = w.value(t0 + 0.37 * span);
+        prop_assert!((lo - 1e-12..=hi + 1e-12).contains(&mid), "{mid} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn pulse_is_periodic_to_1e12(v0 in -2.0..2.0f64, v1 in -2.0..2.0f64,
+                                 tau in 0.0..1.0f64, k in 1usize..5) {
+        // After the delay, value(t) == value(t + k·period) to 1e-12.
+        let w = Waveform::Pulse {
+            v0, v1, delay: 0.5, rise: 0.1, fall: 0.2, width: 0.3, period: 1.0,
+        };
+        let t = 0.5 + tau;
+        let a = w.value(t);
+        let b = w.value(t + k as f64);
+        prop_assert!((a - b).abs() < 1e-12, "pulse not periodic: {a} vs {b}");
+    }
+
+    #[test]
+    fn sine_honors_delay(delay in 0.0..2.0f64, offset in -2.0..2.0f64,
+                         amp in 0.1..3.0f64, frac in 0.0..1.0f64) {
+        // Before the delay the sine holds its phase-0 start value; after
+        // it, the waveform is the delayed copy of the zero-delay sine.
+        let mk = |d: f64| Waveform::Sine {
+            offset, amplitude: amp, freq_hz: 2.0, phase_rad: 0.0, delay: d,
+        };
+        let delayed = mk(delay);
+        let reference = mk(0.0);
+        prop_assert_eq!(delayed.value(frac * delay), offset);
+        let t = delay + frac;
+        prop_assert!((delayed.value(t) - reference.value(frac)).abs() < 1e-12);
+        prop_assert_eq!(delayed.dc_value(), if delay > 0.0 { offset } else { reference.value(0.0) });
+    }
+
+    #[test]
     fn energy_dissipation_is_nonnegative(r in 100.0..1e4f64) {
         // Discharging an RC from a charged state through a resistor:
         // the capacitor voltage decays monotonically (passive network).

@@ -1,0 +1,86 @@
+//! The golden gate: every zoo family must extract end to end and land
+//! inside its committed accuracy contract — and the gate must actually
+//! trip when a bound is tightened below the measured error.
+
+use rvf_validate::{
+    builtin_contracts, report_json, run_zoo, zoo, AccuracyContract, Json, DEFAULT_SEED,
+};
+
+#[test]
+fn zoo_corpus_meets_committed_contracts() {
+    let families = zoo(DEFAULT_SEED);
+
+    // Coverage floor: the zoo is only a zoo if it spans the front end.
+    assert!(families.len() >= 12, "zoo shrank to {} families", families.len());
+    let subckt = families.iter().filter(|f| f.uses_subckt()).count();
+    let ctrl = families.iter().filter(|f| f.uses_controlled_source()).count();
+    assert!(subckt >= 2, "only {subckt} families use subcircuits");
+    assert!(ctrl >= 2, "only {ctrl} families use controlled sources");
+
+    let contracts = builtin_contracts();
+    let gated = run_zoo(&families, &contracts).unwrap();
+    assert_eq!(gated.len(), families.len());
+
+    for g in &gated {
+        assert!(
+            g.violations.is_empty(),
+            "family '{}' violates its contract: {:?} (report {:?})",
+            g.run.name,
+            g.violations,
+            g.run.report
+        );
+        // Sanity on the report itself.
+        assert!(g.run.report.n_samples > 100, "{}", g.run.name);
+        assert!(g.run.report.swing > 1e-3, "{}", g.run.name);
+        assert!(g.run.report.nrmse.is_finite(), "{}", g.run.name);
+        assert!(g.run.n_freq_poles >= 1, "{}", g.run.name);
+    }
+
+    // The gate is not vacuous: tightening any family's bound below its
+    // measured error must produce a violation.
+    for g in &gated {
+        let tightened = AccuracyContract {
+            max_nrmse: g.run.report.nrmse * 0.5,
+            max_abs_norm: g.contract.max_abs_norm,
+            max_settled_nrmse: g.contract.max_settled_nrmse,
+        };
+        let v = tightened.check(&g.run.report);
+        assert!(
+            v.iter().any(|v| v.metric == "nrmse"),
+            "tightened contract did not trip for '{}'",
+            g.run.name
+        );
+    }
+
+    // The report artifact renders to valid JSON and round-trips.
+    let doc = report_json(DEFAULT_SEED, &gated);
+    let text = doc.render();
+    let parsed = Json::parse(&text).unwrap();
+    assert_eq!(parsed.get("n_failed").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(parsed.get("n_families").and_then(Json::as_f64), Some(gated.len() as f64));
+    let fams = parsed.get("families").unwrap();
+    for g in &gated {
+        let entry = fams.get(g.run.name).unwrap_or_else(|| panic!("{} missing", g.run.name));
+        assert_eq!(entry.get("pass"), Some(&Json::Bool(true)));
+    }
+}
+
+#[test]
+fn zoo_runs_are_reproducible() {
+    // Same seed → identical decks → identical extraction and scores.
+    let fam_a = &zoo(DEFAULT_SEED)[0];
+    let fam_b = &zoo(DEFAULT_SEED)[0];
+    let a = rvf_validate::run_family(fam_a).unwrap();
+    let b = rvf_validate::run_family(fam_b).unwrap();
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.n_freq_poles, b.n_freq_poles);
+}
+
+#[test]
+fn missing_contract_is_a_typed_error() {
+    let families = zoo(DEFAULT_SEED);
+    let empty = std::collections::HashMap::new();
+    let err = run_zoo(&families[..1], &empty).unwrap_err();
+    assert!(matches!(err, rvf_validate::ZooError::MissingContract { .. }), "{err:?}");
+    assert!(err.to_string().contains(families[0].name));
+}

@@ -17,6 +17,7 @@
 //! | [`tft`] | `rvf-tft` | transfer-function-trajectory datasets |
 //! | [`caffeine`] | `rvf-caffeine` | CAFFEINE GP baseline (paper Table I) |
 //! | [`model`] | `rvf-core` | the RVF extraction pipeline + Hammerstein models |
+//! | [`validate`] | `rvf-validate` | circuit zoo + accuracy-contract gate |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,4 +27,5 @@ pub use rvf_circuit as circuit;
 pub use rvf_core as model;
 pub use rvf_numerics as numerics;
 pub use rvf_tft as tft;
+pub use rvf_validate as validate;
 pub use rvf_vecfit as vecfit;
