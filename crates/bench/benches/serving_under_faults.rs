@@ -1,0 +1,248 @@
+//! Serving-tier throughput under injected faults: 1000 simulated
+//! clients streaming chunks through one `rvf_serve::Scheduler` while a
+//! seeded chaos injector perturbs a fraction of the traffic.
+//!
+//! Rows (tracked by `bench_diff` against the committed baselines):
+//!
+//! * `serving_faults_sustained_f000` — clean traffic (0% faults): the
+//!   ceiling the faulted rows are measured against;
+//! * `serving_faults_sustained_f010` — 1% of submissions faulted;
+//! * `serving_faults_sustained_f100` — 10% of submissions faulted.
+//!
+//! A fault budget of `p` permille is split 40% worker panics (the
+//! whole round retries with backoff), 30% NaN/∞ stimulus (rejected at
+//! admission, clean resubmit), 20% oversized chunks (shed with
+//! `ChunkTooLarge`, clean resubmit), 10% mid-stream closes (session
+//! closed and reopened). Every iteration therefore serves the same
+//! 64,000 accepted samples regardless of fault rate — the measured
+//! delta is pure fault-handling overhead.
+//!
+//! Before the criterion rows run, one instrumented pass per rate
+//! prints sustained Msamples/s and the p99 per-chunk service latency
+//! (submit → completion, wall clock) so the tail cost of retries is
+//! visible alongside the tracked medians.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvf_bench::{buffer_circuit, paper_rvf_options, paper_tft_config};
+use rvf_core::fit_tft;
+use rvf_serve::{
+    chaos::{self, ChaosConfig, ChaosInjector, Fault},
+    Event, ModelRegistry, RequestId, Scheduler, ServeConfig, SessionHandle,
+};
+use rvf_tft::extract_from_circuit;
+
+const CLIENTS: usize = 1000;
+const CHUNK: usize = 64;
+const DEADLINE_SLACK: u64 = 10_000;
+
+fn chaos_config(permille: u16) -> ChaosConfig {
+    ChaosConfig {
+        seed: 0xFA_17_2013,
+        worker_panic_permille: permille * 4 / 10,
+        bad_stimulus_permille: permille * 3 / 10,
+        oversized_chunk_permille: permille / 5,
+        close_session_permille: permille / 10,
+    }
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        max_sessions: 2048,
+        max_queued_requests: 2048,
+        max_queued_samples: 1 << 20,
+        max_chunk_samples: CHUNK,
+        retry_backoff_base: 1,
+        max_retries: 6,
+        rebuild_after_panics: 64,
+        ..Default::default()
+    }
+}
+
+struct Harness {
+    sched: Scheduler,
+    clients: Vec<SessionHandle>,
+    inj: ChaosInjector,
+    now: u64,
+    dt: f64,
+    phase: u64,
+}
+
+impl Harness {
+    fn new(permille: u16, sim: rvf_core::CompiledSim, dt: f64) -> Self {
+        let registry = ModelRegistry::build([("buffer".to_string(), sim)]);
+        let mut sched = Scheduler::new(registry, serve_config());
+        let model = sched.registry().id("buffer").expect("registered");
+        let clients =
+            (0..CLIENTS).map(|_| sched.open_session(model, dt, 0).expect("open")).collect();
+        Self {
+            sched,
+            clients,
+            inj: ChaosInjector::new(chaos_config(permille)),
+            now: 0,
+            dt,
+            phase: 0,
+        }
+    }
+
+    fn chunk(&mut self) -> Vec<f64> {
+        self.phase += 1;
+        let p = self.phase as f64;
+        (0..CHUNK).map(|i| 0.9 + 0.4 * ((i as f64 + p) * 0.11).sin()).collect()
+    }
+
+    /// Submits one chunk per client (applying any drawn fault, then the
+    /// clean chunk so the accepted workload is identical across rates)
+    /// and returns the submitted request ids.
+    fn submit_round(&mut self) -> Vec<RequestId> {
+        let model = self.sched.registry().id("buffer").expect("registered");
+        let mut ids = Vec::with_capacity(CLIENTS);
+        for c in 0..CLIENTS {
+            let chunk = self.chunk();
+            match self.inj.sample() {
+                Some(Fault::WorkerPanic) => chaos::arm_worker_panic(),
+                Some(Fault::BadStimulus) => {
+                    let mut bad = chunk.clone();
+                    self.inj.corrupt(&mut bad);
+                    let rejected = self.sched.submit(self.clients[c], &bad, self.now, self.now + 1);
+                    assert!(rejected.is_err(), "corrupted chunk must be shed");
+                }
+                Some(Fault::OversizedChunk) => {
+                    let oversized = vec![1.0; CHUNK + 1];
+                    let rejected =
+                        self.sched.submit(self.clients[c], &oversized, self.now, self.now + 1);
+                    assert!(rejected.is_err(), "oversized chunk must be shed");
+                }
+                Some(Fault::CloseSession) => {
+                    self.sched.close_session(self.clients[c]).expect("close");
+                    self.clients[c] =
+                        self.sched.open_session(model, self.dt, self.now).expect("reopen");
+                }
+                None | Some(_) => {}
+            }
+            let id = self
+                .sched
+                .submit(self.clients[c], &chunk, self.now, self.now + DEADLINE_SLACK)
+                .expect("clean submit");
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Ticks until the queue drains, returning served samples and the
+    /// completion order of request ids.
+    fn drain(&mut self) -> (usize, Vec<RequestId>) {
+        let mut samples = 0;
+        let mut done = Vec::new();
+        for _ in 0..10_000 {
+            if self.sched.queued_requests() == 0 {
+                break;
+            }
+            self.now += 1;
+            for event in self.sched.tick(self.now) {
+                match event {
+                    Event::Completed { output, request, .. } => {
+                        samples += output.len();
+                        done.push(request);
+                    }
+                    Event::Failed { error, .. } => panic!("request failed: {error}"),
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(self.sched.queued_requests(), 0, "scheduler wedged");
+        (samples, done)
+    }
+}
+
+/// One instrumented pass: `rounds` rounds of 1000 clients with wall
+/// clocks around each round, reporting sustained throughput and the
+/// p99 per-chunk service latency (a retried chunk spans every tick of
+/// its panicked rounds, so the p99 is where fault cost shows up).
+fn instrumented_pass(harness: &mut Harness, rounds: usize, label: &str) {
+    let mut latencies_ns: Vec<u128> = Vec::with_capacity(rounds * CLIENTS);
+    let mut total_samples = 0usize;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        let submitted_at = Instant::now();
+        let ids = harness.submit_round();
+        let (samples, done) = harness.drain();
+        total_samples += samples;
+        // Every request of the round shares a submit instant (submits
+        // are microseconds; service is the millisecond part), so each
+        // completion's latency is measured from the round start.
+        let round_end = submitted_at.elapsed().as_nanos();
+        let per_chunk = round_end / (ids.len().max(1) as u128);
+        for _ in &done {
+            latencies_ns.push(per_chunk);
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies_ns.sort_unstable();
+    let p99 = latencies_ns
+        .get(latencies_ns.len().saturating_sub(1).min(latencies_ns.len() * 99 / 100))
+        .copied()
+        .unwrap_or(0);
+    eprintln!(
+        "serving_under_faults {label}: {:.2} Msamples/s sustained, ~p99 chunk latency {:.1} µs \
+         ({CLIENTS} clients, {rounds} rounds, {total_samples} samples)",
+        total_samples as f64 / elapsed / 1.0e6,
+        p99 as f64 / 1.0e3,
+    );
+}
+
+/// Injected worker panics are contained by the pool, but the default
+/// panic hook would still print a backtrace per injection — stderr IO
+/// that would bill fault *logging*, not fault *handling*, to the
+/// faulted rows. Silence exactly the injected payload.
+fn install_quiet_poison_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let injected = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected serving worker panic"))
+            .or_else(|| {
+                payload
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("injected serving worker panic"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
+fn bench_serving_under_faults(c: &mut Criterion) {
+    install_quiet_poison_hook();
+    // One extracted buffer model shared by every rate.
+    let mut circuit = buffer_circuit();
+    let (dataset, _) = extract_from_circuit(&mut circuit, &paper_tft_config()).unwrap();
+    let model = fit_tft(&dataset, &paper_rvf_options()).unwrap().model;
+    let dt = 2.0e-12;
+
+    for (permille, label) in [(0u16, "f000"), (10, "f010"), (100, "f100")] {
+        let mut harness = Harness::new(permille, model.compile(), dt);
+        instrumented_pass(&mut harness, 3, label);
+        let id = format!("serving_faults_sustained_{label}");
+        c.bench_function(&id, |b| {
+            b.iter(|| {
+                harness.submit_round();
+                let (samples, _) = harness.drain();
+                assert_eq!(samples, CLIENTS * CHUNK, "every accepted chunk must be served");
+                samples
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Small sample counts: each iteration already serves 64k samples
+    // across 1000 sessions (plus fault-retry rounds at f010/f100).
+    config = Criterion::default().sample_size(10).quick_sample_size(5);
+    targets = bench_serving_under_faults
+}
+criterion_main!(benches);

@@ -447,7 +447,7 @@ mod tests {
         let mut session = sim.session(1e-11).unwrap();
         let mut streamed = Vec::new();
         for chunk in inputs.chunks(23) {
-            streamed.extend(session.feed(chunk));
+            streamed.extend(session.feed(chunk).unwrap());
         }
         assert_eq!(streamed.len(), got.len());
         for (a, b) in streamed.iter().zip(&got) {

@@ -55,6 +55,24 @@ pub enum CircuitError {
     },
     /// An underlying numerical kernel failed.
     Numerics(NumericsError),
+    /// An analysis was configured with an unusable option value (e.g. a
+    /// non-positive or non-finite `dt`/`t_stop`).
+    BadAnalysisOptions {
+        /// Description of the rejected option.
+        message: String,
+    },
+    /// An initial-state vector's length does not match the circuit's
+    /// MNA dimension.
+    StateSizeMismatch {
+        /// The circuit's MNA dimension.
+        expected: usize,
+        /// Length of the vector that was passed.
+        got: usize,
+    },
+    /// A device evaluation that was asked for Jacobians did not produce
+    /// them — an internal contract violation surfaced as a typed error
+    /// instead of a panic.
+    MissingJacobian,
 }
 
 impl fmt::Display for CircuitError {
@@ -87,6 +105,15 @@ impl fmt::Display for CircuitError {
             }
             Self::MissingPort { which } => write!(f, "circuit has no {which} configured"),
             Self::Numerics(e) => write!(f, "numerical kernel failed: {e}"),
+            Self::BadAnalysisOptions { message } => {
+                write!(f, "bad analysis options: {message}")
+            }
+            Self::StateSizeMismatch { expected, got } => {
+                write!(f, "initial state has {got} entries, circuit dimension is {expected}")
+            }
+            Self::MissingJacobian => {
+                write!(f, "device evaluation produced no Jacobians although they were requested")
+            }
         }
     }
 }
@@ -120,5 +147,10 @@ mod tests {
         assert!(e.to_string().contains("transient"));
         let e = CircuitError::Parse { line: 3, message: "bad token".into() };
         assert!(e.to_string().contains("line 3"));
+        let e = CircuitError::BadAnalysisOptions { message: "dt must be positive".into() };
+        assert!(e.to_string().contains("dt must be positive"));
+        let e = CircuitError::StateSizeMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains("4"));
+        assert!(CircuitError::MissingJacobian.to_string().contains("Jacobians"));
     }
 }

@@ -76,16 +76,30 @@ pub struct TranResult {
 ///
 /// # Errors
 ///
-/// Returns [`CircuitError::NewtonDiverged`] with the failing time if a
-/// step does not converge, or a numerics error for singular Jacobians.
+/// Returns [`CircuitError::BadAnalysisOptions`] for a non-positive or
+/// non-finite `dt`/`t_stop`, [`CircuitError::StateSizeMismatch`] when
+/// `x0` does not match the circuit dimension,
+/// [`CircuitError::NewtonDiverged`] with the failing time if a step
+/// does not converge, or a numerics error for singular Jacobians.
 pub fn transient(
     circuit: &mut Circuit,
     x0: &[f64],
     opts: &TranOptions,
 ) -> Result<TranResult, CircuitError> {
-    assert!(opts.dt > 0.0 && opts.t_stop > 0.0, "dt and t_stop must be positive");
+    if !(opts.dt.is_finite() && opts.dt > 0.0) {
+        return Err(CircuitError::BadAnalysisOptions {
+            message: format!("dt must be finite and positive, got {}", opts.dt),
+        });
+    }
+    if !(opts.t_stop.is_finite() && opts.t_stop > 0.0) {
+        return Err(CircuitError::BadAnalysisOptions {
+            message: format!("t_stop must be finite and positive, got {}", opts.t_stop),
+        });
+    }
     let dim = circuit.dim();
-    assert_eq!(x0.len(), dim, "initial state length mismatch");
+    if x0.len() != dim {
+        return Err(CircuitError::StateSizeMismatch { expected: dim, got: x0.len() });
+    }
     let n_steps = (opts.t_stop / opts.dt).ceil() as usize;
 
     let mut x = x0.to_vec();
@@ -110,7 +124,7 @@ pub fn transient(
         res.states.push(x.to_vec());
     };
     record(&mut result, circuit, 0.0, &x);
-    maybe_snapshot(circuit, &mut result, 0, opts, 0.0, &x);
+    maybe_snapshot(circuit, &mut result, 0, opts, 0.0, &x)?;
 
     for step in 1..=n_steps {
         let t = step as f64 * opts.dt;
@@ -120,8 +134,10 @@ pub fn transient(
         for _ in 0..opts.max_newton {
             result.newton_iterations += 1;
             let ev = circuit.eval(&x, t, opts.gmin, true);
-            let g = ev.g.expect("jacobian requested");
-            let c = ev.c.expect("jacobian requested");
+            let (g, c) = match (ev.g, ev.c) {
+                (Some(g), Some(c)) => (g, c),
+                _ => return Err(CircuitError::MissingJacobian),
+            };
             // Residual and companion Jacobian per integrator.
             let (res_vec, jac) = match opts.integrator {
                 Integrator::BackwardEuler => {
@@ -179,7 +195,7 @@ pub fn transient(
         }
         q_prev = ev.q;
         record(&mut result, circuit, t, &x);
-        maybe_snapshot(circuit, &mut result, step, opts, t, &x);
+        maybe_snapshot(circuit, &mut result, step, opts, t, &x)?;
     }
     Ok(result)
 }
@@ -191,24 +207,29 @@ fn maybe_snapshot(
     opts: &TranOptions,
     t: f64,
     x: &[f64],
-) {
+) -> Result<(), CircuitError> {
     let Some(every) = opts.snapshot_every else {
-        return;
+        return Ok(());
     };
     if every == 0 || step % every != 0 {
-        return;
+        return Ok(());
     }
     // Capture the *device* Jacobians (no integrator companion terms, no
     // gmin): these are the TFT matrices of paper eq. (3).
     let ev = circuit.eval(x, t, 0.0, true);
+    let (g, c) = match (ev.g, ev.c) {
+        (Some(g), Some(c)) => (g, c),
+        _ => return Err(CircuitError::MissingJacobian),
+    };
     result.snapshots.push(JacobianSnapshot {
         t,
         u: circuit.input_value(t).unwrap_or(0.0),
         y: if circuit.output_row().is_ok() { circuit.output_value(x) } else { 0.0 },
         x: x.to_vec(),
-        g: ev.g.expect("jacobian requested"),
-        c: ev.c.expect("jacobian requested"),
+        g,
+        c,
     });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -347,6 +368,52 @@ mod tests {
             assert_eq!(s.c.shape(), (3, 3));
             assert!((0.1..=0.9).contains(&s.u) || s.u >= 0.0);
         }
+    }
+
+    #[test]
+    fn bad_options_and_state_are_typed_errors_not_panics() {
+        // Regression for the old `assert!`s: unusable options and a
+        // mis-sized initial state must come back as typed errors so a
+        // serving/extraction caller can degrade instead of aborting.
+        let (mut ckt, _) = rc_lowpass(
+            1e3,
+            1e-9,
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                freq_hz: 1e5,
+                phase_rad: 0.0,
+                delay: 0.0,
+            },
+        );
+        let x0 = vec![0.0; ckt.dim()];
+        for bad_dt in [0.0, -1e-9, f64::NAN, f64::INFINITY] {
+            let opts = TranOptions { dt: bad_dt, ..Default::default() };
+            assert!(
+                matches!(
+                    transient(&mut ckt, &x0, &opts),
+                    Err(CircuitError::BadAnalysisOptions { .. })
+                ),
+                "dt={bad_dt}"
+            );
+        }
+        for bad_stop in [0.0, -1.0, f64::NAN] {
+            let opts = TranOptions { t_stop: bad_stop, ..Default::default() };
+            assert!(
+                matches!(
+                    transient(&mut ckt, &x0, &opts),
+                    Err(CircuitError::BadAnalysisOptions { .. })
+                ),
+                "t_stop={bad_stop}"
+            );
+        }
+        let short = vec![0.0; ckt.dim() - 1];
+        let got = transient(&mut ckt, &short, &TranOptions::default());
+        assert!(
+            matches!(got, Err(CircuitError::StateSizeMismatch { expected, got })
+                if expected == 3 && got == 2),
+            "{got:?}"
+        );
     }
 
     #[test]

@@ -76,6 +76,6 @@ pub use rvf::{
     StageFit,
 };
 pub use serving::{
-    CompiledSim, ServingError, SessionId, SessionSet, SimBuilder, SimState, StreamingSession,
-    BATCH_LANES,
+    CompiledSim, ServingError, SessionChunk, SessionId, SessionSet, SimBuilder, SimState,
+    StreamingSession, BATCH_LANES,
 };

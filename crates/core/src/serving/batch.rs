@@ -17,7 +17,7 @@ use rvf_numerics::{resolve_threads, SweepConfig, SweepError, SweepPool};
 
 use super::compile::CompiledSim;
 use super::state::{advance_group, SimState};
-use super::{check_dt, dt_ok, trip_poison, ServingError, BATCH_LANES};
+use super::{check_dt, check_stimulus, dt_ok, trip_poison, ServingError, BATCH_LANES};
 
 /// Splits stimuli into maximal runs of consecutive equal-length inputs,
 /// chopped to [`BATCH_LANES`]. Deterministic and order-preserving, so
@@ -116,6 +116,8 @@ impl CompiledSim {
     /// # Errors
     ///
     /// [`ServingError::BadDt`] for a non-finite or non-positive `dt`,
+    /// [`ServingError::BadStimulus`] for a stimulus with a NaN or
+    /// infinite sample (checked up front — nothing runs),
     /// [`ServingError::WorkerPanicked`] if a worker's task panicked.
     pub fn try_simulate_batch(
         &self,
@@ -123,6 +125,9 @@ impl CompiledSim {
         stimuli: &[&[f64]],
     ) -> Result<Vec<Vec<f64>>, ServingError> {
         check_dt(dt)?;
+        for s in stimuli {
+            check_stimulus(s)?;
+        }
         self.batch_core(dt, stimuli)
     }
 
@@ -136,7 +141,8 @@ impl CompiledSim {
     /// # Errors
     ///
     /// [`ServingError::BadDt`] for a non-finite or non-positive `dt`,
-    /// [`ServingError::WorkerPanicked`] if a pool worker's task
+    /// [`ServingError::BadStimulus`] for a stimulus with a non-finite
+    /// sample, [`ServingError::WorkerPanicked`] if a pool worker's task
     /// panicked.
     pub fn try_simulate_batch_in(
         &self,
@@ -145,6 +151,9 @@ impl CompiledSim {
         stimuli: &[&[f64]],
     ) -> Result<Vec<Vec<f64>>, ServingError> {
         check_dt(dt)?;
+        for s in stimuli {
+            check_stimulus(s)?;
+        }
         self.batch_core_in(pool, dt, stimuli)
     }
 
@@ -278,5 +287,20 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn try_batch_rejects_non_finite_stimuli_up_front() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        let pool = SweepPool::new(2);
+        let bad = [0.5, f64::NAN];
+        assert!(matches!(
+            sim.try_simulate_batch(1e-10, &[&[1.0, 2.0], &bad]),
+            Err(ServingError::BadStimulus { index: 1, .. })
+        ));
+        assert!(matches!(
+            sim.try_simulate_batch_in(&pool, 1e-10, &[&bad]),
+            Err(ServingError::BadStimulus { index: 1, .. })
+        ));
     }
 }

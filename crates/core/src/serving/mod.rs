@@ -43,7 +43,7 @@ pub mod session;
 pub mod state;
 
 pub use compile::{CompiledSim, SimBuilder};
-pub use session::{SessionId, SessionSet, StreamingSession};
+pub use session::{SessionChunk, SessionId, SessionSet, StreamingSession};
 pub use state::SimState;
 
 use core::fmt;
@@ -81,6 +81,21 @@ pub enum ServingError {
     },
     /// [`SimBuilder::set_static_drive`] was never called.
     MissingStaticDrive,
+    /// A stimulus chunk contains a non-finite (NaN or ±∞) sample.
+    ///
+    /// Checked at every state-mutating boundary
+    /// ([`CompiledSim::simulate_into`], [`StreamingSession::feed`] /
+    /// [`feed_into`](StreamingSession::feed_into),
+    /// [`SessionSet::push`], [`CompiledSim::advance_chunks`], the
+    /// `try_*` batch entry points) *before* any state is touched: a NaN
+    /// sample would otherwise poison the first-order-hold registers and
+    /// every later checkpoint silently.
+    BadStimulus {
+        /// Position of the offending sample within its chunk.
+        index: usize,
+        /// The rejected sample value.
+        value: f64,
+    },
     /// An output buffer's length does not match its stimulus chunk.
     OutputMismatch {
         /// Required length (the chunk length).
@@ -114,6 +129,9 @@ impl fmt::Display for ServingError {
                 write!(f, "SimBuilder: block drive row {drive} out of range ({n_drives} rows)")
             }
             Self::MissingStaticDrive => write!(f, "SimBuilder: static drive row not set"),
+            Self::BadStimulus { index, value } => {
+                write!(f, "serving: stimulus sample {index} is not finite ({value})")
+            }
             Self::OutputMismatch { expected, got } => {
                 write!(f, "serving: output buffer holds {got} samples, chunk needs {expected}")
             }
@@ -146,6 +164,18 @@ pub(crate) fn check_dt(dt: f64) -> Result<(), ServingError> {
     } else {
         Err(ServingError::BadDt { dt })
     }
+}
+
+/// Rejects non-finite stimulus samples before any state is mutated —
+/// the guard behind [`ServingError::BadStimulus`]. One linear scan per
+/// chunk; the kernel itself is branch-free on the value.
+pub(crate) fn check_stimulus(chunk: &[f64]) -> Result<(), ServingError> {
+    for (index, &value) in chunk.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(ServingError::BadStimulus { index, value });
+        }
+    }
+    Ok(())
 }
 
 /// Test-only poison switch: when armed, the next pooled serving group
@@ -207,12 +237,25 @@ mod tests {
     }
 
     #[test]
+    fn stimulus_predicate_reports_first_bad_sample() {
+        assert_eq!(check_stimulus(&[]), Ok(()));
+        assert_eq!(check_stimulus(&[0.0, -1.0e300, 1.0e-300]), Ok(()));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = check_stimulus(&[1.0, bad, f64::NAN]).unwrap_err();
+            assert!(matches!(err, ServingError::BadStimulus { index: 1, .. }), "{bad}: {err:?}");
+        }
+    }
+
+    #[test]
     fn display_formats() {
         assert!(ServingError::BadDt { dt: f64::NAN }.to_string().contains("finite"));
         assert!(ServingError::BadDrive { drive: 7, n_drives: 2 }
             .to_string()
             .contains("out of range"));
         assert!(ServingError::MissingStaticDrive.to_string().contains("static drive row not set"));
+        assert!(ServingError::BadStimulus { index: 3, value: f64::NAN }
+            .to_string()
+            .contains("not finite"));
         assert!(ServingError::OutputMismatch { expected: 4, got: 3 }.to_string().contains("4"));
         assert!(ServingError::StateMismatch.to_string().contains("SimState"));
         assert!(ServingError::UnknownSession { id: 9 }.to_string().contains("9"));

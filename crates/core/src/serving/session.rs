@@ -14,7 +14,7 @@ use rvf_numerics::{SweepConfig, SweepError, SweepPool};
 
 use super::compile::CompiledSim;
 use super::state::{advance_group, SimState};
-use super::{check_dt, trip_poison, ServingError, BATCH_LANES};
+use super::{check_dt, check_stimulus, trip_poison, ServingError, BATCH_LANES};
 
 /// A resumable streaming evaluation of one stimulus.
 ///
@@ -41,7 +41,7 @@ use super::{check_dt, trip_poison, ServingError, BATCH_LANES};
 /// let mut session = sim.session(1.0e-10).unwrap();
 /// let mut streamed = Vec::new();
 /// for chunk in stimulus.chunks(2) {
-///     streamed.extend(session.feed(chunk));
+///     streamed.extend(session.feed(chunk).unwrap());
 /// }
 /// assert_eq!(streamed, sim.simulate(1.0e-10, &stimulus));
 /// assert_eq!(session.samples(), 5);
@@ -57,12 +57,20 @@ impl<'a> StreamingSession<'a> {
     /// Feeds one chunk and returns its output samples. Allocates the
     /// return vector; use [`feed_into`](StreamingSession::feed_into)
     /// for the allocation-free path.
-    pub fn feed(&mut self, chunk: &[f64]) -> Vec<f64> {
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadStimulus`] when the chunk contains a NaN or
+    /// infinite sample; the session state is untouched in that case (a
+    /// non-finite sample would otherwise poison the first-order-hold
+    /// registers and every later checkpoint).
+    pub fn feed(&mut self, chunk: &[f64]) -> Result<Vec<f64>, ServingError> {
+        check_stimulus(chunk)?;
         let mut out = vec![0.0; chunk.len()];
         if !chunk.is_empty() {
             advance_group(self.sim, self.dt, &mut self.state, &[chunk], &mut [out.as_mut_slice()]);
         }
-        out
+        Ok(out)
     }
 
     /// Feeds one chunk, writing its output samples into `out` — the
@@ -72,11 +80,14 @@ impl<'a> StreamingSession<'a> {
     /// # Errors
     ///
     /// [`ServingError::OutputMismatch`] when `out.len() !=
-    /// chunk.len()`; the session state is untouched in that case.
+    /// chunk.len()`, [`ServingError::BadStimulus`] when the chunk
+    /// contains a non-finite sample; the session state is untouched in
+    /// either case.
     pub fn feed_into(&mut self, chunk: &[f64], out: &mut [f64]) -> Result<(), ServingError> {
         if out.len() != chunk.len() {
             return Err(ServingError::OutputMismatch { expected: chunk.len(), got: out.len() });
         }
+        check_stimulus(chunk)?;
         if !chunk.is_empty() {
             advance_group(self.sim, self.dt, &mut self.state, &[chunk], &mut [out]);
         }
@@ -252,8 +263,12 @@ impl<'a> SessionSet<'a> {
     ///
     /// # Errors
     ///
-    /// [`ServingError::UnknownSession`] for a closed or foreign id.
+    /// [`ServingError::UnknownSession`] for a closed or foreign id,
+    /// [`ServingError::BadStimulus`] for a chunk with a non-finite
+    /// sample. A rejected push appends nothing — the session's pending
+    /// buffer is exactly what it was before the call.
     pub fn push(&mut self, id: SessionId, chunk: &[f64]) -> Result<(), ServingError> {
+        check_stimulus(chunk)?;
         let slot = self.slot_mut(id)?;
         slot.pending.extend_from_slice(chunk);
         Ok(())
@@ -446,6 +461,156 @@ impl CompiledSim {
     }
 }
 
+/// One session's unit of work for [`CompiledSim::advance_chunks`]: the
+/// session's state, its next input chunk, and the buffer its output
+/// samples land in. The caller owns all three — this is the seam a
+/// scheduler that holds its own session table (rather than borrowing a
+/// [`SessionSet`]) uses to drive the batch kernel.
+#[derive(Debug)]
+pub struct SessionChunk<'a> {
+    /// The session's resumable state; advanced in place on success,
+    /// untouched on any error.
+    pub state: &'a mut SimState,
+    /// The input chunk to absorb.
+    pub input: &'a [f64],
+    /// Receives one output sample per input sample; must have exactly
+    /// `input.len()` slots.
+    pub output: &'a mut [f64],
+}
+
+impl CompiledSim {
+    /// Advances many independent sessions through one chunk each, in
+    /// lockstep lane groups of up to [`BATCH_LANES`] — over `pool` when
+    /// one is given, inline on the calling thread otherwise. Both paths
+    /// produce identical bits: each chunk's output equals what
+    /// [`simulate_into`](CompiledSim::simulate_into) would produce for
+    /// that state alone, whatever the grouping, worker count, or path.
+    ///
+    /// This is the batching seam for a scheduler that owns its session
+    /// table outright (e.g. `rvf-serve`): unlike [`SessionSet`] it
+    /// borrows nothing across calls, so the sessions can live in any
+    /// slab keyed any way the caller likes.
+    ///
+    /// The advance is **transactional**: every chunk is validated
+    /// before any state is touched, and on any error — including a
+    /// worker panic on either path, surfaced as
+    /// [`ServingError::WorkerPanicked`] — no state is updated and no
+    /// output buffer holds committed samples. Empty chunks are allowed
+    /// and absorb nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadDt`], [`ServingError::OutputMismatch`] (a
+    /// chunk whose output buffer length differs from its input),
+    /// [`ServingError::StateMismatch`] (a state built for a different
+    /// model shape, or a multi-lane internal state),
+    /// [`ServingError::BadStimulus`] (a non-finite input sample), and
+    /// [`ServingError::WorkerPanicked`].
+    pub fn advance_chunks(
+        &self,
+        dt: f64,
+        chunks: &mut [SessionChunk<'_>],
+        pool: Option<&SweepPool>,
+    ) -> Result<(), ServingError> {
+        check_dt(dt)?;
+        for c in chunks.iter() {
+            if c.output.len() != c.input.len() {
+                return Err(ServingError::OutputMismatch {
+                    expected: c.input.len(),
+                    got: c.output.len(),
+                });
+            }
+            if c.state.lanes != 1 || !c.state.matches(self) {
+                return Err(ServingError::StateMismatch);
+            }
+            check_stimulus(c.input)?;
+        }
+        // Same grouping discipline as [`SessionSet::lane_groups`]:
+        // equal-length runs (sorted by length, then index) chopped to
+        // BATCH_LANES, so lanes advance without padding.
+        let mut ready: Vec<(usize, usize)> = chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.input.is_empty())
+            .map(|(i, c)| (c.input.len(), i))
+            .collect();
+        ready.sort_unstable();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut i = 0;
+        while i < ready.len() {
+            let len = ready[i].0;
+            let mut j = i;
+            while j < ready.len() && ready[j].0 == len && j - i < BATCH_LANES {
+                j += 1;
+            }
+            groups.push(ready[i..j].iter().map(|&(_, k)| k).collect());
+            i = j;
+        }
+        if groups.is_empty() {
+            return Ok(());
+        }
+        let shared: &[SessionChunk<'_>] = chunks;
+        let task = |ws: &mut SimState, g: usize| {
+            trip_poison();
+            let members: &[usize] = &groups[g];
+            let lanes = members.len();
+            let n = shared[members[0]].input.len();
+            ws.reset_for(self, lanes);
+            for (l, &k) in members.iter().enumerate() {
+                ws.load_lane(l, shared[k].state);
+            }
+            let stims: Vec<&[f64]> = members.iter().map(|&k| shared[k].input).collect();
+            let mut outs: Vec<Vec<f64>> = members.iter().map(|_| vec![0.0; n]).collect();
+            {
+                let mut out_refs: Vec<&mut [f64]> =
+                    outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+                advance_group(self, dt, ws, &stims, &mut out_refs);
+            }
+            let advanced: Vec<(usize, Vec<f64>, SimState)> = members
+                .iter()
+                .zip(outs)
+                .enumerate()
+                .map(|(l, (&k, out))| {
+                    let mut state = ws.extract_lane(self, l);
+                    state.set_samples(shared[k].state.samples() + n as u64);
+                    (k, out, state)
+                })
+                .collect();
+            Ok::<_, core::convert::Infallible>(advanced)
+        };
+        let applied = match pool {
+            Some(pool) => {
+                let workers = pool.workers();
+                let mut workspaces: Vec<SimState> =
+                    (0..workers).map(|_| SimState::for_lanes(self, 0)).collect();
+                pool.run_with(groups.len(), &SweepConfig::threads(workers), &mut workspaces, task)
+            }
+            None => {
+                // Serial path with the same containment semantics: a
+                // panicked group surfaces as WorkerPanicked, not an
+                // unwinding panic, and nothing is committed.
+                let mut workspaces = [SimState::for_lanes(self, 0)];
+                rvf_numerics::run_sweep_with(
+                    groups.len(),
+                    &SweepConfig::threads(1),
+                    &mut workspaces,
+                    task,
+                )
+            }
+        }
+        .map_err(|e| match e {
+            SweepError::WorkerPanicked { worker } => ServingError::WorkerPanicked { worker },
+            SweepError::Task { .. } => unreachable!("chunk group tasks are infallible"),
+        })?;
+        // Commit only after every group succeeded.
+        for (k, out, state) in applied.into_iter().flatten() {
+            chunks[k].output.copy_from_slice(&out);
+            *chunks[k].state = state;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::testutil::linear_real_sim;
@@ -496,7 +661,7 @@ mod tests {
         let mut session = sim.session(dt).unwrap();
         let mut got = Vec::new();
         for chunk in u.chunks(7) {
-            got.extend(session.feed(chunk));
+            got.extend(session.feed(chunk).unwrap());
         }
         assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(&want) {
@@ -525,11 +690,11 @@ mod tests {
         let dt = 1.0e-10;
         let want = sim.simulate(dt, &u);
         let mut first = sim.session(dt).unwrap();
-        let head = first.feed(&u[..20]);
+        let head = first.feed(&u[..20]).unwrap();
         let snapshot = first.checkpoint();
         drop(first);
         let mut resumed = sim.session_from(dt, snapshot).unwrap();
-        let tail = resumed.feed(&u[20..]);
+        let tail = resumed.feed(&u[20..]).unwrap();
         for (g, w) in head.iter().chain(&tail).zip(&want) {
             assert_eq!(g.to_bits(), w.to_bits());
         }
@@ -600,6 +765,146 @@ mod tests {
         assert_eq!(set.samples(id2).unwrap(), 4);
         // Advance with nothing pending is a no-op.
         assert!(set.advance().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_stimulus_rejected_without_committing_state() {
+        let sim = linear_real_sim(-1.3e9, 1.2);
+        let dt = 2.0e-11;
+        let clean = stim(42, 30);
+        // NaN/∞ in first, middle, and last chunk positions, across every
+        // state-mutating boundary. The failed call must leave the
+        // session exactly where it stood: the follow-up clean run stays
+        // bit-identical to a session that never saw the bad chunk.
+        for bad_value in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for bad_pos in [0usize, 4, 9] {
+                let mut bad = vec![0.5; 10];
+                bad[bad_pos] = bad_value;
+
+                let mut session = sim.session(dt).unwrap();
+                let head = session.feed(&clean[..10]).unwrap();
+                let err = session.feed(&bad).unwrap_err();
+                assert!(
+                    matches!(err, ServingError::BadStimulus { index, .. } if index == bad_pos),
+                    "{bad_value} at {bad_pos}: {err:?}"
+                );
+                assert_eq!(session.samples(), 10, "rejected feed commits nothing");
+                let mut out = vec![0.0; 10];
+                assert!(matches!(
+                    session.feed_into(&bad, &mut out),
+                    Err(ServingError::BadStimulus { .. })
+                ));
+                assert_eq!(session.samples(), 10);
+                let tail = session.feed(&clean[10..]).unwrap();
+
+                let mut reference = sim.session(dt).unwrap();
+                let want = reference.feed(&clean).unwrap();
+                for (g, w) in head.iter().chain(&tail).zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{bad_value} at {bad_pos}");
+                }
+
+                // simulate_into boundary: state untouched on rejection.
+                let mut state = sim.new_state();
+                let mut buf = vec![0.0; 10];
+                assert!(matches!(
+                    sim.simulate_into(dt, &bad, &mut state, &mut buf),
+                    Err(ServingError::BadStimulus { .. })
+                ));
+                assert_eq!(state.samples(), 0);
+                assert!(!state.is_started());
+
+                // try_simulate boundary.
+                assert!(matches!(
+                    sim.try_simulate(dt, &bad),
+                    Err(ServingError::BadStimulus { .. })
+                ));
+
+                // SessionSet::push boundary: nothing is appended.
+                let mut set = sim.sessions(dt).unwrap();
+                let id = set.open();
+                set.push(id, &clean[..5]).unwrap();
+                assert!(matches!(set.push(id, &bad), Err(ServingError::BadStimulus { .. })));
+                let outputs = set.advance().unwrap();
+                assert_eq!(outputs[0].1.len(), 5, "rejected push left pending untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn advance_chunks_matches_simulate_into_on_both_paths() {
+        let sim = linear_real_sim(-1.4e9, 0.8);
+        let dt = 3.0e-11;
+        // 11 sessions, three distinct chunk lengths, one empty chunk.
+        let stims: Vec<Vec<f64>> = (0..11)
+            .map(|i| stim(900 + i as u64, if i == 7 { 0 } else { 20 + 9 * (i % 3) }))
+            .collect();
+        let want: Vec<Vec<f64>> = stims.iter().map(|u| sim.simulate(dt, u)).collect();
+        let pool = SweepPool::new(3);
+        for pooled in [false, true] {
+            let mut states: Vec<SimState> = (0..11).map(|_| sim.new_state()).collect();
+            let mut outs: Vec<Vec<f64>> = stims.iter().map(|u| vec![0.0; u.len()]).collect();
+            {
+                let mut chunks: Vec<SessionChunk<'_>> = states
+                    .iter_mut()
+                    .zip(stims.iter())
+                    .zip(outs.iter_mut())
+                    .map(|((state, u), out)| SessionChunk {
+                        state,
+                        input: u.as_slice(),
+                        output: out.as_mut_slice(),
+                    })
+                    .collect();
+                sim.advance_chunks(dt, &mut chunks, pooled.then_some(&pool)).unwrap();
+            }
+            for (i, (got, w)) in outs.iter().zip(&want).enumerate() {
+                assert_eq!(got.len(), w.len(), "session {i} pooled={pooled}");
+                for (g, w) in got.iter().zip(w) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "session {i} pooled={pooled}");
+                }
+                assert_eq!(states[i].samples(), stims[i].len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn advance_chunks_validates_before_any_commit() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        let dt = 1.0e-10;
+        let good = [0.1, 0.2, 0.3];
+        let bad = [0.1, f64::NAN, 0.3];
+        let mut s0 = sim.new_state();
+        let mut s1 = sim.new_state();
+        let mut o0 = [0.0; 3];
+        let mut o1 = [0.0; 3];
+        let err = sim
+            .advance_chunks(
+                dt,
+                &mut [
+                    SessionChunk { state: &mut s0, input: &good, output: &mut o0 },
+                    SessionChunk { state: &mut s1, input: &bad, output: &mut o1 },
+                ],
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServingError::BadStimulus { index: 1, .. }), "{err:?}");
+        assert_eq!(s0.samples(), 0, "sibling chunk not committed either");
+        assert_eq!(s1.samples(), 0);
+        assert_eq!(o0, [0.0; 3]);
+
+        let mut short = [0.0; 2];
+        assert_eq!(
+            sim.advance_chunks(
+                dt,
+                &mut [SessionChunk { state: &mut s0, input: &good, output: &mut short }],
+                None,
+            ),
+            Err(ServingError::OutputMismatch { expected: 3, got: 2 })
+        );
+        assert!(matches!(sim.advance_chunks(dt, &mut [], Some(&SweepPool::new(2))), Ok(())));
+        assert!(matches!(
+            sim.advance_chunks(f64::NAN, &mut [], None),
+            Err(ServingError::BadDt { .. })
+        ));
     }
 
     #[test]

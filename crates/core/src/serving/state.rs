@@ -18,7 +18,7 @@
 use rvf_numerics::Complex;
 
 use super::compile::{BlockCoef, CompiledSim};
-use super::{check_dt, dt_ok, ServingError};
+use super::{check_dt, check_stimulus, dt_ok, ServingError};
 
 /// Checkpointable state of one running simulation.
 ///
@@ -464,8 +464,10 @@ impl CompiledSim {
     ///
     /// [`ServingError::BadDt`] for a non-finite or non-positive `dt`,
     /// [`ServingError::OutputMismatch`] when `out.len() !=
-    /// inputs.len()`, and [`ServingError::StateMismatch`] when `state`
-    /// was built for a different model shape.
+    /// inputs.len()`, [`ServingError::StateMismatch`] when `state` was
+    /// built for a different model shape, and
+    /// [`ServingError::BadStimulus`] for a chunk with a NaN or infinite
+    /// sample. A rejected call leaves `state` untouched.
     ///
     /// # Examples
     ///
@@ -500,6 +502,7 @@ impl CompiledSim {
         if state.lanes != 1 || !state.matches(self) {
             return Err(ServingError::StateMismatch);
         }
+        check_stimulus(inputs)?;
         if inputs.is_empty() {
             return Ok(());
         }
@@ -526,14 +529,16 @@ impl CompiledSim {
         out
     }
 
-    /// Checked [`simulate`](CompiledSim::simulate): validates `dt` once
-    /// per call and never panics.
+    /// Checked [`simulate`](CompiledSim::simulate): validates `dt` and
+    /// the stimulus once per call and never panics.
     ///
     /// # Errors
     ///
-    /// [`ServingError::BadDt`] for a non-finite or non-positive `dt`.
+    /// [`ServingError::BadDt`] for a non-finite or non-positive `dt`,
+    /// [`ServingError::BadStimulus`] for a NaN or infinite sample.
     pub fn try_simulate(&self, dt: f64, inputs: &[f64]) -> Result<Vec<f64>, ServingError> {
         check_dt(dt)?;
+        check_stimulus(inputs)?;
         let mut out = vec![0.0; inputs.len()];
         if !inputs.is_empty() {
             let mut state = self.new_state();

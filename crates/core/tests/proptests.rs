@@ -248,7 +248,7 @@ proptest! {
         let mut session = sim.session(dt).unwrap();
         let mut got = Vec::with_capacity(inputs.len());
         for w in bounds.windows(2) {
-            got.extend(session.feed(&inputs[w[0]..w[1]]));
+            got.extend(session.feed(&inputs[w[0]..w[1]]).unwrap());
         }
         prop_assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {

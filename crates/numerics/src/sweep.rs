@@ -245,6 +245,7 @@ pub struct SweepPool {
     dispatch: Mutex<()>,
     sweeps: AtomicU64,
     rounds: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl core::fmt::Debug for SweepPool {
@@ -289,6 +290,7 @@ impl SweepPool {
             dispatch: Mutex::new(()),
             sweeps: AtomicU64::new(0),
             rounds: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 
@@ -307,6 +309,22 @@ impl SweepPool {
     /// (sweeps that resolved to the inline path are not counted).
     pub fn rounds(&self) -> u64 {
         self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Number of sweeps on this pool that ended in a contained worker
+    /// panic ([`SweepError::WorkerPanicked`]), inline-path sweeps
+    /// included. The pool stays usable after every one of them — this
+    /// counter is the *health signal* a supervising runtime (e.g. a
+    /// serving scheduler) thresholds to decide when a pool has absorbed
+    /// enough faults that it should be torn down and rebuilt, or traffic
+    /// degraded to a serial path.
+    pub fn contained_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Records one contained worker panic on this pool.
+    fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Runs `n_tasks` workspace-free tasks on the pool; the counterpart
@@ -378,7 +396,11 @@ impl SweepPool {
         let workers =
             resolve_threads(cfg.threads).min(n_tasks).min(workspaces.len()).min(self.capacity);
         if workers <= 1 {
-            return run_inline(n_tasks, &mut workspaces[0], &task);
+            let out = run_inline(n_tasks, &mut workspaces[0], &task);
+            if matches!(out, Err(SweepError::WorkerPanicked { .. })) {
+                self.note_panic();
+            }
+            return out;
         }
         self.rounds.fetch_add(1, Ordering::Relaxed);
 
@@ -429,11 +451,15 @@ impl SweepPool {
         let poisoned = self.dispatch_round(&body, workers);
 
         if let Some(e) = lock(&first_err).take() {
+            if matches!(e, SweepError::WorkerPanicked { .. }) {
+                self.note_panic();
+            }
             return Err(e);
         }
         if let Some(worker) = poisoned {
             // Backstop: a panic escaping catch_task (e.g. from a
             // panicking Drop) still stays contained at the handshake.
+            self.note_panic();
             return Err(SweepError::WorkerPanicked { worker });
         }
         // Every participant exited cleanly and no error was flagged, so
@@ -1009,6 +1035,44 @@ mod tests {
         let out =
             pool.run_with(16, &SweepConfig::threads(3), &mut units, |(), i| Ok::<_, ()>(i * 2));
         assert_eq!(out.unwrap()[15], 30);
+    }
+
+    #[test]
+    fn contained_panics_counts_failed_sweeps_on_both_paths() {
+        let pool = SweepPool::new(3);
+        assert_eq!(pool.contained_panics(), 0);
+        let mut units = vec![(); 3];
+        // Pooled round with a panicking task.
+        let _ = pool
+            .run_with(16, &SweepConfig::threads(3), &mut units, |(), i| {
+                if i == 4 {
+                    panic!("chaos");
+                }
+                Ok::<_, ()>(i)
+            })
+            .unwrap_err();
+        assert_eq!(pool.contained_panics(), 1);
+        // Inline (single-worker) sweep with a panicking task.
+        let _ = pool
+            .run_with(4, &SweepConfig::threads(1), &mut units, |(), _| -> Result<usize, ()> {
+                panic!("inline chaos")
+            })
+            .unwrap_err();
+        assert_eq!(pool.contained_panics(), 2);
+        // Task *errors* are not panics and must not move the counter.
+        let _ = pool
+            .run_with(8, &SweepConfig::threads(3), &mut units, |(), i| {
+                if i == 2 {
+                    Err("boom")
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(pool.contained_panics(), 2);
+        // A clean sweep leaves it untouched and the pool stays healthy.
+        pool.run_with(8, &SweepConfig::threads(3), &mut units, |(), i| Ok::<_, ()>(i)).unwrap();
+        assert_eq!(pool.contained_panics(), 2);
     }
 
     #[test]

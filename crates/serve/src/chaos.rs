@@ -1,0 +1,188 @@
+//! Deterministic, seeded fault injection for the serving tier.
+//!
+//! The chaos harness is a *test seam*, compiled unconditionally so the
+//! bench suite can drive faulted load in release mode. It produces
+//! faults from a seeded xorshift generator — same seed, same fault
+//! sequence, every run, every machine — which is what lets the chaos
+//! proptests assert **bit-identical** recovery (`f64` `==`, not
+//! tolerances) after every injected failure.
+//!
+//! Four fault classes mirror the failure modes the scheduler must
+//! absorb:
+//!
+//! * [`Fault::WorkerPanic`] — the next batch round panics inside a
+//!   worker ([`arm_worker_panic`] arms the one-shot poison seam of the
+//!   serving runtime).
+//! * [`Fault::BadStimulus`] — a NaN/∞ sample is written into the chunk
+//!   ([`ChaosInjector::corrupt`]), exercising admission-time rejection.
+//! * [`Fault::OversizedChunk`] — the chunk is inflated past the
+//!   configured cap, exercising `ChunkTooLarge` shedding.
+//! * [`Fault::CloseSession`] — the client disappears mid-stream,
+//!   exercising queue purging and slot reuse.
+
+/// One injected fault, drawn by [`ChaosInjector::sample`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Panic a worker during the next batch round.
+    WorkerPanic,
+    /// Corrupt a stimulus sample to NaN or ±∞ before submitting.
+    BadStimulus,
+    /// Inflate the chunk past the per-request sample cap.
+    OversizedChunk,
+    /// Close the session mid-stream, abandoning its queued work.
+    CloseSession,
+}
+
+/// Fault rates in permille (0–1000), checked in declaration order; the
+/// first one that fires wins for that draw.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic generator.
+    pub seed: u64,
+    /// Permille chance of [`Fault::WorkerPanic`] per draw.
+    pub worker_panic_permille: u16,
+    /// Permille chance of [`Fault::BadStimulus`] per draw.
+    pub bad_stimulus_permille: u16,
+    /// Permille chance of [`Fault::OversizedChunk`] per draw.
+    pub oversized_chunk_permille: u16,
+    /// Permille chance of [`Fault::CloseSession`] per draw.
+    pub close_session_permille: u16,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed_f17e,
+            worker_panic_permille: 0,
+            bad_stimulus_permille: 0,
+            oversized_chunk_permille: 0,
+            close_session_permille: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A config injecting every fault class at `permille` each.
+    pub fn uniform(seed: u64, permille: u16) -> Self {
+        Self {
+            seed,
+            worker_panic_permille: permille,
+            bad_stimulus_permille: permille,
+            oversized_chunk_permille: permille,
+            close_session_permille: permille,
+        }
+    }
+}
+
+/// Deterministic fault source (xorshift64*). Two injectors built from
+/// the same [`ChaosConfig`] produce identical fault sequences.
+#[derive(Debug, Clone)]
+pub struct ChaosInjector {
+    x: u64,
+    cfg: ChaosConfig,
+}
+
+impl ChaosInjector {
+    /// Builds an injector from `cfg` (the zero seed is remapped so the
+    /// generator never sticks).
+    pub fn new(cfg: ChaosConfig) -> Self {
+        Self { x: if cfg.seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { cfg.seed }, cfg }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.x;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.x = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn roll(&mut self, permille: u16) -> bool {
+        permille > 0 && self.next() % 1000 < permille as u64
+    }
+
+    /// Draws at most one fault for the next operation, in the fixed
+    /// order panic → stimulus → oversize → close.
+    pub fn sample(&mut self) -> Option<Fault> {
+        if self.roll(self.cfg.worker_panic_permille) {
+            Some(Fault::WorkerPanic)
+        } else if self.roll(self.cfg.bad_stimulus_permille) {
+            Some(Fault::BadStimulus)
+        } else if self.roll(self.cfg.oversized_chunk_permille) {
+            Some(Fault::OversizedChunk)
+        } else if self.roll(self.cfg.close_session_permille) {
+            Some(Fault::CloseSession)
+        } else {
+            None
+        }
+    }
+
+    /// A deterministic index in `0..n` (`0` when `n == 0`).
+    pub fn pick(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    /// Overwrites one sample of `chunk` with NaN, `+∞`, or `-∞`,
+    /// returning the corrupted index (`None` for an empty chunk).
+    pub fn corrupt(&mut self, chunk: &mut [f64]) -> Option<usize> {
+        if chunk.is_empty() {
+            return None;
+        }
+        let index = self.pick(chunk.len());
+        chunk[index] = match self.next() % 3 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        Some(index)
+    }
+}
+
+/// Arms the serving runtime's one-shot poison seam: the next batch
+/// group to execute (pooled or serial) panics inside its worker. The
+/// flag is process-global and consumed by exactly one group, so tests
+/// injecting panics must serialize their use of this seam.
+pub fn arm_worker_panic() {
+    rvf_core::serving::poison_next_group();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let cfg = ChaosConfig::uniform(42, 250);
+        let mut a = ChaosInjector::new(cfg);
+        let mut b = ChaosInjector::new(cfg);
+        let sa: Vec<_> = (0..256).map(|_| a.sample()).collect();
+        let sb: Vec<_> = (0..256).map(|_| b.sample()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|f| f.is_some()), "25% per class must fire in 256 draws");
+        assert!(sa.iter().any(|f| f.is_none()));
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let mut inj = ChaosInjector::new(ChaosConfig::default());
+        assert!((0..1000).all(|_| inj.sample().is_none()));
+    }
+
+    #[test]
+    fn corrupt_places_one_non_finite_sample() {
+        let mut inj = ChaosInjector::new(ChaosConfig::uniform(7, 0));
+        let mut chunk = vec![0.5; 32];
+        let idx = inj.corrupt(&mut chunk).unwrap();
+        assert!(!chunk[idx].is_finite());
+        assert_eq!(chunk.iter().filter(|v| !v.is_finite()).count(), 1);
+        assert_eq!(inj.corrupt(&mut []), None);
+        assert_eq!(inj.pick(0), 0);
+        assert!(inj.pick(5) < 5);
+    }
+}

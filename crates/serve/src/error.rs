@@ -1,0 +1,141 @@
+//! Error taxonomy of the serving tier.
+
+use core::fmt;
+
+use rvf_core::ServingError;
+
+/// Errors produced by the serving tier's admission and scheduling
+/// layer.
+///
+/// The tier's contract is that **no public API panics**: every failure
+/// — a full admission queue, an expired deadline, a worker panic that
+/// exhausted its retries — surfaces as one of these variants, and a
+/// rejected request never commits session state.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The admission queue is full (by request count or by total queued
+    /// samples). This is load shedding, not failure: the caller should
+    /// back off and resubmit; already-admitted work is unaffected.
+    Overloaded {
+        /// Requests currently queued.
+        queued_requests: usize,
+        /// Samples currently queued across all requests.
+        queued_samples: usize,
+    },
+    /// The request's deadline passed before it was served. The request
+    /// was dropped without touching its session's state.
+    DeadlineExceeded {
+        /// The deadline the request was submitted with (ticks).
+        deadline: u64,
+        /// The tick at which expiry was detected.
+        now: u64,
+    },
+    /// The model id is not in the registry.
+    UnknownModel {
+        /// The offending raw id.
+        id: usize,
+    },
+    /// The session handle is unknown, closed, or stale (its slot was
+    /// reused by a later generation).
+    UnknownSession {
+        /// The offending raw handle.
+        id: u64,
+    },
+    /// Opening another session would exceed the configured limit.
+    SessionLimit {
+        /// Sessions currently live.
+        live: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The submitted chunk exceeds the configured per-request sample
+    /// cap (oversized chunks would let one client monopolize a batch
+    /// round).
+    ChunkTooLarge {
+        /// The submitted chunk length.
+        len: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The request kept landing in panicked batch rounds and ran out of
+    /// retry budget. Its session state is untouched (every failed round
+    /// was transactional) and stays usable.
+    RetriesExhausted {
+        /// Attempts performed (initial try included).
+        attempts: u32,
+        /// Worker slot of the last panic.
+        worker: usize,
+    },
+    /// A typed failure from the underlying serving runtime (bad
+    /// stimulus, shape mismatch, …).
+    Serving(ServingError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { queued_requests, queued_samples } => write!(
+                f,
+                "serve: admission queue full ({queued_requests} requests, {queued_samples} samples queued)"
+            ),
+            Self::DeadlineExceeded { deadline, now } => {
+                write!(f, "serve: deadline {deadline} passed (now {now})")
+            }
+            Self::UnknownModel { id } => write!(f, "serve: unknown model id {id}"),
+            Self::UnknownSession { id } => {
+                write!(f, "serve: unknown, closed, or stale session handle {id}")
+            }
+            Self::SessionLimit { live, limit } => {
+                write!(f, "serve: session limit reached ({live} live, limit {limit})")
+            }
+            Self::ChunkTooLarge { len, limit } => {
+                write!(f, "serve: chunk of {len} samples exceeds the {limit}-sample cap")
+            }
+            Self::RetriesExhausted { attempts, worker } => write!(
+                f,
+                "serve: request failed {attempts} times on panicked rounds (last worker {worker})"
+            ),
+            Self::Serving(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Serving(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServingError> for ServeError {
+    fn from(e: ServingError) -> Self {
+        Self::Serving(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert!(ServeError::Overloaded { queued_requests: 3, queued_samples: 99 }
+            .to_string()
+            .contains("queue full"));
+        assert!(ServeError::DeadlineExceeded { deadline: 5, now: 9 }.to_string().contains("5"));
+        assert!(ServeError::UnknownModel { id: 7 }.to_string().contains("7"));
+        assert!(ServeError::UnknownSession { id: 1 }.to_string().contains("session"));
+        assert!(ServeError::SessionLimit { live: 4, limit: 4 }.to_string().contains("limit"));
+        assert!(ServeError::ChunkTooLarge { len: 10, limit: 4 }.to_string().contains("cap"));
+        assert!(ServeError::RetriesExhausted { attempts: 4, worker: 1 }
+            .to_string()
+            .contains("panicked"));
+        let e = ServeError::from(ServingError::StateMismatch);
+        assert!(e.source().is_some());
+        assert_eq!(e, ServeError::Serving(ServingError::StateMismatch));
+    }
+}

@@ -1,0 +1,932 @@
+//! Admission-controlled batching scheduler with deadlines, retry, and
+//! graceful degradation.
+//!
+//! The [`Scheduler`] is the service loop's core: clients open sessions
+//! against registry models, [`submit`](Scheduler::submit) stimulus
+//! chunks with a deadline, and the serving loop calls
+//! [`tick`](Scheduler::tick) to coalesce eligible requests into
+//! `BATCH_LANES` lane groups over one shared
+//! [`SweepPool`](rvf_numerics::SweepPool).
+//!
+//! Time is an injected `u64` tick counter: every API that needs time
+//! takes `now` explicitly, so schedulers are fully deterministic under
+//! test — no wall clock anywhere. A production loop passes a monotonic
+//! millisecond counter; the chaos harness passes whatever it likes.
+//!
+//! Robustness contract:
+//!
+//! * **Bounded admission** — the queue caps both request count and
+//!   total queued samples; past either cap a submit is rejected with
+//!   [`ServeError::Overloaded`] *immediately* (load shedding, never
+//!   blocking), while admitted work keeps flowing.
+//! * **Transactional advances** — batch rounds go through
+//!   [`CompiledSim::advance_chunks`], which commits nothing on any
+//!   failure; a rejected or failed request leaves its session's state
+//!   bit-for-bit where it was.
+//! * **Retry with backoff** — a request caught in a panicked round is
+//!   requeued with exponentially growing `not_before` ticks, up to a
+//!   retry budget ([`ServeError::RetriesExhausted`] after that).
+//! * **Pool rebuild and degradation** — contained worker panics are
+//!   counted per pool ([`SweepPool::contained_panics`]); past a
+//!   threshold the pool is torn down and rebuilt, and past a rebuild
+//!   budget the scheduler degrades to a serial single-lane path whose
+//!   output is bit-identical to the pooled path.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use rvf_core::serving::SessionChunk;
+use rvf_core::{ServingError, SimState};
+use rvf_numerics::SweepPool;
+
+use crate::error::ServeError;
+use crate::registry::{ModelId, ModelRegistry};
+
+/// Stable handle to a live session. Handles are generation-tagged: a
+/// handle to a closed session stays invalid forever, even if its slot
+/// is reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionHandle(u64);
+
+impl SessionHandle {
+    fn new(index: usize, generation: u32) -> Self {
+        Self(((generation as u64) << 32) | index as u64)
+    }
+
+    fn index(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The raw handle value (diagnostics only).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable id of one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// Scheduler tuning knobs. Every limit is a robustness boundary — the
+/// defaults are deliberately small enough that tests exercise them.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum live sessions ([`ServeError::SessionLimit`] past it).
+    pub max_sessions: usize,
+    /// Maximum queued requests ([`ServeError::Overloaded`] past it).
+    pub max_queued_requests: usize,
+    /// Maximum total queued samples ([`ServeError::Overloaded`]).
+    pub max_queued_samples: usize,
+    /// Maximum samples per request ([`ServeError::ChunkTooLarge`]).
+    pub max_chunk_samples: usize,
+    /// Ticks of inactivity after which an idle session (no queued work)
+    /// is closed and surfaced as [`Event::SessionExpired`] with its
+    /// checkpoint. `0` disables idle expiry.
+    pub idle_timeout: u64,
+    /// Base of the retry backoff: attempt `k` (1-based) of a panicked
+    /// request becomes eligible again `retry_backoff_base << (k-1)`
+    /// ticks after the failure.
+    pub retry_backoff_base: u64,
+    /// Retry budget per request (initial attempt not counted): after
+    /// this many *re*-tries land in panicked rounds the request fails
+    /// with [`ServeError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Contained worker panics a pool may absorb before it is torn down
+    /// and rebuilt.
+    pub rebuild_after_panics: u64,
+    /// Pool rebuilds tolerated before the scheduler degrades to the
+    /// serial single-lane path (bit-identical output, no pool).
+    pub degrade_after_rebuilds: u64,
+    /// Worker threads of the shared pool (`0` = one per core).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 1024,
+            max_queued_requests: 256,
+            max_queued_samples: 1 << 20,
+            max_chunk_samples: 1 << 16,
+            idle_timeout: 0,
+            retry_backoff_base: 1,
+            max_retries: 3,
+            rebuild_after_panics: 2,
+            degrade_after_rebuilds: 2,
+            workers: 0,
+        }
+    }
+}
+
+/// One completion surfaced by [`Scheduler::tick`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Event {
+    /// A request was served; `output` holds one sample per input
+    /// sample, bit-identical to feeding the chunk through a lone
+    /// [`StreamingSession`](rvf_core::StreamingSession).
+    Completed {
+        /// The served request.
+        request: RequestId,
+        /// Its session.
+        session: SessionHandle,
+        /// The output samples.
+        output: Vec<f64>,
+    },
+    /// A request failed; its session's state was not touched.
+    Failed {
+        /// The failed request.
+        request: RequestId,
+        /// Its session.
+        session: SessionHandle,
+        /// Why it failed.
+        error: ServeError,
+    },
+    /// An idle session hit its timeout and was closed; `checkpoint`
+    /// resumes it later via [`Scheduler::open_session_from`].
+    SessionExpired {
+        /// The expired session.
+        session: SessionHandle,
+        /// Its final state.
+        checkpoint: SimState,
+    },
+}
+
+struct Session {
+    model: ModelId,
+    dt: f64,
+    /// `Some` between ticks; taken while the state rides a batch round.
+    state: Option<SimState>,
+    last_activity: u64,
+    /// Requests of this session currently queued.
+    queued: usize,
+}
+
+struct Slot {
+    generation: u32,
+    session: Option<Session>,
+}
+
+struct Request {
+    id: RequestId,
+    session: SessionHandle,
+    input: Vec<f64>,
+    deadline: u64,
+    attempts: u32,
+    not_before: u64,
+}
+
+/// The admission/batching scheduler. See the module docs for the
+/// robustness contract.
+///
+/// # Examples
+///
+/// ```
+/// use rvf_core::SimBuilder;
+/// use rvf_serve::{Event, ModelRegistry, Scheduler, ServeConfig};
+///
+/// let mut b = SimBuilder::new();
+/// let s = b.drive_poly(&[0.0, 1.0]);
+/// b.set_static_drive(s);
+/// b.block_real(-1.0e9, s);
+/// let registry = ModelRegistry::build([("m".to_string(), b.build())]);
+/// let model = registry.id("m").unwrap();
+///
+/// let mut sched = Scheduler::new(registry, ServeConfig::default());
+/// let session = sched.open_session(model, 1.0e-10, 0).unwrap();
+/// sched.submit(session, &[0.1, 0.2, 0.3], 0, 100).unwrap();
+/// let events = sched.tick(1);
+/// assert!(matches!(events[0], Event::Completed { .. }));
+/// ```
+pub struct Scheduler {
+    registry: Arc<ModelRegistry>,
+    cfg: ServeConfig,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    live: usize,
+    queue: VecDeque<Request>,
+    queued_samples: usize,
+    next_request: u64,
+    pool: Option<SweepPool>,
+    pool_panic_base: u64,
+    rebuilds: u64,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over `registry` with the given limits. The
+    /// shared pool is spawned here, once.
+    pub fn new(registry: ModelRegistry, cfg: ServeConfig) -> Self {
+        let pool = SweepPool::new(cfg.workers);
+        Self {
+            registry: Arc::new(registry),
+            cfg,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            queue: VecDeque::new(),
+            queued_samples: 0,
+            next_request: 0,
+            pool: Some(pool),
+            pool_panic_base: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// The shared model registry.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Live session count.
+    pub fn live_sessions(&self) -> usize {
+        self.live
+    }
+
+    /// Requests currently queued.
+    pub fn queued_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Samples currently queued across all requests.
+    pub fn queued_samples(&self) -> usize {
+        self.queued_samples
+    }
+
+    /// Whether the scheduler has degraded to the serial single-lane
+    /// path (output stays bit-identical; throughput drops).
+    pub fn is_degraded(&self) -> bool {
+        self.pool.is_none()
+    }
+
+    /// Pool rebuilds performed so far.
+    pub fn pool_rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Opens a session on `model` with a fresh state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionLimit`], [`ServeError::UnknownModel`], or a
+    /// wrapped [`ServingError::BadDt`].
+    pub fn open_session(
+        &mut self,
+        model: ModelId,
+        dt: f64,
+        now: u64,
+    ) -> Result<SessionHandle, ServeError> {
+        let sim = Arc::clone(self.registry.get(model)?);
+        let state = sim.session(dt)?.into_state();
+        self.install(model, dt, state, now)
+    }
+
+    /// Opens a session resuming from a checkpointed `state` (see
+    /// [`Scheduler::checkpoint`] / [`Event::SessionExpired`]).
+    ///
+    /// # Errors
+    ///
+    /// Like [`open_session`](Scheduler::open_session), plus a wrapped
+    /// [`ServingError::StateMismatch`] when the checkpoint belongs to a
+    /// different model shape.
+    pub fn open_session_from(
+        &mut self,
+        model: ModelId,
+        dt: f64,
+        state: SimState,
+        now: u64,
+    ) -> Result<SessionHandle, ServeError> {
+        let sim = Arc::clone(self.registry.get(model)?);
+        let state = sim.session_from(dt, state)?.into_state();
+        self.install(model, dt, state, now)
+    }
+
+    fn install(
+        &mut self,
+        model: ModelId,
+        dt: f64,
+        state: SimState,
+        now: u64,
+    ) -> Result<SessionHandle, ServeError> {
+        if self.live >= self.cfg.max_sessions {
+            return Err(ServeError::SessionLimit { live: self.live, limit: self.cfg.max_sessions });
+        }
+        let session = Session { model, dt, state: Some(state), last_activity: now, queued: 0 };
+        let index = match self.free.pop() {
+            Some(i) => {
+                self.slots[i].session = Some(session);
+                i
+            }
+            None => {
+                self.slots.push(Slot { generation: 0, session: Some(session) });
+                self.slots.len() - 1
+            }
+        };
+        self.live += 1;
+        Ok(SessionHandle::new(index, self.slots[index].generation))
+    }
+
+    fn resolve(&self, handle: SessionHandle) -> Result<usize, ServeError> {
+        let err = ServeError::UnknownSession { id: handle.raw() };
+        let index = handle.index();
+        match self.slots.get(index) {
+            Some(slot) if slot.generation == handle.generation() && slot.session.is_some() => {
+                Ok(index)
+            }
+            _ => Err(err),
+        }
+    }
+
+    /// A resumable snapshot of the session's current state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a closed or stale handle.
+    pub fn checkpoint(&self, handle: SessionHandle) -> Result<SimState, ServeError> {
+        let index = self.resolve(handle)?;
+        match self.slots[index].session.as_ref().and_then(|s| s.state.as_ref()) {
+            Some(state) => Ok(state.clone()),
+            None => Err(ServeError::UnknownSession { id: handle.raw() }),
+        }
+    }
+
+    /// Samples the session has absorbed so far.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a closed or stale handle.
+    pub fn samples(&self, handle: SessionHandle) -> Result<u64, ServeError> {
+        let index = self.resolve(handle)?;
+        match self.slots[index].session.as_ref().and_then(|s| s.state.as_ref()) {
+            Some(state) => Ok(state.samples()),
+            None => Err(ServeError::UnknownSession { id: handle.raw() }),
+        }
+    }
+
+    /// Closes a session, returning its final state. Queued requests of
+    /// the session are dropped without being served (and without
+    /// touching any state — they were never applied).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a closed or stale handle.
+    pub fn close_session(&mut self, handle: SessionHandle) -> Result<SimState, ServeError> {
+        let index = self.resolve(handle)?;
+        let Some(session) = self.slots[index].session.take() else {
+            return Err(ServeError::UnknownSession { id: handle.raw() });
+        };
+        let Some(state) = session.state else {
+            return Err(ServeError::UnknownSession { id: handle.raw() });
+        };
+        // Purge the closed session's queued work.
+        let mut dropped_samples = 0;
+        self.queue.retain(|r| {
+            if r.session == handle {
+                dropped_samples += r.input.len();
+                false
+            } else {
+                true
+            }
+        });
+        self.queued_samples -= dropped_samples;
+        self.slots[index].generation = self.slots[index].generation.wrapping_add(1);
+        self.free.push(index);
+        self.live -= 1;
+        Ok(state)
+    }
+
+    /// Submits one stimulus chunk for the session, to be served by a
+    /// later [`tick`](Scheduler::tick) no later than `deadline`
+    /// (absolute ticks). Admission control happens here, synchronously:
+    /// a rejected submit queues nothing and touches no state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`], [`ServeError::ChunkTooLarge`], a
+    /// wrapped [`ServingError::BadStimulus`] for NaN/∞ samples, or
+    /// [`ServeError::Overloaded`] when either queue bound is hit.
+    pub fn submit(
+        &mut self,
+        handle: SessionHandle,
+        chunk: &[f64],
+        now: u64,
+        deadline: u64,
+    ) -> Result<RequestId, ServeError> {
+        let index = self.resolve(handle)?;
+        if chunk.len() > self.cfg.max_chunk_samples {
+            return Err(ServeError::ChunkTooLarge {
+                len: chunk.len(),
+                limit: self.cfg.max_chunk_samples,
+            });
+        }
+        // Malformed stimulus is an admission failure, not a batch-time
+        // surprise: reject before anything is queued.
+        for (i, &v) in chunk.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(ServeError::Serving(ServingError::BadStimulus { index: i, value: v }));
+            }
+        }
+        if self.queue.len() >= self.cfg.max_queued_requests
+            || self.queued_samples + chunk.len() > self.cfg.max_queued_samples
+        {
+            return Err(ServeError::Overloaded {
+                queued_requests: self.queue.len(),
+                queued_samples: self.queued_samples,
+            });
+        }
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        self.queue.push_back(Request {
+            id,
+            session: handle,
+            input: chunk.to_vec(),
+            deadline,
+            attempts: 0,
+            not_before: now,
+        });
+        self.queued_samples += chunk.len();
+        if let Some(session) = self.slots[index].session.as_mut() {
+            session.queued += 1;
+            session.last_activity = now;
+        }
+        Ok(id)
+    }
+
+    /// Runs one scheduling round at tick `now`: expires idle sessions
+    /// and overdue requests, coalesces the first eligible request of
+    /// each session into per-model lane-group batches, advances them
+    /// (pooled, or serial when degraded — identical bits either way),
+    /// and returns every completion produced. Call repeatedly to drain;
+    /// a tick with nothing eligible returns an empty vector.
+    pub fn tick(&mut self, now: u64) -> Vec<Event> {
+        let mut events = Vec::new();
+        self.expire_idle(now, &mut events);
+        self.expire_deadlines(now, &mut events);
+        let picked = self.pick_eligible(now);
+        if !picked.is_empty() {
+            self.run_batches(picked, now, &mut events);
+        }
+        events
+    }
+
+    fn expire_idle(&mut self, now: u64, events: &mut Vec<Event>) {
+        if self.cfg.idle_timeout == 0 {
+            return;
+        }
+        let mut expired = Vec::new();
+        for (index, slot) in self.slots.iter().enumerate() {
+            if let Some(session) = &slot.session {
+                if session.queued == 0
+                    && now.saturating_sub(session.last_activity) >= self.cfg.idle_timeout
+                {
+                    expired.push(SessionHandle::new(index, slot.generation));
+                }
+            }
+        }
+        for handle in expired {
+            if let Ok(checkpoint) = self.close_session(handle) {
+                events.push(Event::SessionExpired { session: handle, checkpoint });
+            }
+        }
+    }
+
+    fn expire_deadlines(&mut self, now: u64, events: &mut Vec<Event>) {
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        while let Some(request) = self.queue.pop_front() {
+            if now > request.deadline {
+                self.queued_samples -= request.input.len();
+                self.note_dequeued(request.session);
+                events.push(Event::Failed {
+                    request: request.id,
+                    session: request.session,
+                    error: ServeError::DeadlineExceeded { deadline: request.deadline, now },
+                });
+            } else {
+                kept.push_back(request);
+            }
+        }
+        self.queue = kept;
+    }
+
+    fn note_dequeued(&mut self, handle: SessionHandle) {
+        if let Ok(index) = self.resolve(handle) {
+            if let Some(session) = self.slots[index].session.as_mut() {
+                session.queued = session.queued.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Removes from the queue the first eligible request of each
+    /// distinct session (FIFO order otherwise preserved): sessions
+    /// advance at most one chunk per tick, which is what makes
+    /// per-session output ordering trivial.
+    fn pick_eligible(&mut self, now: u64) -> Vec<Request> {
+        let mut picked = Vec::new();
+        let mut picked_sessions: HashSet<SessionHandle> = HashSet::new();
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        while let Some(request) = self.queue.pop_front() {
+            if request.not_before <= now && !picked_sessions.contains(&request.session) {
+                picked_sessions.insert(request.session);
+                picked.push(request);
+            } else {
+                kept.push_back(request);
+            }
+        }
+        self.queue = kept;
+        picked
+    }
+
+    fn run_batches(&mut self, picked: Vec<Request>, now: u64, events: &mut Vec<Event>) {
+        // Group picked requests by (model, dt bits) in first-seen order
+        // — a batch round advances one model at one sample step.
+        let mut groups: Vec<((usize, u64), Vec<Request>)> = Vec::new();
+        for request in picked {
+            let Ok(index) = self.resolve(request.session) else {
+                // Session vanished (cannot happen through the public
+                // API — close purges the queue — but stay typed).
+                self.queued_samples -= request.input.len();
+                events.push(Event::Failed {
+                    request: request.id,
+                    session: request.session,
+                    error: ServeError::UnknownSession { id: request.session.raw() },
+                });
+                continue;
+            };
+            let Some(session) = self.slots[index].session.as_ref() else {
+                continue;
+            };
+            let key = (session.model.index(), session.dt.to_bits());
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(request),
+                None => groups.push((key, vec![request])),
+            }
+        }
+        for ((model, dt_bits), members) in groups {
+            self.run_model_batch(ModelId(model), f64::from_bits(dt_bits), members, now, events);
+        }
+    }
+
+    fn run_model_batch(
+        &mut self,
+        model: ModelId,
+        dt: f64,
+        members: Vec<Request>,
+        now: u64,
+        events: &mut Vec<Event>,
+    ) {
+        let Ok(sim) = self.registry.get(model).map(Arc::clone) else {
+            for request in members {
+                self.queued_samples -= request.input.len();
+                self.note_dequeued(request.session);
+                events.push(Event::Failed {
+                    request: request.id,
+                    session: request.session,
+                    error: ServeError::UnknownModel { id: model.index() },
+                });
+            }
+            return;
+        };
+        // Move each member's state out of its slot for the round; every
+        // path below puts it back (advanced on success, untouched on
+        // failure — advance_chunks is transactional).
+        let mut states: Vec<SimState> = Vec::with_capacity(members.len());
+        let mut outputs: Vec<Vec<f64>> = Vec::with_capacity(members.len());
+        let mut live_members: Vec<Request> = Vec::with_capacity(members.len());
+        for request in members {
+            let taken = match self.resolve(request.session) {
+                Ok(index) => {
+                    self.slots[index].session.as_mut().and_then(|session| session.state.take())
+                }
+                Err(_) => None,
+            };
+            match taken {
+                Some(state) => {
+                    states.push(state);
+                    outputs.push(vec![0.0; request.input.len()]);
+                    live_members.push(request);
+                }
+                None => {
+                    self.queued_samples -= request.input.len();
+                    events.push(Event::Failed {
+                        request: request.id,
+                        session: request.session,
+                        error: ServeError::UnknownSession { id: request.session.raw() },
+                    });
+                }
+            }
+        }
+        let outcome = {
+            let mut chunks: Vec<SessionChunk<'_>> = states
+                .iter_mut()
+                .zip(live_members.iter())
+                .zip(outputs.iter_mut())
+                .map(|((state, request), output)| SessionChunk {
+                    state,
+                    input: request.input.as_slice(),
+                    output: output.as_mut_slice(),
+                })
+                .collect();
+            sim.advance_chunks(dt, &mut chunks, self.pool.as_ref())
+        };
+        match outcome {
+            Ok(()) => {
+                for ((request, state), output) in live_members.into_iter().zip(states).zip(outputs)
+                {
+                    self.put_back(request.session, state, Some(now));
+                    self.queued_samples -= request.input.len();
+                    self.note_dequeued(request.session);
+                    events.push(Event::Completed {
+                        request: request.id,
+                        session: request.session,
+                        output,
+                    });
+                }
+            }
+            Err(ServingError::WorkerPanicked { worker }) => {
+                // Nothing was committed; restore states, then retry or
+                // give up per request.
+                let mut requeue = Vec::new();
+                for (mut request, state) in live_members.into_iter().zip(states) {
+                    self.put_back(request.session, state, None);
+                    request.attempts += 1;
+                    if request.attempts > self.cfg.max_retries {
+                        self.queued_samples -= request.input.len();
+                        self.note_dequeued(request.session);
+                        events.push(Event::Failed {
+                            request: request.id,
+                            session: request.session,
+                            error: ServeError::RetriesExhausted {
+                                attempts: request.attempts,
+                                worker,
+                            },
+                        });
+                    } else {
+                        let shift = (request.attempts - 1).min(16);
+                        request.not_before =
+                            now.saturating_add(self.cfg.retry_backoff_base << shift);
+                        requeue.push(request);
+                    }
+                }
+                // Retries go back to the *front*, preserving their FIFO
+                // priority over younger requests.
+                for request in requeue.into_iter().rev() {
+                    self.queue.push_front(request);
+                }
+                self.check_pool_health();
+            }
+            Err(error) => {
+                // Validation failures cannot normally reach this point
+                // (submit re-checks everything advance_chunks checks),
+                // but stay typed and transactional regardless.
+                for (request, state) in live_members.into_iter().zip(states) {
+                    self.put_back(request.session, state, None);
+                    self.queued_samples -= request.input.len();
+                    self.note_dequeued(request.session);
+                    events.push(Event::Failed {
+                        request: request.id,
+                        session: request.session,
+                        error: ServeError::Serving(error.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    fn put_back(&mut self, handle: SessionHandle, state: SimState, touch: Option<u64>) {
+        if let Ok(index) = self.resolve(handle) {
+            if let Some(session) = self.slots[index].session.as_mut() {
+                session.state = Some(state);
+                if let Some(now) = touch {
+                    session.last_activity = now;
+                }
+            }
+        }
+    }
+
+    /// Thresholds [`SweepPool::contained_panics`]: past
+    /// `rebuild_after_panics` the pool is torn down and respawned; past
+    /// `degrade_after_rebuilds` rebuilds the scheduler gives up on
+    /// pooling and serves serially (bit-identical, just slower).
+    fn check_pool_health(&mut self) {
+        let absorbed = match &self.pool {
+            Some(pool) => pool.contained_panics().saturating_sub(self.pool_panic_base),
+            None => return,
+        };
+        if absorbed < self.cfg.rebuild_after_panics {
+            return;
+        }
+        if self.rebuilds >= self.cfg.degrade_after_rebuilds {
+            self.pool = None;
+        } else {
+            self.rebuilds += 1;
+            self.pool = Some(SweepPool::new(self.cfg.workers));
+            self.pool_panic_base = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvf_core::{CompiledSim, SimBuilder};
+
+    fn tiny_model(a: f64) -> CompiledSim {
+        let mut b = SimBuilder::new();
+        let s = b.drive_poly(&[0.0, 1.0]);
+        b.set_static_drive(s);
+        b.block_real(a, s);
+        b.build()
+    }
+
+    fn one_model_scheduler(cfg: ServeConfig) -> (Scheduler, ModelId) {
+        let registry = ModelRegistry::build([("m".to_string(), tiny_model(-1.0e9))]);
+        let sched = Scheduler::new(registry, cfg);
+        let model = sched.registry().id("m").unwrap_or(ModelId(0));
+        (sched, model)
+    }
+
+    #[test]
+    fn serves_chunks_bit_identical_to_lone_session() {
+        let (mut sched, model) = one_model_scheduler(ServeConfig::default());
+        let dt = 1.0e-10;
+        let session = sched.open_session(model, dt, 0).unwrap();
+        let u: Vec<f64> = (0..50).map(|i| (i as f64 * 0.13).sin()).collect();
+        let sim = Arc::clone(sched.registry().get(model).unwrap());
+        let want = sim.simulate(dt, &u);
+        let mut got = Vec::new();
+        let mut now = 0;
+        for chunk in u.chunks(7) {
+            sched.submit(session, chunk, now, now + 10).unwrap();
+            now += 1;
+            for event in sched.tick(now) {
+                match event {
+                    Event::Completed { output, .. } => got.extend(output),
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        assert_eq!(sched.samples(session).unwrap(), 50);
+    }
+
+    #[test]
+    fn admission_control_rejects_typed() {
+        let cfg = ServeConfig {
+            max_sessions: 2,
+            max_queued_requests: 2,
+            max_queued_samples: 100,
+            max_chunk_samples: 8,
+            ..Default::default()
+        };
+        let (mut sched, model) = one_model_scheduler(cfg);
+        let a = sched.open_session(model, 1e-10, 0).unwrap();
+        let _b = sched.open_session(model, 1e-10, 0).unwrap();
+        assert!(matches!(
+            sched.open_session(model, 1e-10, 0),
+            Err(ServeError::SessionLimit { live: 2, limit: 2 })
+        ));
+        assert!(matches!(
+            sched.submit(a, &[0.0; 9], 0, 10),
+            Err(ServeError::ChunkTooLarge { len: 9, limit: 8 })
+        ));
+        assert!(matches!(
+            sched.submit(a, &[0.1, f64::NAN], 0, 10),
+            Err(ServeError::Serving(ServingError::BadStimulus { index: 1, .. }))
+        ));
+        sched.submit(a, &[0.1; 4], 0, 10).unwrap();
+        sched.submit(a, &[0.2; 4], 0, 10).unwrap();
+        assert!(matches!(
+            sched.submit(a, &[0.3; 4], 0, 10),
+            Err(ServeError::Overloaded { queued_requests: 2, .. })
+        ));
+        // Rejections queued nothing and committed nothing.
+        assert_eq!(sched.queued_requests(), 2);
+        assert_eq!(sched.queued_samples(), 8);
+        assert_eq!(sched.samples(a).unwrap(), 0);
+        // Bad dt and unknown model are typed too.
+        assert!(matches!(
+            sched.open_session(model, f64::NAN, 0),
+            Err(ServeError::Serving(ServingError::BadDt { .. }))
+        ));
+        assert!(matches!(
+            sched.open_session(ModelId(7), 1e-10, 0),
+            Err(ServeError::UnknownModel { id: 7 })
+        ));
+    }
+
+    #[test]
+    fn deadlines_expire_without_touching_state() {
+        let (mut sched, model) = one_model_scheduler(ServeConfig::default());
+        let session = sched.open_session(model, 1e-10, 0).unwrap();
+        let r = sched.submit(session, &[0.5; 4], 0, 3).unwrap();
+        // Tick past the deadline without serving.
+        let events = sched.tick(4);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0],
+            Event::Failed { request, error: ServeError::DeadlineExceeded { deadline: 3, now: 4 }, .. }
+                if *request == r
+        ));
+        assert_eq!(sched.samples(session).unwrap(), 0, "expired request committed nothing");
+        assert_eq!(sched.queued_requests(), 0);
+        assert_eq!(sched.queued_samples(), 0);
+        // The session still serves.
+        sched.submit(session, &[0.5; 4], 5, 10).unwrap();
+        assert!(matches!(sched.tick(6)[0], Event::Completed { .. }));
+    }
+
+    #[test]
+    fn idle_sessions_expire_with_checkpoint() {
+        let cfg = ServeConfig { idle_timeout: 10, ..Default::default() };
+        let (mut sched, model) = one_model_scheduler(cfg);
+        let session = sched.open_session(model, 1e-10, 0).unwrap();
+        sched.submit(session, &[0.5; 4], 0, 5).unwrap();
+        assert!(matches!(sched.tick(1)[0], Event::Completed { .. }));
+        // Nothing queued, clock runs past the idle window.
+        let events = sched.tick(11);
+        assert_eq!(events.len(), 1);
+        let Event::SessionExpired { session: expired, checkpoint } = &events[0] else {
+            panic!("want SessionExpired, got {:?}", events[0]);
+        };
+        assert_eq!(*expired, session);
+        assert_eq!(checkpoint.samples(), 4);
+        assert_eq!(sched.live_sessions(), 0);
+        assert!(matches!(
+            sched.submit(session, &[1.0], 12, 20),
+            Err(ServeError::UnknownSession { .. })
+        ));
+        // The checkpoint reopens and continues where it stood.
+        let resumed = sched.open_session_from(model, 1e-10, checkpoint.clone(), 12).unwrap();
+        assert_eq!(sched.samples(resumed).unwrap(), 4);
+    }
+
+    #[test]
+    fn stale_handles_stay_invalid_after_slot_reuse() {
+        let (mut sched, model) = one_model_scheduler(ServeConfig::default());
+        let first = sched.open_session(model, 1e-10, 0).unwrap();
+        sched.close_session(first).unwrap();
+        let second = sched.open_session(model, 1e-10, 0).unwrap();
+        assert_eq!(first.index(), second.index(), "slot is reused");
+        assert_ne!(first, second);
+        assert!(matches!(sched.checkpoint(first), Err(ServeError::UnknownSession { .. })));
+        assert!(sched.checkpoint(second).is_ok());
+    }
+
+    #[test]
+    fn close_purges_queued_work() {
+        let (mut sched, model) = one_model_scheduler(ServeConfig::default());
+        let a = sched.open_session(model, 1e-10, 0).unwrap();
+        let b = sched.open_session(model, 1e-10, 0).unwrap();
+        sched.submit(a, &[0.1; 4], 0, 10).unwrap();
+        sched.submit(a, &[0.2; 4], 0, 10).unwrap();
+        sched.submit(b, &[0.3; 4], 0, 10).unwrap();
+        sched.close_session(a).unwrap();
+        assert_eq!(sched.queued_requests(), 1);
+        assert_eq!(sched.queued_samples(), 4);
+        let events = sched.tick(1);
+        assert_eq!(events.len(), 1, "only b's request is served");
+        assert!(matches!(&events[0], Event::Completed { session, .. } if *session == b));
+    }
+
+    #[test]
+    fn one_chunk_per_session_per_tick_keeps_fifo_order() {
+        let (mut sched, model) = one_model_scheduler(ServeConfig::default());
+        let session = sched.open_session(model, 1e-10, 0).unwrap();
+        let r0 = sched.submit(session, &[0.1; 3], 0, 100).unwrap();
+        let r1 = sched.submit(session, &[0.2; 3], 0, 100).unwrap();
+        let first = sched.tick(1);
+        assert_eq!(first.len(), 1);
+        assert!(matches!(&first[0], Event::Completed { request, .. } if *request == r0));
+        let second = sched.tick(2);
+        assert!(matches!(&second[0], Event::Completed { request, .. } if *request == r1));
+    }
+
+    #[test]
+    fn mixed_dt_sessions_of_one_model_batch_separately_and_correctly() {
+        let (mut sched, model) = one_model_scheduler(ServeConfig::default());
+        let sim = Arc::clone(sched.registry().get(model).unwrap());
+        let fast = sched.open_session(model, 1e-10, 0).unwrap();
+        let slow = sched.open_session(model, 2e-10, 0).unwrap();
+        let u = [0.3, 0.7, 0.4];
+        sched.submit(fast, &u, 0, 10).unwrap();
+        sched.submit(slow, &u, 0, 10).unwrap();
+        let events = sched.tick(1);
+        assert_eq!(events.len(), 2);
+        for event in events {
+            let Event::Completed { session, output, .. } = event else {
+                panic!("unexpected {event:?}");
+            };
+            let dt = if session == fast { 1e-10 } else { 2e-10 };
+            let want = sim.simulate(dt, &u);
+            for (g, w) in output.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+}

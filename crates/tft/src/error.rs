@@ -11,6 +11,12 @@ use rvf_numerics::{NumericsError, SweepError};
 pub enum TftError {
     /// No snapshots were provided / captured.
     NoSnapshots,
+    /// The extraction configuration is unusable (zero step count, zero
+    /// snapshot count, non-positive training window, …).
+    BadConfig {
+        /// Description of the rejected field.
+        message: String,
+    },
     /// The frequency grid is empty or non-positive.
     BadFrequencyGrid,
     /// Snapshot dimensions are inconsistent with the port vectors.
@@ -38,6 +44,7 @@ impl fmt::Display for TftError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::NoSnapshots => write!(f, "no jacobian snapshots to transform"),
+            Self::BadConfig { message } => write!(f, "bad tft config: {message}"),
             Self::BadFrequencyGrid => write!(f, "frequency grid must be non-empty and positive"),
             Self::DimensionMismatch { snapshot, expected, got } => {
                 write!(f, "snapshot {snapshot} has dimension {got}, expected {expected}")
@@ -90,6 +97,9 @@ mod tests {
     fn display_and_source() {
         use std::error::Error;
         assert!(TftError::NoSnapshots.to_string().contains("snapshots"));
+        assert!(TftError::BadConfig { message: "steps must be nonzero".into() }
+            .to_string()
+            .contains("steps must be nonzero"));
         let e = TftError::from(NumericsError::Singular { pivot: 1 });
         assert!(e.source().is_some());
         let e = TftError::from(CircuitError::MissingPort { which: "input" });

@@ -206,11 +206,25 @@ impl TftError {
 ///
 /// # Errors
 ///
-/// Propagates circuit analysis and TFT transform failures.
+/// Returns [`TftError::BadConfig`] for a zero step/snapshot count or a
+/// non-positive training window (each used to be an unchecked panic —
+/// division by zero, or an `assert!` deep inside the transient solver);
+/// otherwise propagates circuit analysis and TFT transform failures.
 pub fn extract_from_circuit(
     circuit: &mut Circuit,
     cfg: &TftConfig,
 ) -> Result<(TftDataset, TranResult), TftError> {
+    if cfg.steps == 0 {
+        return Err(TftError::BadConfig { message: "steps must be nonzero".into() });
+    }
+    if cfg.n_snapshots == 0 {
+        return Err(TftError::BadConfig { message: "n_snapshots must be nonzero".into() });
+    }
+    if !(cfg.t_train.is_finite() && cfg.t_train > 0.0) {
+        return Err(TftError::BadConfig {
+            message: format!("t_train must be finite and positive, got {}", cfg.t_train),
+        });
+    }
     let op = dc_operating_point(circuit, &DcOptions::default())?;
     let every = (cfg.steps / cfg.n_snapshots).max(1);
     let opts = TranOptions {
@@ -341,6 +355,48 @@ mod tests {
             tft_from_snapshots(&[snap], &[1.0, 0.0], &[1.0, 0.0], &freqs, 1, 1),
             Err(TftError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn bad_config_is_a_typed_error_not_a_panic() {
+        // Regression: steps == 0 used to divide by zero computing dt,
+        // n_snapshots == 0 divided by zero computing the capture cadence,
+        // and a non-positive t_train tripped an assert in the transient
+        // solver. All three must surface as TftError::BadConfig.
+        let mut ckt = rc_ladder(
+            1,
+            1.0e3,
+            1.0e-9,
+            Waveform::Sine {
+                offset: 0.5,
+                amplitude: 0.3,
+                freq_hz: 1e4,
+                phase_rad: 0.0,
+                delay: 0.0,
+            },
+        );
+        let base = TftConfig {
+            f_min_hz: 1.0e3,
+            f_max_hz: 1.0e7,
+            n_freqs: 10,
+            t_train: 1.0e-4,
+            steps: 100,
+            n_snapshots: 10,
+            embed_depth: 1,
+            threads: 1,
+        };
+        for cfg in [
+            TftConfig { steps: 0, ..base.clone() },
+            TftConfig { n_snapshots: 0, ..base.clone() },
+            TftConfig { t_train: 0.0, ..base.clone() },
+            TftConfig { t_train: f64::NAN, ..base.clone() },
+            TftConfig { t_train: -1.0, ..base.clone() },
+        ] {
+            let got = extract_from_circuit(&mut ckt, &cfg);
+            assert!(matches!(got, Err(TftError::BadConfig { .. })), "{got:?}");
+        }
+        // The base config itself still extracts.
+        extract_from_circuit(&mut ckt, &base).unwrap();
     }
 
     #[test]

@@ -71,11 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Checkpoint / resume: clone the state mid-stream, park it, and
     //    continue later from exactly the same point.
     let mut session = sim.session(dt)?;
-    let head = session.feed(&stream[..32_768]);
+    let head = session.feed(&stream[..32_768])?;
     let checkpoint = session.checkpoint();
     println!("checkpointed after {} samples", checkpoint.samples());
     let mut resumed = sim.session_from(dt, checkpoint)?;
-    let tail = resumed.feed(&stream[32_768..]);
+    let tail = resumed.feed(&stream[32_768..])?;
     assert!(head.iter().chain(&tail).zip(&one_shot).all(|(a, b)| a.to_bits() == b.to_bits()));
     println!("resumed session reproduced the stream bit-for-bit");
 

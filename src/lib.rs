@@ -17,6 +17,7 @@
 //! | [`tft`] | `rvf-tft` | transfer-function-trajectory datasets |
 //! | [`caffeine`] | `rvf-caffeine` | CAFFEINE GP baseline (paper Table I) |
 //! | [`model`] | `rvf-core` | the RVF extraction pipeline + Hammerstein models |
+//! | [`serve`] | `rvf-serve` | fault-tolerant serving tier: registry, scheduler, chaos harness |
 //! | [`validate`] | `rvf-validate` | circuit zoo + accuracy-contract gate |
 
 #![warn(missing_docs)]
@@ -26,6 +27,7 @@ pub use rvf_caffeine as caffeine;
 pub use rvf_circuit as circuit;
 pub use rvf_core as model;
 pub use rvf_numerics as numerics;
+pub use rvf_serve as serve;
 pub use rvf_tft as tft;
 pub use rvf_validate as validate;
 pub use rvf_vecfit as vecfit;

@@ -76,7 +76,7 @@ fn chunked_sessions_are_bit_identical_on_the_diode_clipper() {
         let mut got = Vec::new();
         let mut off = 0;
         for len in split {
-            got.extend(session.feed(&u[off..off + len]));
+            got.extend(session.feed(&u[off..off + len]).unwrap());
             off += len;
         }
         assert_eq!(got.len(), want.len());
