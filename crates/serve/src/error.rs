@@ -4,6 +4,8 @@ use core::fmt;
 
 use rvf_core::ServingError;
 
+use crate::scheduler::RequestId;
+
 /// Errors produced by the serving tier's admission and scheduling
 /// layer.
 ///
@@ -67,6 +69,15 @@ pub enum ServeError {
         /// Worker slot of the last panic.
         worker: usize,
     },
+    /// An earlier request of the same session failed terminally, so
+    /// serving this one would advance the session across a gap in its
+    /// stimulus stream. The request was dropped without touching any
+    /// state; the session itself stays usable and sits exactly at the
+    /// last *completed* sample — resubmit from the failed chunk onward.
+    PredecessorFailed {
+        /// The earlier request whose failure cancelled this one.
+        failed: RequestId,
+    },
     /// A typed failure from the underlying serving runtime (bad
     /// stimulus, shape mismatch, …).
     Serving(ServingError),
@@ -95,6 +106,12 @@ impl fmt::Display for ServeError {
             Self::RetriesExhausted { attempts, worker } => write!(
                 f,
                 "serve: request failed {attempts} times on panicked rounds (last worker {worker})"
+            ),
+            Self::PredecessorFailed { failed } => write!(
+                f,
+                "serve: cancelled — earlier request {} of the same session failed; \
+                 resubmit from the last completed sample",
+                failed.0
             ),
             Self::Serving(e) => write!(f, "serve: {e}"),
         }
@@ -134,6 +151,9 @@ mod tests {
         assert!(ServeError::RetriesExhausted { attempts: 4, worker: 1 }
             .to_string()
             .contains("panicked"));
+        assert!(ServeError::PredecessorFailed { failed: RequestId(9) }
+            .to_string()
+            .contains("earlier request 9"));
         let e = ServeError::from(ServingError::StateMismatch);
         assert!(e.source().is_some());
         assert_eq!(e, ServeError::Serving(ServingError::StateMismatch));

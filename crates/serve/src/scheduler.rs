@@ -25,14 +25,23 @@
 //!   bit-for-bit where it was.
 //! * **Retry with backoff** — a request caught in a panicked round is
 //!   requeued with exponentially growing `not_before` ticks, up to a
-//!   retry budget ([`ServeError::RetriesExhausted`] after that).
+//!   retry budget ([`ServeError::RetriesExhausted`] after that). While
+//!   the retry sits in backoff its whole session waits with it: later
+//!   chunks of the same session are never served ahead of an earlier
+//!   one (strict per-session FIFO).
+//! * **No silent stream gaps** — when a request fails terminally
+//!   (deadline, exhausted retries, a serving error), the session's
+//!   remaining queued requests are cancelled with
+//!   [`ServeError::PredecessorFailed`] instead of being served across
+//!   the gap. The session state stays at the last completed sample and
+//!   the session remains usable — resubmit from the failed chunk.
 //! * **Pool rebuild and degradation** — contained worker panics are
 //!   counted per pool ([`SweepPool::contained_panics`]); past a
 //!   threshold the pool is torn down and rebuilt, and past a rebuild
 //!   budget the scheduler degrades to a serial single-lane path whose
 //!   output is bit-identical to the pooled path.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use rvf_core::serving::SessionChunk;
@@ -494,19 +503,25 @@ impl Scheduler {
     }
 
     fn expire_deadlines(&mut self, now: u64, events: &mut Vec<Event>) {
+        // One pass in FIFO order. A session whose request expires loses
+        // its later queued requests too ([`ServeError::PredecessorFailed`]):
+        // serving them would advance the session across a gap in its
+        // stimulus stream.
+        let mut failed: HashMap<SessionHandle, RequestId> = HashMap::new();
         let mut kept = VecDeque::with_capacity(self.queue.len());
         while let Some(request) = self.queue.pop_front() {
-            if now > request.deadline {
-                self.queued_samples -= request.input.len();
-                self.note_dequeued(request.session);
-                events.push(Event::Failed {
-                    request: request.id,
-                    session: request.session,
-                    error: ServeError::DeadlineExceeded { deadline: request.deadline, now },
-                });
+            let error = if let Some(&head) = failed.get(&request.session) {
+                ServeError::PredecessorFailed { failed: head }
+            } else if now > request.deadline {
+                failed.insert(request.session, request.id);
+                ServeError::DeadlineExceeded { deadline: request.deadline, now }
             } else {
                 kept.push_back(request);
-            }
+                continue;
+            };
+            self.queued_samples -= request.input.len();
+            self.note_dequeued(request.session);
+            events.push(Event::Failed { request: request.id, session: request.session, error });
         }
         self.queue = kept;
     }
@@ -523,15 +538,23 @@ impl Scheduler {
     /// distinct session (FIFO order otherwise preserved): sessions
     /// advance at most one chunk per tick, which is what makes
     /// per-session output ordering trivial.
+    ///
+    /// A session is blocked for the whole tick the moment one of its
+    /// requests is *kept* — whether because the session already
+    /// contributed this tick or because its FIFO-head request is parked
+    /// in retry backoff (`not_before > now`). Skipping past a
+    /// backed-off head would serve chunk N+1 before chunk N and
+    /// silently corrupt the session's output stream.
     fn pick_eligible(&mut self, now: u64) -> Vec<Request> {
         let mut picked = Vec::new();
-        let mut picked_sessions: HashSet<SessionHandle> = HashSet::new();
+        let mut blocked: HashSet<SessionHandle> = HashSet::new();
         let mut kept = VecDeque::with_capacity(self.queue.len());
         while let Some(request) = self.queue.pop_front() {
-            if request.not_before <= now && !picked_sessions.contains(&request.session) {
-                picked_sessions.insert(request.session);
+            if request.not_before <= now && !blocked.contains(&request.session) {
+                blocked.insert(request.session);
                 picked.push(request);
             } else {
+                blocked.insert(request.session);
                 kept.push_back(request);
             }
         }
@@ -663,6 +686,7 @@ impl Scheduler {
                                 worker,
                             },
                         });
+                        self.cancel_session_queue(request.session, request.id, events);
                     } else {
                         let shift = (request.attempts - 1).min(16);
                         request.not_before =
@@ -690,9 +714,39 @@ impl Scheduler {
                         session: request.session,
                         error: ServeError::Serving(error.clone()),
                     });
+                    self.cancel_session_queue(request.session, request.id, events);
                 }
             }
         }
+    }
+
+    /// Fails every still-queued request of `handle` with
+    /// [`ServeError::PredecessorFailed`] after request `failed` of the
+    /// same session failed terminally. Serving them would advance the
+    /// session across a gap in its stimulus stream; the session's state
+    /// itself is untouched (it sits at the last completed sample), so
+    /// the client resubmits from the failed chunk onward.
+    fn cancel_session_queue(
+        &mut self,
+        handle: SessionHandle,
+        failed: RequestId,
+        events: &mut Vec<Event>,
+    ) {
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        while let Some(request) = self.queue.pop_front() {
+            if request.session == handle {
+                self.queued_samples -= request.input.len();
+                self.note_dequeued(handle);
+                events.push(Event::Failed {
+                    request: request.id,
+                    session: handle,
+                    error: ServeError::PredecessorFailed { failed },
+                });
+            } else {
+                kept.push_back(request);
+            }
+        }
+        self.queue = kept;
     }
 
     fn put_back(&mut self, handle: SessionHandle, state: SimState, touch: Option<u64>) {
@@ -839,6 +893,55 @@ mod tests {
         // The session still serves.
         sched.submit(session, &[0.5; 4], 5, 10).unwrap();
         assert!(matches!(sched.tick(6)[0], Event::Completed { .. }));
+    }
+
+    #[test]
+    fn deadline_failure_cancels_later_chunks_of_same_session() {
+        let (mut sched, model) = one_model_scheduler(ServeConfig::default());
+        let dt = 1e-10;
+        let victim = sched.open_session(model, dt, 0).unwrap();
+        let bystander = sched.open_session(model, dt, 0).unwrap();
+        // victim's first chunk expires; its second is still in deadline
+        // but must be cancelled rather than served across the gap.
+        let r0 = sched.submit(victim, &[0.1; 3], 0, 3).unwrap();
+        let r1 = sched.submit(victim, &[0.2; 3], 0, 100).unwrap();
+        let r2 = sched.submit(bystander, &[0.3; 3], 0, 100).unwrap();
+        let events = sched.tick(4);
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            &events[0],
+            Event::Failed { request, error: ServeError::DeadlineExceeded { .. }, .. }
+                if *request == r0
+        ));
+        assert!(matches!(
+            &events[1],
+            Event::Failed { request, error: ServeError::PredecessorFailed { failed }, .. }
+                if *request == r1 && *failed == r0
+        ));
+        assert!(matches!(&events[2], Event::Completed { request, .. } if *request == r2));
+        assert_eq!(sched.samples(victim).unwrap(), 0, "no chunk was served across the gap");
+        assert_eq!(sched.queued_requests(), 0);
+        assert_eq!(sched.queued_samples(), 0);
+        // The session sits at the last completed sample; resubmitting
+        // the whole stream from there serves bit-identically.
+        let sim = Arc::clone(sched.registry().get(model).unwrap());
+        let u: Vec<f64> = (0..6).map(|i| 0.1 * (i + 1) as f64).collect();
+        let mut got = Vec::new();
+        let mut now = 5;
+        for chunk in u.chunks(3) {
+            sched.submit(victim, chunk, now, now + 10).unwrap();
+            now += 1;
+            for event in sched.tick(now) {
+                match event {
+                    Event::Completed { output, .. } => got.extend(output),
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+        }
+        let want = sim.simulate(dt, &u);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
     }
 
     #[test]

@@ -374,6 +374,108 @@ fn retries_exhausted_is_typed_and_commits_nothing() {
     assert_bits_eq(&outputs[&session], &sim.simulate(DT, &all), "post-RetriesExhausted stream");
 }
 
+/// Per-session FIFO survives retry backoff: while chunk N sits in
+/// backoff after a panicked round, chunk N+1 of the same session must
+/// wait with it — never be served first. (Regression: pick_eligible
+/// used to skip a backed-off request without blocking its session,
+/// serving chunk N+1 before chunk N and corrupting the stream.)
+#[test]
+fn retry_backoff_never_reorders_chunks_within_a_session() {
+    let _g = lock();
+    let cfg = ServeConfig {
+        retry_backoff_base: 4,
+        max_retries: 4,
+        rebuild_after_panics: 10,
+        ..Default::default()
+    };
+    let mut sched = Scheduler::new(registry(), cfg);
+    let model = sched.registry().id("a").expect("registered");
+    let session = sched.open_session(model, DT, 0).expect("open");
+    let sim = sched.registry().get(model).expect("model").clone();
+    let (c0, c1) = ([0.3, -0.1, 0.7, 0.2], [0.5, 0.4, -0.6, 0.9]);
+    let r0 = sched.submit(session, &c0, 0, 100).expect("submit r0");
+    let r1 = sched.submit(session, &c1, 0, 100).expect("submit r1");
+    chaos::arm_worker_panic();
+    assert!(sched.tick(1).is_empty(), "panicked round completes nothing");
+    // r0 is in backoff until tick 1 + (4 << 0) = 5. Until then the
+    // whole session must wait — r1 may not jump ahead.
+    let mut completions = Vec::new();
+    let mut output = Vec::new();
+    for now in 2..=8 {
+        for event in sched.tick(now) {
+            match event {
+                Event::Completed { request, output: out, .. } => {
+                    completions.push((now, request));
+                    output.extend(out);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+    assert_eq!(
+        completions.iter().map(|&(_, r)| r).collect::<Vec<_>>(),
+        vec![r0, r1],
+        "chunks must complete in submission order"
+    );
+    assert!(completions[0].0 >= 5, "r0 served no earlier than its backoff expiry");
+    let mut u = c0.to_vec();
+    u.extend(c1);
+    assert_bits_eq(&output, &sim.simulate(DT, &u), "stream across retry backoff");
+    assert_eq!(sched.samples(session).expect("live"), 8);
+}
+
+/// When a request exhausts its retries, the session's later queued
+/// chunks are cancelled (`PredecessorFailed`) instead of being served
+/// across the gap, and the session stays usable at the last completed
+/// sample.
+#[test]
+fn retries_exhausted_cancels_later_chunks_of_same_session() {
+    let _g = lock();
+    let cfg = ServeConfig {
+        retry_backoff_base: 1,
+        max_retries: 0,
+        rebuild_after_panics: 10,
+        ..Default::default()
+    };
+    let mut sched = Scheduler::new(registry(), cfg);
+    let model = sched.registry().id("a").expect("registered");
+    let session = sched.open_session(model, DT, 0).expect("open");
+    let sim = sched.registry().get(model).expect("model").clone();
+    let prefix = [0.2, -0.4, 0.6];
+    sched.submit(session, &prefix, 0, 50).expect("prefix");
+    let mut now = 0u64;
+    let mut outputs = BTreeMap::new();
+    drain(&mut sched, &mut now, &mut outputs);
+
+    chaos::arm_worker_panic();
+    let doomed = sched.submit(session, &[0.3; 4], now, now + 50).expect("doomed");
+    let tail_request = sched.submit(session, &[0.8; 4], now, now + 50).expect("tail");
+    now += 1;
+    let events = sched.tick(now);
+    assert_eq!(events.len(), 2);
+    assert!(matches!(
+        &events[0],
+        Event::Failed { request, error: ServeError::RetriesExhausted { .. }, .. }
+            if *request == doomed
+    ));
+    assert!(matches!(
+        &events[1],
+        Event::Failed { request, error: ServeError::PredecessorFailed { failed }, .. }
+            if *request == tail_request && *failed == doomed
+    ));
+    assert_eq!(sched.samples(session).expect("live"), 3, "nothing served across the gap");
+    assert_eq!(sched.queued_requests(), 0);
+    assert_eq!(sched.queued_samples(), 0);
+
+    // The stream resumes contiguously from the failure point.
+    let tail = [0.7, -0.2];
+    sched.submit(session, &tail, now, now + 50).expect("resubmit");
+    drain(&mut sched, &mut now, &mut outputs);
+    let mut all = prefix.to_vec();
+    all.extend(tail);
+    assert_bits_eq(&outputs[&session], &sim.simulate(DT, &all), "post-cancel stream");
+}
+
 /// The degraded serial path and the pooled path produce identical bits
 /// for identical submissions (invariant 6, direct A/B form).
 #[test]
