@@ -77,5 +77,5 @@ pub use rvf::{
 };
 pub use serving::{
     CompiledSim, ServingError, SessionChunk, SessionId, SessionSet, SimBuilder, SimState,
-    StreamingSession, BATCH_LANES,
+    StateCheckpoint, StreamingSession, BATCH_LANES,
 };

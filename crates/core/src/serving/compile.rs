@@ -338,6 +338,65 @@ impl CompiledSim {
         self.poles.len()
     }
 
+    /// A 64-bit fingerprint of the lowered serving tables (FNV-1a over
+    /// every table's exact bit pattern, excluding the runtime-only
+    /// thread request). Two compilations of the same model produce the
+    /// same fingerprint; any table difference — even an `f64` differing
+    /// only in its last bit — produces a different one with
+    /// overwhelming probability.
+    ///
+    /// This is the identity check of the durability layer: a serialized
+    /// scheduler snapshot records the fingerprint of every registry
+    /// model, and restore refuses a registry whose models do not match
+    /// bit for bit (restored streams could otherwise silently diverge).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.static_row);
+        h.write_usize(self.n_drives);
+        for row in &self.head {
+            for &v in row {
+                h.write_u64(v.to_bits());
+            }
+        }
+        for &v in &self.row_off {
+            h.write_usize(v);
+        }
+        for w in &self.term_w {
+            h.write_u64(w[0].to_bits());
+            h.write_u64(w[1].to_bits());
+        }
+        for &p in &self.term_pole {
+            h.write_usize(p);
+        }
+        for p in &self.poles {
+            h.write_u64(p.re.to_bits());
+            h.write_u64(p.im.to_bits());
+        }
+        for &d in &self.prow {
+            h.write_usize(d);
+        }
+        for &v in &self.pmat {
+            h.write_u64(v.to_bits());
+        }
+        h.write_usize(self.pdeg);
+        for &p in &self.pair {
+            h.write_u64(p as u64);
+        }
+        for &v in &self.sigma {
+            h.write_u64(v.to_bits());
+        }
+        for &v in &self.omega {
+            h.write_u64(v.to_bits());
+        }
+        for &d in &self.d1 {
+            h.write_usize(d);
+        }
+        for &d in &self.d2 {
+            h.write_usize(d);
+        }
+        h.finish()
+    }
+
     /// Appends the first-order-hold coefficients of every block for
     /// step `dt` to `out`, computed with the exact per-kind propagators
     /// of the reference loop. The caller owns the buffer, so a state
@@ -359,6 +418,32 @@ impl CompiledSim {
                 BlockCoef { er: p.e, ei: 0.0, g1r: p.g1, g1i: 0.0, g2r: p.g2, g2i: 0.0 }
             }
         }));
+    }
+}
+
+/// Minimal FNV-1a/64 used by [`CompiledSim::fingerprint`]. Each field
+/// is hashed byte by byte in a fixed order, so the fingerprint is
+/// stable across platforms (inputs are reduced to explicit widths
+/// before hashing — no `usize`-width dependence on the wire).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -456,6 +541,29 @@ mod tests {
         b.set_static_drive(s);
         b.block_real(-1.0e9, s);
         assert!(b.try_build().is_ok());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_table_sensitive() {
+        let build = |a: f64, slope: f64| {
+            let mut b = SimBuilder::new();
+            let s = b.drive_poly(&[0.0, slope]);
+            b.set_static_drive(s);
+            b.block_real(a, s);
+            b.build()
+        };
+        // Recompiling the same model reproduces the fingerprint exactly.
+        assert_eq!(build(-1.0e9, 1.0).fingerprint(), build(-1.0e9, 1.0).fingerprint());
+        // The runtime-only thread request is excluded.
+        assert_eq!(
+            build(-1.0e9, 1.0).with_threads(4).fingerprint(),
+            build(-1.0e9, 1.0).fingerprint()
+        );
+        // A last-bit table difference changes it.
+        let a = -1.0e9_f64;
+        let nudged = f64::from_bits(a.to_bits() ^ 1);
+        assert_ne!(build(a, 1.0).fingerprint(), build(nudged, 1.0).fingerprint());
+        assert_ne!(build(a, 1.0).fingerprint(), build(a, 2.0).fingerprint());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod state;
 
 pub use compile::{CompiledSim, SimBuilder};
 pub use session::{SessionChunk, SessionId, SessionSet, StreamingSession};
-pub use state::SimState;
+pub use state::{SimState, StateCheckpoint};
 
 use core::fmt;
 

@@ -225,6 +225,67 @@ impl SimState {
         self.started.fill(false);
         self.samples = 0;
     }
+
+    /// Exports this state as a plain-data [`StateCheckpoint`] — the
+    /// introspection seam a durability layer serializes. Only
+    /// single-lane states (the kind every public constructor hands out)
+    /// are exportable; the multi-lane group states are kernel-internal
+    /// scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::StateMismatch`] for a multi-lane internal state.
+    pub fn export(&self) -> Result<StateCheckpoint, ServingError> {
+        if self.lanes != 1 {
+            return Err(ServingError::StateMismatch);
+        }
+        Ok(StateCheckpoint {
+            shape: self.shape.map(|s| s as u64),
+            v0: self.v0.clone(),
+            sre: self.sre.clone(),
+            sim: self.sim.clone(),
+            uprev: self.uprev[0],
+            started: self.started[0],
+            samples: self.samples,
+            coef_dt: self.coef_dt,
+        })
+    }
+}
+
+/// Plain-data snapshot of a single-lane [`SimState`]: everything the
+/// kernel carries from one sample to the next, as exact bit patterns.
+/// Produced by [`SimState::export`], turned back into a live state by
+/// [`CompiledSim::import_state`]; a round trip through any byte-exact
+/// serialization resumes **bit-identically** — the fields are the
+/// complete per-sample carry of the kernel, nothing is approximated.
+///
+/// Scratch buffers (current-sample drives, log-feature and power-basis
+/// temporaries) are deliberately absent: they are overwritten before
+/// being read on every sample, so they are not state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateCheckpoint {
+    /// Model shape fingerprint `[n_drives, n_blocks, pole features,
+    /// pdeg]` — import refuses a mismatching model.
+    pub shape: [u64; 4],
+    /// Previous-sample drive values (one per drive row).
+    pub v0: Vec<f64>,
+    /// Block state, real components (one per block).
+    pub sre: Vec<f64>,
+    /// Block state, imaginary components (one per block).
+    pub sim: Vec<f64>,
+    /// Bit pattern of the last input that rebuilt the drives (the
+    /// drive-memo register).
+    pub uprev: u64,
+    /// Whether the lane has absorbed its first sample (a fresh lane
+    /// seeds the blocks at the DC point of its first input).
+    pub started: bool,
+    /// Samples absorbed so far.
+    pub samples: u64,
+    /// Propagator-cache key: bit pattern of the `dt` whose first-order-
+    /// hold coefficients were cached (`u64::MAX` = cache empty). Import
+    /// re-warms the cache from this key, so the first chunk after a
+    /// restore allocates nothing new.
+    pub coef_dt: u64,
 }
 
 /// The shape fingerprint [`SimState::matches`] compares.
@@ -529,6 +590,45 @@ impl CompiledSim {
         out
     }
 
+    /// Rebuilds a live [`SimState`] from a [`StateCheckpoint`] exported
+    /// earlier (possibly in another process). The restored state
+    /// continues **bit-identically** where the exported one stood:
+    /// every carried register is reloaded by exact bit pattern, scratch
+    /// buffers are rebuilt fresh, and the propagator cache is re-warmed
+    /// from the checkpoint's `dt` key so the first chunk after a
+    /// restore allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::StateMismatch`] when the checkpoint's shape
+    /// fingerprint or vector lengths do not match this model — a
+    /// checkpoint is only replayable into the model it was exported
+    /// from (or a shape-identical twin, the same rule
+    /// [`simulate_into`](CompiledSim::simulate_into) applies to
+    /// states).
+    pub fn import_state(&self, ckpt: &StateCheckpoint) -> Result<SimState, ServingError> {
+        let shape = shape_of(self);
+        if ckpt.shape != shape.map(|s| s as u64)
+            || ckpt.v0.len() != self.n_drives
+            || ckpt.sre.len() != self.n_blocks()
+            || ckpt.sim.len() != self.n_blocks()
+        {
+            return Err(ServingError::StateMismatch);
+        }
+        let mut state = SimState::for_lanes(self, 1);
+        state.v0.copy_from_slice(&ckpt.v0);
+        state.sre.copy_from_slice(&ckpt.sre);
+        state.sim.copy_from_slice(&ckpt.sim);
+        state.uprev[0] = ckpt.uprev;
+        state.started[0] = ckpt.started;
+        state.samples = ckpt.samples;
+        let dt = f64::from_bits(ckpt.coef_dt);
+        if ckpt.coef_dt != u64::MAX && dt_ok(dt) {
+            state.ensure_coef(self, dt);
+        }
+        Ok(state)
+    }
+
     /// Checked [`simulate`](CompiledSim::simulate): validates `dt` and
     /// the stimulus once per call and never panics.
     ///
@@ -701,6 +801,54 @@ mod tests {
         // Same-shape states interoperate (documented fingerprint check).
         let mut twin = other.new_state();
         sim.simulate_into(1e-10, &[1.0], &mut twin, &mut out).unwrap();
+    }
+
+    #[test]
+    fn export_import_resumes_bitwise() {
+        let sim = linear_real_sim(-1.7e9, 0.9);
+        let u: Vec<f64> = (0..48).map(|i| (i as f64 * 0.13).sin()).collect();
+        let dt = 3.0e-11;
+        let want = sim.simulate(dt, &u);
+        let mut state = sim.new_state();
+        let mut head = vec![0.0; 20];
+        sim.simulate_into(dt, &u[..20], &mut state, &mut head).unwrap();
+        let ckpt = state.export().unwrap();
+        assert_eq!(ckpt.samples, 20);
+        assert!(ckpt.started);
+        assert_eq!(ckpt.coef_dt, dt.to_bits(), "cache key travels with the checkpoint");
+        // Import into a *recompiled* twin and continue: still the bits
+        // of the uninterrupted run.
+        let mut resumed = sim.import_state(&ckpt).unwrap();
+        let mut tail = vec![0.0; 28];
+        sim.simulate_into(dt, &u[20..], &mut resumed, &mut tail).unwrap();
+        for (i, (g, w)) in head.iter().chain(&tail).zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "sample {i}");
+        }
+        // The round trip itself is lossless.
+        assert_eq!(sim.import_state(&ckpt).unwrap().export().unwrap(), ckpt);
+    }
+
+    #[test]
+    fn export_rejects_multi_lane_and_import_rejects_foreign_shapes() {
+        let sim = linear_real_sim(-1.0e9, 1.0);
+        let grouped = SimState::for_lanes(&sim, 2);
+        assert!(matches!(grouped.export(), Err(ServingError::StateMismatch)));
+
+        let ckpt = sim.new_state().export().unwrap();
+        assert_eq!(ckpt.coef_dt, u64::MAX, "fresh state has no cached dt");
+        let mut b = SimBuilder::new();
+        let s = b.drive_poly(&[0.0, 1.0]);
+        b.set_static_drive(s);
+        b.block_real(-1.0e9, s);
+        b.block_real(-2.0e9, s);
+        let bigger = b.build();
+        assert!(matches!(bigger.import_state(&ckpt), Err(ServingError::StateMismatch)));
+
+        // A checkpoint whose vectors lie about their lengths is refused
+        // even if the shape header matches.
+        let mut lying = ckpt.clone();
+        lying.sre.push(0.0);
+        assert!(matches!(sim.import_state(&lying), Err(ServingError::StateMismatch)));
     }
 
     use super::super::SimBuilder;

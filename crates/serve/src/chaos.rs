@@ -7,7 +7,7 @@
 //! proptests assert **bit-identical** recovery (`f64` `==`, not
 //! tolerances) after every injected failure.
 //!
-//! Four fault classes mirror the failure modes the scheduler must
+//! Five fault classes mirror the failure modes the scheduler must
 //! absorb:
 //!
 //! * [`Fault::WorkerPanic`] — the next batch round panics inside a
@@ -19,6 +19,10 @@
 //!   configured cap, exercising `ChunkTooLarge` shedding.
 //! * [`Fault::CloseSession`] — the client disappears mid-stream,
 //!   exercising queue purging and slot reuse.
+//! * [`Fault::CrashKill`] — the whole scheduler process dies (the
+//!   harness drops it, losing responses in flight) and is rebuilt from
+//!   its last [`snapshot`](crate::Scheduler::snapshot), exercising the
+//!   durability layer's restore-then-replay bit-identity guarantee.
 
 /// One injected fault, drawn by [`ChaosInjector::sample`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +36,9 @@ pub enum Fault {
     OversizedChunk,
     /// Close the session mid-stream, abandoning its queued work.
     CloseSession,
+    /// Kill the scheduler (process crash) and restore it from its last
+    /// snapshot, resubmitting whatever was in flight.
+    CrashKill,
 }
 
 /// Fault rates in permille (0–1000), checked in declaration order; the
@@ -48,6 +55,8 @@ pub struct ChaosConfig {
     pub oversized_chunk_permille: u16,
     /// Permille chance of [`Fault::CloseSession`] per draw.
     pub close_session_permille: u16,
+    /// Permille chance of [`Fault::CrashKill`] per draw.
+    pub crash_kill_permille: u16,
 }
 
 impl Default for ChaosConfig {
@@ -58,6 +67,7 @@ impl Default for ChaosConfig {
             bad_stimulus_permille: 0,
             oversized_chunk_permille: 0,
             close_session_permille: 0,
+            crash_kill_permille: 0,
         }
     }
 }
@@ -71,6 +81,7 @@ impl ChaosConfig {
             bad_stimulus_permille: permille,
             oversized_chunk_permille: permille,
             close_session_permille: permille,
+            crash_kill_permille: permille,
         }
     }
 }
@@ -104,7 +115,7 @@ impl ChaosInjector {
     }
 
     /// Draws at most one fault for the next operation, in the fixed
-    /// order panic → stimulus → oversize → close.
+    /// order panic → stimulus → oversize → close → crash.
     pub fn sample(&mut self) -> Option<Fault> {
         if self.roll(self.cfg.worker_panic_permille) {
             Some(Fault::WorkerPanic)
@@ -114,6 +125,8 @@ impl ChaosInjector {
             Some(Fault::OversizedChunk)
         } else if self.roll(self.cfg.close_session_permille) {
             Some(Fault::CloseSession)
+        } else if self.roll(self.cfg.crash_kill_permille) {
+            Some(Fault::CrashKill)
         } else {
             None
         }

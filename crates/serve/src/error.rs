@@ -5,6 +5,7 @@ use core::fmt;
 use rvf_core::ServingError;
 
 use crate::scheduler::RequestId;
+use crate::wire::WireError;
 
 /// Errors produced by the serving tier's admission and scheduling
 /// layer.
@@ -81,6 +82,29 @@ pub enum ServeError {
     /// A typed failure from the underlying serving runtime (bad
     /// stimulus, shape mismatch, …).
     Serving(ServingError),
+    /// A snapshot was offered to [`Scheduler::restore`](crate::Scheduler::restore)
+    /// against a registry whose same-index model differs (by name or by
+    /// compiled-table fingerprint) from the one the snapshot was taken
+    /// against. Restoring would silently serve every session of that
+    /// model against different tables, so nothing is committed.
+    RegistryMismatch {
+        /// Registry index that disagreed.
+        index: usize,
+        /// Model name recorded in the snapshot.
+        name: String,
+        /// Table fingerprint recorded in the snapshot.
+        fingerprint: u64,
+    },
+    /// Snapshot bytes decoded as a valid wire record but describe an
+    /// inconsistent scheduler (a queued request naming a dead session, a
+    /// free-list entry naming a live slot, …). Restore commits nothing.
+    SnapshotInvalid {
+        /// Which consistency check failed.
+        what: &'static str,
+    },
+    /// A wire-level encode/decode failure (bad magic, version,
+    /// checksum, truncation, lying length fields).
+    Wire(WireError),
 }
 
 impl fmt::Display for ServeError {
@@ -114,6 +138,15 @@ impl fmt::Display for ServeError {
                 failed.0
             ),
             Self::Serving(e) => write!(f, "serve: {e}"),
+            Self::RegistryMismatch { index, name, fingerprint } => write!(
+                f,
+                "serve: restore refused — registry slot {index} does not match snapshot \
+                 model {name:?} (fingerprint {fingerprint:#018x})"
+            ),
+            Self::SnapshotInvalid { what } => {
+                write!(f, "serve: restore refused — inconsistent snapshot: {what}")
+            }
+            Self::Wire(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -122,6 +155,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Serving(e) => Some(e),
+            Self::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -130,6 +164,12 @@ impl std::error::Error for ServeError {
 impl From<ServingError> for ServeError {
     fn from(e: ServingError) -> Self {
         Self::Serving(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
     }
 }
 
@@ -157,5 +197,18 @@ mod tests {
         let e = ServeError::from(ServingError::StateMismatch);
         assert!(e.source().is_some());
         assert_eq!(e, ServeError::Serving(ServingError::StateMismatch));
+        let m = ServeError::RegistryMismatch {
+            index: 2,
+            name: "buffer".to_string(),
+            fingerprint: 0xABCD,
+        };
+        assert!(m.to_string().contains("slot 2"));
+        assert!(m.to_string().contains("\"buffer\""));
+        assert!(ServeError::SnapshotInvalid { what: "free list names a live slot" }
+            .to_string()
+            .contains("free list"));
+        let w = ServeError::from(WireError::BadMagic { found: 0 });
+        assert!(w.source().is_some(), "wire errors keep their source");
+        assert!(w.to_string().contains("magic"));
     }
 }

@@ -59,7 +59,9 @@ pub mod chaos;
 mod error;
 mod registry;
 mod scheduler;
+pub mod wire;
 
 pub use error::ServeError;
 pub use registry::{ModelId, ModelRegistry};
 pub use scheduler::{Event, RequestId, Scheduler, ServeConfig, SessionHandle};
+pub use wire::{WireError, WireRecord};

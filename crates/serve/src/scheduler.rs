@@ -44,12 +44,16 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use rvf_core::serving::SessionChunk;
 use rvf_core::{ServingError, SimState};
 use rvf_numerics::SweepPool;
 
 use crate::error::ServeError;
 use crate::registry::{ModelId, ModelRegistry};
+use crate::wire::{
+    SchedulerSnapshot, SnapshotModel, SnapshotRequest, SnapshotSession, SnapshotSlot, WireRecord,
+};
 
 /// Stable handle to a live session. Handles are generation-tagged: a
 /// handle to a closed session stays invalid forever, even if its slot
@@ -82,7 +86,7 @@ pub struct RequestId(pub u64);
 
 /// Scheduler tuning knobs. Every limit is a robustness boundary — the
 /// defaults are deliberately small enough that tests exercise them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Maximum live sessions ([`ServeError::SessionLimit`] past it).
     pub max_sessions: usize,
@@ -462,6 +466,209 @@ impl Scheduler {
             session.last_activity = now;
         }
         Ok(id)
+    }
+
+    /// Serializes the whole scheduler — configuration, registry model
+    /// fingerprints, generation-tagged session slab, free list,
+    /// admission queue, retry/backoff state, and counters — into one
+    /// checksummed [`wire`](crate::wire) record. Everything lives on
+    /// the injected `u64` clock, so the snapshot is deterministic:
+    /// identical schedulers produce byte-identical snapshots, and
+    /// [`restore`](Scheduler::restore) + replay of the remaining work
+    /// is `f64`-bit-identical to never having crashed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SnapshotInvalid`] if a session's state is
+    /// currently riding a batch round (unreachable through the public
+    /// API — [`tick`](Scheduler::tick) always puts states back before
+    /// returning).
+    pub fn snapshot(&self) -> Result<Bytes, ServeError> {
+        let mut models = Vec::with_capacity(self.registry.len());
+        for (id, name) in self.registry.iter() {
+            let sim = self.registry.get(id)?;
+            models.push(SnapshotModel { name: name.to_string(), fingerprint: sim.fingerprint() });
+        }
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let session = match &slot.session {
+                None => None,
+                Some(s) => {
+                    let state = s.state.as_ref().ok_or(ServeError::SnapshotInvalid {
+                        what: "a session's state is riding a batch round",
+                    })?;
+                    Some(SnapshotSession {
+                        model: s.model.index() as u32,
+                        dt_bits: s.dt.to_bits(),
+                        last_activity: s.last_activity,
+                        state: state.export()?,
+                    })
+                }
+            };
+            slots.push(SnapshotSlot { generation: slot.generation, session });
+        }
+        let snap = SchedulerSnapshot {
+            cfg: self.cfg.clone(),
+            next_request: self.next_request,
+            rebuilds: self.rebuilds,
+            degraded: self.pool.is_none(),
+            models,
+            slots,
+            free: self.free.iter().map(|&i| i as u32).collect(),
+            queue: self
+                .queue
+                .iter()
+                .map(|r| SnapshotRequest {
+                    id: r.id.0,
+                    session: r.session.raw(),
+                    deadline: r.deadline,
+                    attempts: r.attempts,
+                    not_before: r.not_before,
+                    input: r.input.clone(),
+                })
+                .collect(),
+        };
+        Ok(WireRecord::Snapshot(snap).encode())
+    }
+
+    /// Rebuilds a scheduler from [`snapshot`](Scheduler::snapshot)
+    /// bytes against `registry`, which must carry — at the same indices
+    /// — the same models (by name *and* compiled-table fingerprint) the
+    /// snapshot was taken against; extra models appended past the
+    /// snapshot's are allowed. Session handles, request ids, queue
+    /// order, retry/backoff state, and every session's kernel state are
+    /// restored exactly, so resubmitting the in-flight work and ticking
+    /// on produces `f64`-bit-identical streams to an uninterrupted run.
+    ///
+    /// Restore is a constructor: on any error **nothing is committed**
+    /// (there is no scheduler to corrupt). A degraded scheduler is
+    /// restored degraded; otherwise a fresh pool is spawned.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Wire`] when the bytes are not a valid wire record,
+    /// [`ServeError::RegistryMismatch`] when a registry entry differs
+    /// from the snapshot's, [`ServeError::SnapshotInvalid`] when the
+    /// decoded snapshot is internally inconsistent, and a wrapped
+    /// [`ServingError`] when a session checkpoint does not fit its
+    /// model.
+    pub fn restore(bytes: &Bytes, registry: &ModelRegistry) -> Result<Self, ServeError> {
+        let WireRecord::Snapshot(snap) = WireRecord::decode(bytes)? else {
+            return Err(ServeError::SnapshotInvalid {
+                what: "the record is not a scheduler snapshot",
+            });
+        };
+        for (i, m) in snap.models.iter().enumerate() {
+            let id = ModelId(i);
+            let matches = registry.name(id) == Some(m.name.as_str())
+                && matches!(registry.get(id), Ok(sim) if sim.fingerprint() == m.fingerprint);
+            if !matches {
+                return Err(ServeError::RegistryMismatch {
+                    index: i,
+                    name: m.name.clone(),
+                    fingerprint: m.fingerprint,
+                });
+            }
+        }
+        let mut slots = Vec::with_capacity(snap.slots.len());
+        let mut live = 0;
+        for s in &snap.slots {
+            let session = match &s.session {
+                None => None,
+                Some(sess) => {
+                    let model = ModelId(sess.model as usize);
+                    if sess.model as usize >= snap.models.len() {
+                        return Err(ServeError::SnapshotInvalid {
+                            what: "a session references a model outside the snapshot registry",
+                        });
+                    }
+                    let sim = registry.get(model)?;
+                    let dt = f64::from_bits(sess.dt_bits);
+                    if !(dt.is_finite() && dt > 0.0) {
+                        return Err(ServeError::SnapshotInvalid {
+                            what: "a session's dt is not a positive finite number",
+                        });
+                    }
+                    let state = sim.import_state(&sess.state)?;
+                    live += 1;
+                    Some(Session {
+                        model,
+                        dt,
+                        state: Some(state),
+                        last_activity: sess.last_activity,
+                        queued: 0,
+                    })
+                }
+            };
+            slots.push(Slot { generation: s.generation, session });
+        }
+        let mut free = Vec::with_capacity(snap.free.len());
+        let mut in_free = vec![false; slots.len()];
+        for &i in &snap.free {
+            let i = i as usize;
+            if i >= slots.len() || slots[i].session.is_some() || in_free[i] {
+                return Err(ServeError::SnapshotInvalid {
+                    what: "a free-list entry does not name a distinct empty slot",
+                });
+            }
+            in_free[i] = true;
+            free.push(i);
+        }
+        if free.len() + live != slots.len() {
+            return Err(ServeError::SnapshotInvalid {
+                what: "the free list does not cover every empty slot",
+            });
+        }
+        let mut queue = VecDeque::with_capacity(snap.queue.len());
+        let mut queued_samples = 0usize;
+        for r in &snap.queue {
+            let handle = SessionHandle(r.session);
+            let index = handle.index();
+            let alive = slots.get(index).is_some_and(|slot| {
+                slot.generation == handle.generation() && slot.session.is_some()
+            });
+            if !alive {
+                return Err(ServeError::SnapshotInvalid {
+                    what: "a queued request references a dead session",
+                });
+            }
+            if r.id >= snap.next_request {
+                return Err(ServeError::SnapshotInvalid {
+                    what: "a queued request id is newer than the id counter",
+                });
+            }
+            if r.input.iter().any(|v| !v.is_finite()) {
+                return Err(ServeError::SnapshotInvalid {
+                    what: "a queued stimulus holds a non-finite sample",
+                });
+            }
+            queued_samples += r.input.len();
+            if let Some(session) = slots[index].session.as_mut() {
+                session.queued += 1;
+            }
+            queue.push_back(Request {
+                id: RequestId(r.id),
+                session: handle,
+                input: r.input.clone(),
+                deadline: r.deadline,
+                attempts: r.attempts,
+                not_before: r.not_before,
+            });
+        }
+        let pool = if snap.degraded { None } else { Some(SweepPool::new(snap.cfg.workers)) };
+        Ok(Self {
+            registry: Arc::new(registry.clone()),
+            cfg: snap.cfg,
+            slots,
+            free,
+            live,
+            queue,
+            queued_samples,
+            next_request: snap.next_request,
+            pool,
+            pool_panic_base: 0,
+            rebuilds: snap.rebuilds,
+        })
     }
 
     /// Runs one scheduling round at tick `now`: expires idle sessions
@@ -1008,6 +1215,130 @@ mod tests {
         assert!(matches!(&first[0], Event::Completed { request, .. } if *request == r0));
         let second = sched.tick(2);
         assert!(matches!(&second[0], Event::Completed { request, .. } if *request == r1));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identical_with_queue_and_handles() {
+        let (mut sched, model) = one_model_scheduler(ServeConfig::default());
+        let dt = 1e-10;
+        let sim = Arc::clone(sched.registry().get(model).unwrap());
+        let u: Vec<f64> = (0..40).map(|i| (i as f64 * 0.17).sin()).collect();
+        let want = sim.simulate(dt, &u);
+
+        // Serve the first half, leave the second half queued, then cut
+        // power (drop the scheduler) with work in flight.
+        let session = sched.open_session(model, dt, 0).unwrap();
+        let mut got_head = Vec::new();
+        for chunk in u[..20].chunks(5) {
+            sched.submit(session, chunk, 1, 100).unwrap();
+            for event in sched.tick(2) {
+                match event {
+                    Event::Completed { output, .. } => got_head.extend(output),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        sched.submit(session, &u[20..30], 3, 100).unwrap();
+        sched.submit(session, &u[30..], 3, 100).unwrap();
+        let bytes = sched.snapshot().unwrap();
+        drop(sched);
+
+        // Restore against a *recompiled* registry (same tables, new
+        // allocation) and drain the queued work.
+        let registry = ModelRegistry::build([("m".to_string(), tiny_model(-1.0e9))]);
+        let mut restored = Scheduler::restore(&bytes, &registry).unwrap();
+        assert_eq!(restored.live_sessions(), 1);
+        assert_eq!(restored.queued_requests(), 2);
+        assert_eq!(restored.queued_samples(), 20);
+        assert_eq!(restored.samples(session).unwrap(), 20, "old handles survive the restore");
+        let mut got_tail = Vec::new();
+        for now in 4..8 {
+            for event in restored.tick(now) {
+                match event {
+                    Event::Completed { output, .. } => got_tail.extend(output),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got_head.len() + got_tail.len(), want.len());
+        for (i, (g, w)) in got_head.iter().chain(&got_tail).zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "sample {i}");
+        }
+        // Request ids keep counting past the snapshot's — no collisions.
+        let r = restored.submit(session, &[0.5], 9, 100).unwrap();
+        assert!(r.0 >= 6);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_restore_is_lossless() {
+        let cfg = ServeConfig { idle_timeout: 50, ..Default::default() };
+        let (mut sched, model) = one_model_scheduler(cfg);
+        let a = sched.open_session(model, 1e-10, 0).unwrap();
+        let b = sched.open_session(model, 2e-10, 0).unwrap();
+        sched.submit(a, &[0.1; 4], 0, 30).unwrap();
+        sched.tick(1);
+        sched.close_session(b).unwrap();
+        sched.submit(a, &[0.2; 4], 2, 30).unwrap();
+        let bytes = sched.snapshot().unwrap();
+        assert_eq!(bytes, sched.snapshot().unwrap(), "snapshotting is read-only + deterministic");
+        // restore ∘ snapshot is the identity on the wire image.
+        let restored = Scheduler::restore(&bytes, sched.registry()).unwrap();
+        assert_eq!(restored.snapshot().unwrap(), bytes);
+        assert_eq!(restored.live_sessions(), 1);
+        assert_eq!(restored.pool_rebuilds(), 0);
+        assert!(!restored.is_degraded());
+        // The closed session's slot stays closed: its stale handle is
+        // refused by the restored scheduler too.
+        assert!(matches!(restored.checkpoint(b), Err(ServeError::UnknownSession { .. })));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_registry_and_garbage_typed() {
+        let (mut sched, model) = one_model_scheduler(ServeConfig::default());
+        let session = sched.open_session(model, 1e-10, 0).unwrap();
+        sched.submit(session, &[0.4; 3], 0, 50).unwrap();
+        let bytes = sched.snapshot().unwrap();
+
+        // Same name, different compiled tables -> fingerprint mismatch.
+        let retuned = ModelRegistry::build([("m".to_string(), tiny_model(-3.0e9))]);
+        assert!(matches!(
+            Scheduler::restore(&bytes, &retuned),
+            Err(ServeError::RegistryMismatch { index: 0, .. })
+        ));
+        // Same tables, different name.
+        let renamed = ModelRegistry::build([("other".to_string(), tiny_model(-1.0e9))]);
+        assert!(matches!(
+            Scheduler::restore(&bytes, &renamed),
+            Err(ServeError::RegistryMismatch { index: 0, .. })
+        ));
+        // Empty registry.
+        assert!(matches!(
+            Scheduler::restore(&bytes, &ModelRegistry::build([])),
+            Err(ServeError::RegistryMismatch { index: 0, .. })
+        ));
+        // Garbage bytes fail at the wire layer, typed.
+        assert!(matches!(
+            Scheduler::restore(&bytes::Bytes::from(vec![0u8; 40]), sched.registry()),
+            Err(ServeError::Wire(_))
+        ));
+        // A non-snapshot record is refused.
+        let wrong = WireRecord::Response(crate::wire::ResponseChunk {
+            session: 0,
+            request: 0,
+            samples: vec![],
+        })
+        .encode();
+        assert!(matches!(
+            Scheduler::restore(&wrong, sched.registry()),
+            Err(ServeError::SnapshotInvalid { .. })
+        ));
+        // A registry with extra models appended past the snapshot's is
+        // accepted — the snapshot's prefix is what must match.
+        let superset = ModelRegistry::build([
+            ("m".to_string(), tiny_model(-1.0e9)),
+            ("extra".to_string(), tiny_model(-2.0e9)),
+        ]);
+        assert!(Scheduler::restore(&bytes, &superset).is_ok());
     }
 
     #[test]

@@ -1,0 +1,816 @@
+//! Versioned, checksummed binary wire format for the durability layer.
+//!
+//! Everything the serving tier needs to persist or ship crosses this
+//! module as one of four record types, each framed identically:
+//!
+//! ```text
+//! ┌──────────────────────── 16-byte header ────────────────────────┐
+//! │ magic "RVFW" : u32 LE │ version : u16 │ kind : u8 │ rsvd : u8  │
+//! │ payload_len  : u64 LE                                          │
+//! ├──────────────────────── payload ───────────────────────────────┤
+//! │ kind-specific fields, little-endian, `f64`s as raw bit patterns│
+//! ├──────────────────────── trailer ───────────────────────────────┤
+//! │ checksum : u64 LE — FNV-1a over header + payload               │
+//! └────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`StimulusChunk`] (kind 1) — one submitted stimulus chunk.
+//! * [`ResponseChunk`] (kind 2) — one completed output chunk.
+//! * [`StateCheckpoint`] (kind 3) — a per-session kernel checkpoint
+//!   (re-exported from `rvf_core`; FOH registers, drive-memo bits,
+//!   started flag, propagator-cache key, shape fingerprint).
+//! * [`SchedulerSnapshot`] (kind 4) — the whole scheduler: registry
+//!   model fingerprints, generation-tagged session slab, admission
+//!   queue, retry/backoff and deadline state on the injected `u64`
+//!   clock.
+//!
+//! `f64`s travel as raw IEEE-754 bit patterns, so an encode → decode
+//! round trip is **bit-exact** — the property the tier's
+//! restore-then-replay guarantee is built on.
+//!
+//! # Totality
+//!
+//! [`WireRecord::decode`] is *total*: any byte string produces either a
+//! record or a typed [`WireError`] — never a panic, and never an
+//! allocation larger than the input itself (every length and count
+//! field is validated against [`Buf::remaining`] before a vector is
+//! sized). The decode-fuzz suite pins this by mutating valid records
+//! with truncations, bit flips, and lying length fields.
+//!
+//! Decode validates strictly in this order: truncated header →
+//! [`WireError::BadMagic`] → [`WireError::UnsupportedVersion`] →
+//! [`WireError::UnknownRecord`] → truncated payload/trailer →
+//! [`WireError::TrailingBytes`] → [`WireError::BadChecksum`] → payload
+//! parse errors. The wire layer checks *wire-level* sanity only;
+//! semantic validation of decoded values (model fingerprints, shape
+//! compatibility, live-session references) belongs to
+//! [`Scheduler::restore`](crate::Scheduler::restore) and
+//! [`CompiledSim::import_state`](rvf_core::CompiledSim::import_state).
+
+use core::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut, TryGetError};
+use rvf_core::StateCheckpoint;
+
+use crate::scheduler::ServeConfig;
+
+/// Wire magic: the bytes `RVFW`, read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"RVFW");
+
+/// Current wire-format version. Decoders reject every other value with
+/// [`WireError::UnsupportedVersion`]; bumping this is how incompatible
+/// layout changes are made loud instead of silent.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Record kind of a [`StimulusChunk`].
+pub const KIND_STIMULUS: u8 = 1;
+/// Record kind of a [`ResponseChunk`].
+pub const KIND_RESPONSE: u8 = 2;
+/// Record kind of a [`StateCheckpoint`].
+pub const KIND_CHECKPOINT: u8 = 3;
+/// Record kind of a [`SchedulerSnapshot`].
+pub const KIND_SNAPSHOT: u8 = 4;
+
+/// Bytes of the fixed record header (magic, version, kind, reserved,
+/// payload length).
+pub const HEADER_LEN: usize = 16;
+
+/// FNV-1a/64 over `bytes` — the record checksum. Exposed so tests can
+/// craft adversarial records whose checksums are *valid* (a lying
+/// length field must be caught by count validation, not saved by the
+/// checksum), and so external tooling can verify records it relays.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Typed decode failure. Every way a byte string can fail to be a
+/// record maps to exactly one of these — the decoder never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The first four bytes are not the `RVFW` magic.
+    BadMagic {
+        /// The magic actually read (little-endian).
+        found: u32,
+    },
+    /// The version field names a format this decoder does not speak.
+    UnsupportedVersion {
+        /// The version actually read.
+        found: u16,
+    },
+    /// The kind byte names no known record type.
+    UnknownRecord {
+        /// The kind actually read.
+        kind: u8,
+    },
+    /// The buffer ends before the structure it promises. Also produced
+    /// by every in-payload read that runs past the payload's end.
+    Truncated {
+        /// Bytes the structure needed.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The trailer checksum does not match the header + payload bytes.
+    BadChecksum {
+        /// Checksum recomputed from the received bytes.
+        expected: u64,
+        /// Checksum carried in the trailer.
+        found: u64,
+    },
+    /// The buffer continues past the end of the framed record.
+    TrailingBytes {
+        /// Bytes left over after the trailer.
+        extra: u64,
+    },
+    /// A count field promises more elements than the remaining payload
+    /// could possibly hold — rejected *before* any allocation, so a
+    /// lying count cannot OOM the decoder.
+    BadCount {
+        /// Which count field lied.
+        what: &'static str,
+        /// The count it claimed.
+        count: u64,
+        /// Payload bytes actually remaining.
+        available: u64,
+    },
+    /// A field holds a value that cannot be represented (a flag byte
+    /// that is neither 0 nor 1, a non-UTF-8 model name, a size field
+    /// exceeding this platform's `usize`, a payload shorter than its
+    /// declared length).
+    Malformed {
+        /// What was malformed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { found } => write!(f, "wire: bad magic {found:#010x}"),
+            Self::UnsupportedVersion { found } => {
+                write!(f, "wire: unsupported format version {found}")
+            }
+            Self::UnknownRecord { kind } => write!(f, "wire: unknown record kind {kind}"),
+            Self::Truncated { needed, available } => {
+                write!(f, "wire: truncated record ({needed} bytes needed, {available} available)")
+            }
+            Self::BadChecksum { expected, found } => {
+                write!(
+                    f,
+                    "wire: checksum mismatch (computed {expected:#018x}, stored {found:#018x})"
+                )
+            }
+            Self::TrailingBytes { extra } => {
+                write!(f, "wire: {extra} bytes trailing after the record")
+            }
+            Self::BadCount { what, count, available } => write!(
+                f,
+                "wire: {what} count {count} exceeds the {available} remaining payload bytes"
+            ),
+            Self::Malformed { what } => write!(f, "wire: malformed record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<TryGetError> for WireError {
+    fn from(e: TryGetError) -> Self {
+        Self::Truncated { needed: e.requested as u64, available: e.available as u64 }
+    }
+}
+
+/// One submitted stimulus chunk in transit (kind 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StimulusChunk {
+    /// Raw session handle the chunk belongs to.
+    pub session: u64,
+    /// Raw request id assigned at admission.
+    pub request: u64,
+    /// Absolute-tick deadline the chunk was submitted with.
+    pub deadline: u64,
+    /// The stimulus samples.
+    pub samples: Vec<f64>,
+}
+
+/// One completed output chunk in transit (kind 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseChunk {
+    /// Raw session handle the chunk belongs to.
+    pub session: u64,
+    /// Raw request id the output answers.
+    pub request: u64,
+    /// The output samples, one per input sample, bit-exact.
+    pub samples: Vec<f64>,
+}
+
+/// One registry entry as captured in a [`SchedulerSnapshot`]: the name
+/// a model was registered under and its table fingerprint.
+/// [`Scheduler::restore`](crate::Scheduler::restore) refuses a registry
+/// whose same-index entry differs in either.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotModel {
+    /// Registered model name.
+    pub name: String,
+    /// [`CompiledSim::fingerprint`](rvf_core::CompiledSim::fingerprint)
+    /// of the compiled tables.
+    pub fingerprint: u64,
+}
+
+/// One live session inside a [`SnapshotSlot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSession {
+    /// Registry index of the session's model.
+    pub model: u32,
+    /// Bit pattern of the session's sample step.
+    pub dt_bits: u64,
+    /// Tick of the session's last activity (idle-expiry clock).
+    pub last_activity: u64,
+    /// The session's kernel state.
+    pub state: StateCheckpoint,
+}
+
+/// One slot of the generation-tagged session slab.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSlot {
+    /// Slot generation — restored exactly so pre-snapshot
+    /// [`SessionHandle`](crate::SessionHandle)s stay valid (and stale
+    /// ones stay invalid) across a restore.
+    pub generation: u32,
+    /// The live session, or `None` for a free slot.
+    pub session: Option<SnapshotSession>,
+}
+
+/// One admitted request waiting in the queue, FIFO position preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotRequest {
+    /// Raw request id.
+    pub id: u64,
+    /// Raw handle of the session the chunk belongs to.
+    pub session: u64,
+    /// Absolute-tick deadline.
+    pub deadline: u64,
+    /// Panicked-round attempts so far (retry accounting).
+    pub attempts: u32,
+    /// Earliest tick the request may be served (retry backoff).
+    pub not_before: u64,
+    /// The stimulus samples.
+    pub input: Vec<f64>,
+}
+
+/// The whole scheduler as plain data (kind 4): configuration, registry
+/// fingerprints, session slab, free list, admission queue, and
+/// counters. Produced by [`Scheduler::snapshot`](crate::Scheduler::snapshot),
+/// consumed by [`Scheduler::restore`](crate::Scheduler::restore);
+/// everything is on the injected `u64` clock, so a snapshot is
+/// deterministic and two snapshots of identical schedulers are
+/// byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerSnapshot {
+    /// Scheduler limits and tuning knobs.
+    pub cfg: ServeConfig,
+    /// Next request id to assign (restored exactly so ids never
+    /// collide across a crash).
+    pub next_request: u64,
+    /// Pool rebuilds performed so far (degradation ladder position).
+    pub rebuilds: u64,
+    /// Whether the scheduler had degraded to the serial path.
+    pub degraded: bool,
+    /// Registry entries the snapshot was taken against, in index order.
+    pub models: Vec<SnapshotModel>,
+    /// The session slab, in slot order.
+    pub slots: Vec<SnapshotSlot>,
+    /// Free-slot stack, in pop order — restored exactly so session
+    /// handles assigned after a restore match an uninterrupted run.
+    pub free: Vec<u32>,
+    /// The admission queue, front first.
+    pub queue: Vec<SnapshotRequest>,
+}
+
+/// A decoded wire record of any kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRecord {
+    /// A stimulus chunk (kind 1).
+    Stimulus(StimulusChunk),
+    /// A response chunk (kind 2).
+    Response(ResponseChunk),
+    /// A session kernel checkpoint (kind 3).
+    Checkpoint(StateCheckpoint),
+    /// A full scheduler snapshot (kind 4).
+    Snapshot(SchedulerSnapshot),
+}
+
+impl WireRecord {
+    /// The record's kind byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Self::Stimulus(_) => KIND_STIMULUS,
+            Self::Response(_) => KIND_RESPONSE,
+            Self::Checkpoint(_) => KIND_CHECKPOINT,
+            Self::Snapshot(_) => KIND_SNAPSHOT,
+        }
+    }
+
+    /// Encodes the record into a framed, checksummed byte string.
+    /// Encoding is infallible: every field of every record type is
+    /// representable, and the 64-bit length field cannot overflow an
+    /// in-memory buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut p = BytesMut::new();
+        match self {
+            Self::Stimulus(c) => {
+                p.put_u64_le(c.session);
+                p.put_u64_le(c.request);
+                p.put_u64_le(c.deadline);
+                put_f64_vec(&mut p, &c.samples);
+            }
+            Self::Response(c) => {
+                p.put_u64_le(c.session);
+                p.put_u64_le(c.request);
+                put_f64_vec(&mut p, &c.samples);
+            }
+            Self::Checkpoint(c) => put_checkpoint(&mut p, c),
+            Self::Snapshot(s) => put_snapshot(&mut p, s),
+        }
+        frame(self.kind(), p.freeze())
+    }
+
+    /// Decodes one framed record, validating magic, version, kind,
+    /// framing lengths, and checksum before touching the payload. See
+    /// the module docs for the exact validation order.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] naming the first check that failed; on any error
+    /// nothing is allocated beyond what the input's own length can
+    /// justify.
+    pub fn decode(bytes: &Bytes) -> Result<Self, WireError> {
+        let total = bytes.remaining();
+        let mut cur = bytes.clone();
+        let magic = cur.try_get_u32_le()?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic { found: magic });
+        }
+        let version = cur.try_get_u16_le()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion { found: version });
+        }
+        let kind = cur.try_get_u8()?;
+        if !(KIND_STIMULUS..=KIND_SNAPSHOT).contains(&kind) {
+            return Err(WireError::UnknownRecord { kind });
+        }
+        if cur.try_get_u8()? != 0 {
+            return Err(WireError::Malformed { what: "nonzero reserved header byte" });
+        }
+        let payload_len = cur.try_get_u64_le()?;
+        let needed = payload_len.saturating_add(HEADER_LEN as u64 + 8);
+        if (total as u64) < needed {
+            return Err(WireError::Truncated { needed, available: total as u64 });
+        }
+        if (total as u64) > needed {
+            return Err(WireError::TrailingBytes { extra: total as u64 - needed });
+        }
+        // total == needed, so the payload length fits in usize.
+        let plen = payload_len as usize;
+        let expected = checksum64(bytes.slice(0..HEADER_LEN + plen).as_ref());
+        let mut trailer = bytes.slice(HEADER_LEN + plen..total);
+        let found = trailer.try_get_u64_le()?;
+        if found != expected {
+            return Err(WireError::BadChecksum { expected, found });
+        }
+        let mut p = bytes.slice(HEADER_LEN..HEADER_LEN + plen);
+        let record = match kind {
+            KIND_STIMULUS => Self::Stimulus(StimulusChunk {
+                session: p.try_get_u64_le()?,
+                request: p.try_get_u64_le()?,
+                deadline: p.try_get_u64_le()?,
+                samples: get_f64_vec(&mut p, "stimulus samples")?,
+            }),
+            KIND_RESPONSE => Self::Response(ResponseChunk {
+                session: p.try_get_u64_le()?,
+                request: p.try_get_u64_le()?,
+                samples: get_f64_vec(&mut p, "response samples")?,
+            }),
+            KIND_CHECKPOINT => Self::Checkpoint(get_checkpoint(&mut p)?),
+            _ => Self::Snapshot(get_snapshot(&mut p)?),
+        };
+        if p.remaining() != 0 {
+            return Err(WireError::Malformed { what: "payload longer than its record contents" });
+        }
+        Ok(record)
+    }
+}
+
+/// Frames a finished payload: header + payload + FNV-1a trailer.
+fn frame(kind: u8, payload: Bytes) -> Bytes {
+    let mut body = BytesMut::with_capacity(HEADER_LEN + payload.len() + 8);
+    body.put_u32_le(MAGIC);
+    body.put_u16_le(WIRE_VERSION);
+    body.put_u8(kind);
+    body.put_u8(0);
+    body.put_u64_le(payload.len() as u64);
+    body.put_slice(payload.as_ref());
+    let body = body.freeze();
+    let sum = checksum64(body.as_ref());
+    let mut full = BytesMut::with_capacity(body.len() + 8);
+    full.put_slice(body.as_ref());
+    full.put_u64_le(sum);
+    full.freeze()
+}
+
+/// Rejects a count field that promises more elements (of at least
+/// `min_elem` bytes each) than the remaining payload holds — *before*
+/// the caller allocates for it.
+fn check_count(
+    count: usize,
+    min_elem: usize,
+    available: usize,
+    what: &'static str,
+) -> Result<(), WireError> {
+    match count.checked_mul(min_elem) {
+        Some(need) if need <= available => Ok(()),
+        _ => Err(WireError::BadCount { what, count: count as u64, available: available as u64 }),
+    }
+}
+
+fn put_f64_vec(b: &mut BytesMut, v: &[f64]) {
+    b.put_u32_le(v.len() as u32);
+    for &x in v {
+        b.put_f64_le(x);
+    }
+}
+
+fn get_f64_vec(cur: &mut Bytes, what: &'static str) -> Result<Vec<f64>, WireError> {
+    let count = cur.try_get_u32_le()? as usize;
+    check_count(count, 8, cur.remaining(), what)?;
+    let mut v = Vec::with_capacity(count);
+    for _ in 0..count {
+        v.push(cur.try_get_f64_le()?);
+    }
+    Ok(v)
+}
+
+fn put_string(b: &mut BytesMut, s: &str) {
+    b.put_u32_le(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_string(cur: &mut Bytes, what: &'static str) -> Result<String, WireError> {
+    let len = cur.try_get_u32_le()? as usize;
+    check_count(len, 1, cur.remaining(), what)?;
+    let mut raw = vec![0u8; len];
+    cur.try_copy_to_slice(&mut raw)?;
+    String::from_utf8(raw).map_err(|_| WireError::Malformed { what: "non-UTF-8 string" })
+}
+
+fn get_bool(cur: &mut Bytes, what: &'static str) -> Result<bool, WireError> {
+    match cur.try_get_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Malformed { what }),
+    }
+}
+
+fn get_usize(cur: &mut Bytes, what: &'static str) -> Result<usize, WireError> {
+    usize::try_from(cur.try_get_u64_le()?).map_err(|_| WireError::Malformed { what })
+}
+
+fn put_checkpoint(b: &mut BytesMut, c: &StateCheckpoint) {
+    for s in c.shape {
+        b.put_u64_le(s);
+    }
+    b.put_u64_le(c.uprev);
+    b.put_u8(c.started as u8);
+    b.put_u64_le(c.samples);
+    b.put_u64_le(c.coef_dt);
+    put_f64_vec(b, &c.v0);
+    put_f64_vec(b, &c.sre);
+    put_f64_vec(b, &c.sim);
+}
+
+fn get_checkpoint(cur: &mut Bytes) -> Result<StateCheckpoint, WireError> {
+    let mut shape = [0u64; 4];
+    for s in &mut shape {
+        *s = cur.try_get_u64_le()?;
+    }
+    let uprev = cur.try_get_u64_le()?;
+    let started = get_bool(cur, "checkpoint started flag must be 0 or 1")?;
+    let samples = cur.try_get_u64_le()?;
+    let coef_dt = cur.try_get_u64_le()?;
+    let v0 = get_f64_vec(cur, "checkpoint drive vector")?;
+    let sre = get_f64_vec(cur, "checkpoint block state (re)")?;
+    let sim = get_f64_vec(cur, "checkpoint block state (im)")?;
+    Ok(StateCheckpoint { shape, v0, sre, sim, uprev, started, samples, coef_dt })
+}
+
+fn put_snapshot(b: &mut BytesMut, s: &SchedulerSnapshot) {
+    let cfg = &s.cfg;
+    b.put_u64_le(cfg.max_sessions as u64);
+    b.put_u64_le(cfg.max_queued_requests as u64);
+    b.put_u64_le(cfg.max_queued_samples as u64);
+    b.put_u64_le(cfg.max_chunk_samples as u64);
+    b.put_u64_le(cfg.idle_timeout);
+    b.put_u64_le(cfg.retry_backoff_base);
+    b.put_u32_le(cfg.max_retries);
+    b.put_u64_le(cfg.rebuild_after_panics);
+    b.put_u64_le(cfg.degrade_after_rebuilds);
+    b.put_u64_le(cfg.workers as u64);
+    b.put_u64_le(s.next_request);
+    b.put_u64_le(s.rebuilds);
+    b.put_u8(s.degraded as u8);
+    b.put_u32_le(s.models.len() as u32);
+    for m in &s.models {
+        b.put_u64_le(m.fingerprint);
+        put_string(b, &m.name);
+    }
+    b.put_u32_le(s.slots.len() as u32);
+    for slot in &s.slots {
+        b.put_u32_le(slot.generation);
+        match &slot.session {
+            None => b.put_u8(0),
+            Some(sess) => {
+                b.put_u8(1);
+                b.put_u32_le(sess.model);
+                b.put_u64_le(sess.dt_bits);
+                b.put_u64_le(sess.last_activity);
+                put_checkpoint(b, &sess.state);
+            }
+        }
+    }
+    b.put_u32_le(s.free.len() as u32);
+    for &i in &s.free {
+        b.put_u32_le(i);
+    }
+    b.put_u32_le(s.queue.len() as u32);
+    for r in &s.queue {
+        b.put_u64_le(r.id);
+        b.put_u64_le(r.session);
+        b.put_u64_le(r.deadline);
+        b.put_u32_le(r.attempts);
+        b.put_u64_le(r.not_before);
+        put_f64_vec(b, &r.input);
+    }
+}
+
+fn get_snapshot(cur: &mut Bytes) -> Result<SchedulerSnapshot, WireError> {
+    let cfg = ServeConfig {
+        max_sessions: get_usize(cur, "max_sessions exceeds platform usize")?,
+        max_queued_requests: get_usize(cur, "max_queued_requests exceeds platform usize")?,
+        max_queued_samples: get_usize(cur, "max_queued_samples exceeds platform usize")?,
+        max_chunk_samples: get_usize(cur, "max_chunk_samples exceeds platform usize")?,
+        idle_timeout: cur.try_get_u64_le()?,
+        retry_backoff_base: cur.try_get_u64_le()?,
+        max_retries: cur.try_get_u32_le()?,
+        rebuild_after_panics: cur.try_get_u64_le()?,
+        degrade_after_rebuilds: cur.try_get_u64_le()?,
+        workers: get_usize(cur, "workers exceeds platform usize")?,
+    };
+    let next_request = cur.try_get_u64_le()?;
+    let rebuilds = cur.try_get_u64_le()?;
+    let degraded = get_bool(cur, "degraded flag must be 0 or 1")?;
+
+    let n_models = cur.try_get_u32_le()? as usize;
+    // Minimum per model: fingerprint (8) + name length (4).
+    check_count(n_models, 12, cur.remaining(), "registry models")?;
+    let mut models = Vec::with_capacity(n_models);
+    for _ in 0..n_models {
+        let fingerprint = cur.try_get_u64_le()?;
+        let name = get_string(cur, "model name")?;
+        models.push(SnapshotModel { name, fingerprint });
+    }
+
+    let n_slots = cur.try_get_u32_le()? as usize;
+    // Minimum per slot: generation (4) + session flag (1).
+    check_count(n_slots, 5, cur.remaining(), "session slots")?;
+    let mut slots = Vec::with_capacity(n_slots);
+    for _ in 0..n_slots {
+        let generation = cur.try_get_u32_le()?;
+        let session = if get_bool(cur, "session flag must be 0 or 1")? {
+            Some(SnapshotSession {
+                model: cur.try_get_u32_le()?,
+                dt_bits: cur.try_get_u64_le()?,
+                last_activity: cur.try_get_u64_le()?,
+                state: get_checkpoint(cur)?,
+            })
+        } else {
+            None
+        };
+        slots.push(SnapshotSlot { generation, session });
+    }
+
+    let n_free = cur.try_get_u32_le()? as usize;
+    check_count(n_free, 4, cur.remaining(), "free slots")?;
+    let mut free = Vec::with_capacity(n_free);
+    for _ in 0..n_free {
+        free.push(cur.try_get_u32_le()?);
+    }
+
+    let n_queue = cur.try_get_u32_le()? as usize;
+    // Minimum per request: id + session + deadline + not_before (8×4),
+    // attempts (4), sample count (4).
+    check_count(n_queue, 40, cur.remaining(), "queued requests")?;
+    let mut queue = Vec::with_capacity(n_queue);
+    for _ in 0..n_queue {
+        queue.push(SnapshotRequest {
+            id: cur.try_get_u64_le()?,
+            session: cur.try_get_u64_le()?,
+            deadline: cur.try_get_u64_le()?,
+            attempts: cur.try_get_u32_le()?,
+            not_before: cur.try_get_u64_le()?,
+            input: get_f64_vec(cur, "queued request samples")?,
+        });
+    }
+
+    Ok(SchedulerSnapshot { cfg, next_request, rebuilds, degraded, models, slots, free, queue })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkpoint() -> StateCheckpoint {
+        StateCheckpoint {
+            shape: [2, 1, 1, 0],
+            v0: vec![0.25, -1.5],
+            sre: vec![3.0e-3],
+            sim: vec![-0.0],
+            uprev: 0.25f64.to_bits(),
+            started: true,
+            samples: 17,
+            coef_dt: 1.0e-10f64.to_bits(),
+        }
+    }
+
+    fn snapshot() -> SchedulerSnapshot {
+        SchedulerSnapshot {
+            cfg: ServeConfig { max_retries: 5, workers: 2, ..Default::default() },
+            next_request: 42,
+            rebuilds: 1,
+            degraded: false,
+            models: vec![
+                SnapshotModel { name: "lowpass".into(), fingerprint: 0xDEAD_BEEF },
+                SnapshotModel { name: "".into(), fingerprint: 7 },
+            ],
+            slots: vec![
+                SnapshotSlot {
+                    generation: 3,
+                    session: Some(SnapshotSession {
+                        model: 1,
+                        dt_bits: 1.0e-10f64.to_bits(),
+                        last_activity: 40,
+                        state: checkpoint(),
+                    }),
+                },
+                SnapshotSlot { generation: 1, session: None },
+            ],
+            free: vec![1],
+            queue: vec![SnapshotRequest {
+                id: 41,
+                session: (3u64 << 32) | 0,
+                deadline: 99,
+                attempts: 2,
+                not_before: 44,
+                input: vec![0.1, 0.2, 0.3],
+            }],
+        }
+    }
+
+    #[test]
+    fn all_four_records_round_trip_bit_exact() {
+        let records = [
+            WireRecord::Stimulus(StimulusChunk {
+                session: 9,
+                request: 1,
+                deadline: 100,
+                samples: vec![0.0, -0.0, 1.5e-300, f64::MIN_POSITIVE],
+            }),
+            WireRecord::Response(ResponseChunk { session: 9, request: 1, samples: vec![] }),
+            WireRecord::Checkpoint(checkpoint()),
+            WireRecord::Snapshot(snapshot()),
+        ];
+        for record in records {
+            let bytes = record.encode();
+            let back = WireRecord::decode(&bytes).expect("round trip decodes");
+            assert_eq!(back, record);
+            assert_eq!(back.kind(), record.kind());
+            // -0.0 vs 0.0 travel as distinct bit patterns.
+            if let (WireRecord::Stimulus(a), WireRecord::Stimulus(b)) = (&back, &record) {
+                for (x, y) in a.samples.iter().zip(&b.samples) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn header_validation_order() {
+        let good = WireRecord::Response(ResponseChunk { session: 1, request: 2, samples: vec![] })
+            .encode();
+        let raw = good.as_ref().to_vec();
+
+        // Too short for even the magic.
+        assert!(matches!(
+            WireRecord::decode(&Bytes::from(vec![0x52, 0x56])),
+            Err(WireError::Truncated { .. })
+        ));
+        // Bad magic wins over everything after it.
+        let mut bad = raw.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(WireRecord::decode(&Bytes::from(bad)), Err(WireError::BadMagic { .. })));
+        // Wrong version (checksum not consulted yet).
+        let mut bad = raw.clone();
+        bad[4] = 0xFF;
+        assert!(matches!(
+            WireRecord::decode(&Bytes::from(bad)),
+            Err(WireError::UnsupportedVersion { found: 0xFF })
+        ));
+        // Unknown kind.
+        let mut bad = raw.clone();
+        bad[6] = 200;
+        assert!(matches!(
+            WireRecord::decode(&Bytes::from(bad)),
+            Err(WireError::UnknownRecord { kind: 200 })
+        ));
+        // Nonzero reserved byte.
+        let mut bad = raw.clone();
+        bad[7] = 1;
+        assert!(matches!(WireRecord::decode(&Bytes::from(bad)), Err(WireError::Malformed { .. })));
+        // Truncated trailer.
+        let cut = Bytes::from(raw[..raw.len() - 3].to_vec());
+        assert!(matches!(WireRecord::decode(&cut), Err(WireError::Truncated { .. })));
+        // Trailing garbage.
+        let mut long = raw.clone();
+        long.push(0);
+        assert!(matches!(
+            WireRecord::decode(&Bytes::from(long)),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
+        // Flipped payload bit -> checksum mismatch.
+        let mut bad = raw.clone();
+        bad[HEADER_LEN] ^= 0x10;
+        assert!(matches!(
+            WireRecord::decode(&Bytes::from(bad)),
+            Err(WireError::BadChecksum { .. })
+        ));
+        // The original still decodes.
+        assert!(WireRecord::decode(&good).is_ok());
+    }
+
+    #[test]
+    fn lying_count_field_is_rejected_before_allocation() {
+        // A response chunk claiming u32::MAX samples in a tiny payload,
+        // with a *valid* checksum: the count check must catch it.
+        let mut p = BytesMut::new();
+        p.put_u64_le(1);
+        p.put_u64_le(2);
+        p.put_u32_le(u32::MAX);
+        let bytes = frame(KIND_RESPONSE, p.freeze());
+        assert!(matches!(
+            WireRecord::decode(&bytes),
+            Err(WireError::BadCount { what: "response samples", .. })
+        ));
+    }
+
+    #[test]
+    fn payload_longer_than_contents_is_rejected() {
+        // Valid response payload plus 4 spare zero bytes inside the
+        // declared payload length (checksum valid): decode must notice
+        // the leftovers.
+        let mut p = BytesMut::new();
+        p.put_u64_le(1);
+        p.put_u64_le(2);
+        p.put_u32_le(0);
+        p.put_u32_le(0);
+        let bytes = frame(KIND_RESPONSE, p.freeze());
+        assert!(matches!(WireRecord::decode(&bytes), Err(WireError::Malformed { .. })));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        for (e, needle) in [
+            (WireError::BadMagic { found: 1 }, "magic"),
+            (WireError::UnsupportedVersion { found: 9 }, "version 9"),
+            (WireError::UnknownRecord { kind: 77 }, "kind 77"),
+            (WireError::Truncated { needed: 24, available: 3 }, "24"),
+            (WireError::BadChecksum { expected: 1, found: 2 }, "checksum"),
+            (WireError::TrailingBytes { extra: 5 }, "5 bytes trailing"),
+            (WireError::BadCount { what: "x", count: 9, available: 1 }, "count 9"),
+            (WireError::Malformed { what: "nope" }, "nope"),
+        ] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn checksum_is_fnv1a() {
+        // Pinned reference values of FNV-1a/64.
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

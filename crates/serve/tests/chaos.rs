@@ -2,7 +2,8 @@
 //!
 //! Every test here drives a [`Scheduler`] through seeded injected
 //! faults (worker panics, NaN/∞ stimulus, oversized chunks, mid-stream
-//! closes) and asserts the tier's robustness contract:
+//! closes, whole-process kill–restores) and asserts the tier's
+//! robustness contract:
 //!
 //! 1. no panic escapes the public API,
 //! 2. a rejected or failed request commits no session state,
@@ -92,7 +93,8 @@ struct Client {
 }
 
 /// One full chaos storm at a given seed: three concurrent clients over
-/// two models, ~48 operations with every fault class live at 12% each.
+/// two models, ~48 operations with every fault class live at 12% each
+/// — including whole-process kill–restore through the durability layer.
 fn storm(seed: u64) {
     let cfg = ServeConfig {
         max_chunk_samples: 16,
@@ -192,6 +194,34 @@ fn storm(seed: u64) {
                 // The tier keeps admitting after the fault (invariant 4).
                 let c = open(&mut sched, &mut inj, now);
                 clients.push(c);
+            }
+            Some(Fault::CrashKill) => {
+                // Power-cut at a random point: snapshot, then a submit
+                // whose response is lost with the process, then restore
+                // from the snapshot bytes and resubmit the lost chunk.
+                let snap = sched.snapshot().expect("snapshot");
+                sched
+                    .submit(clients[who].session, &chunk, now, now + 200)
+                    .expect("submit before kill");
+                now += 1;
+                let _lost_with_the_process = sched.tick(now);
+                drop(sched);
+                sched = Scheduler::restore(&snap, &registry()).expect("restore");
+                assert_eq!(
+                    sched.snapshot().expect("re-snapshot"),
+                    snap,
+                    "restore ∘ snapshot must be the identity on the wire image"
+                );
+                assert_eq!(
+                    sched.samples(clients[who].session).expect("restored session"),
+                    before,
+                    "the restored session sits exactly at the pre-crash sample"
+                );
+                sched
+                    .submit(clients[who].session, &chunk, now, now + 200)
+                    .expect("resubmit after restore");
+                drain(&mut sched, &mut now, &mut outputs);
+                clients[who].accepted.extend(&chunk);
             }
             None | Some(_) => {
                 sched.submit(clients[who].session, &chunk, now, now + 200).expect("clean submit");
@@ -512,4 +542,105 @@ fn degraded_serial_output_matches_pooled_bit_for_bit() {
     }
     assert!(serial.is_degraded() && !pooled.is_degraded());
     assert_bits_eq(&results[1], &results[0], "serial vs pooled");
+}
+
+/// One kill–restore pass: the same two-session workload is run twice —
+/// uninterrupted, and killed at a seeded random round with admitted
+/// work still queued, restored from the snapshot bytes, and drained.
+/// Both runs must produce bit-identical per-session streams, and a
+/// restore against a mismatched registry must fail typed, committing
+/// nothing.
+fn kill_restore_at_seed(seed: u64) {
+    let cfg = ServeConfig { max_chunk_samples: 16, ..Default::default() };
+    let mut inj = ChaosInjector::new(ChaosConfig { seed, ..ChaosConfig::default() });
+
+    // Seeded workload: 8 rounds, each submitting one chunk per session.
+    let rounds: Vec<Vec<Vec<f64>>> = (0..8)
+        .map(|_| {
+            (0..2)
+                .map(|_| {
+                    let n = 1 + inj.pick(12);
+                    (0..n).map(|_| (inj.pick(2001) as f64 - 1000.0) / 1000.0).collect()
+                })
+                .collect()
+        })
+        .collect();
+    let kill_round = inj.pick(rounds.len() - 1);
+
+    let run = |kill_at: Option<usize>| -> Vec<Vec<f64>> {
+        let mut sched = Scheduler::new(registry(), cfg.clone());
+        let ids = ["a", "b"].map(|name| sched.registry().id(name).expect("registered"));
+        let sessions = ids.map(|id| sched.open_session(id, DT, 0).expect("open"));
+        let mut now = 1u64;
+        let mut outputs: BTreeMap<SessionHandle, Vec<f64>> = BTreeMap::new();
+        let mut round = 0;
+        while round < rounds.len() {
+            if kill_at == Some(round) {
+                // Admit this round's and the next round's chunks, then
+                // kill with all of them still queued: the snapshot must
+                // carry the non-empty admission queue across the crash.
+                for r in [round, round + 1] {
+                    for (s, chunk) in sessions.iter().zip(&rounds[r]) {
+                        sched.submit(*s, chunk, now, now + 200).expect("submit before kill");
+                    }
+                }
+                let snap = sched.snapshot().expect("snapshot");
+                drop(sched);
+
+                // A mismatched registry is refused typed; the snapshot
+                // bytes are untouched and restore against the right
+                // registry still works (nothing was committed).
+                let wrong = ModelRegistry::build([
+                    ("a".to_string(), model(1.0)),
+                    ("b".to_string(), model(9.9)),
+                ]);
+                assert!(matches!(
+                    Scheduler::restore(&snap, &wrong),
+                    Err(ServeError::RegistryMismatch { index: 1, .. })
+                ));
+
+                sched = Scheduler::restore(&snap, &registry()).expect("restore");
+                assert_eq!(sched.queued_requests(), 4, "queued work survives the crash");
+                drain(&mut sched, &mut now, &mut outputs);
+                round += 2;
+            } else {
+                for (s, chunk) in sessions.iter().zip(&rounds[round]) {
+                    sched.submit(*s, chunk, now, now + 200).expect("submit");
+                }
+                drain(&mut sched, &mut now, &mut outputs);
+                round += 1;
+            }
+            now += 1;
+        }
+        sessions.iter().map(|s| outputs.remove(s).expect("session produced output")).collect()
+    };
+
+    let uninterrupted = run(None);
+    let killed = run(Some(kill_round));
+    for (i, (k, u)) in killed.iter().zip(&uninterrupted).enumerate() {
+        assert_bits_eq(k, u, &format!("session {i}: killed+restored vs uninterrupted"));
+    }
+}
+
+/// The kill–restore chaos class in its strongest form: scheduler killed
+/// at a seeded random round with a non-empty admission queue, restored
+/// from snapshot bytes, remaining work replayed — streams bit-identical
+/// to never having crashed (pinned seeds, release-mode CI).
+#[test]
+fn kill_restore_replays_bit_identically() {
+    let _g = lock();
+    for seed in [0x0C1A_0515, 0xFEED_5EED, 0xDA7E_2013] {
+        kill_restore_at_seed(seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized kill–restore: any seed must replay bit-identically.
+    #[test]
+    fn kill_restore_bit_identity_holds_for_random_seeds(seed in 1u64..(1u64 << 48)) {
+        let _g = lock();
+        kill_restore_at_seed(seed);
+    }
 }

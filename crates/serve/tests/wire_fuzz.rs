@@ -1,0 +1,453 @@
+//! Decode-fuzz suite for the durability wire format.
+//!
+//! Pins the decoder's *totality* contract: any byte string — truncated
+//! at every boundary, bit-flipped, or crafted with lying length/count
+//! fields behind a **valid** checksum — produces a typed
+//! [`WireError`], never a panic and never an allocation the input's
+//! own length cannot justify. Round-trip properties pin the other
+//! direction: `decode(encode(x)) == x` bit-exactly for random records,
+//! random kernel checkpoints, and full scheduler snapshots.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use proptest::prelude::*;
+use rvf_core::{CompiledSim, SimBuilder, StateCheckpoint};
+use rvf_serve::wire::{
+    checksum64, ResponseChunk, SchedulerSnapshot, SnapshotModel, SnapshotRequest, SnapshotSession,
+    SnapshotSlot, StimulusChunk, WireError, WireRecord, HEADER_LEN, KIND_CHECKPOINT, KIND_SNAPSHOT,
+    KIND_STIMULUS, MAGIC, WIRE_VERSION,
+};
+use rvf_serve::{ModelRegistry, Scheduler, ServeConfig};
+
+/// Seeded xorshift64* for mutation positions (independent of the
+/// proptest shim's own RNG so mutation counts are explicit).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn model() -> CompiledSim {
+    let mut b = SimBuilder::new();
+    let stat = b.drive_poly(&[0.0, 0.8, 0.02]);
+    let d = b.drive_poly(&[0.0, 1.0, 0.1]);
+    b.set_static_drive(stat);
+    b.block_real(-1.0e9, d);
+    b.block_pair(-0.5e9, 2.0e9, d, stat);
+    b.build()
+}
+
+/// A realistic checkpoint: an actual mid-stream kernel state.
+fn live_checkpoint() -> StateCheckpoint {
+    let sim = model();
+    let mut state = sim.new_state();
+    let u: Vec<f64> = (0..13).map(|i| (i as f64 * 0.31).sin()).collect();
+    let mut out = vec![0.0; u.len()];
+    sim.simulate_into(1.0e-10, &u, &mut state, &mut out).expect("stream");
+    state.export().expect("export")
+}
+
+/// A realistic snapshot: an actual scheduler with served and queued
+/// work.
+fn live_snapshot_bytes() -> Bytes {
+    let registry = ModelRegistry::build([("m".to_string(), model())]);
+    let mut sched = Scheduler::new(registry, ServeConfig::default());
+    let id = sched.registry().id("m").expect("registered");
+    let s0 = sched.open_session(id, 1.0e-10, 0).expect("open");
+    let s1 = sched.open_session(id, 2.0e-10, 0).expect("open");
+    sched.submit(s0, &[0.1, 0.2, 0.3], 0, 100).expect("submit");
+    sched.tick(1);
+    sched.submit(s0, &[0.4; 5], 2, 100).expect("submit");
+    sched.submit(s1, &[-0.2; 2], 2, 100).expect("submit");
+    sched.close_session(s1).expect("close");
+    sched.snapshot().expect("snapshot")
+}
+
+/// One valid encoded exemplar of every record kind.
+fn exemplars() -> Vec<(&'static str, Bytes)> {
+    vec![
+        (
+            "stimulus",
+            WireRecord::Stimulus(StimulusChunk {
+                session: 0x0000_0003_0000_0001,
+                request: 41,
+                deadline: 99,
+                samples: vec![0.25, -0.5, 1.0e-12, -0.0],
+            })
+            .encode(),
+        ),
+        (
+            "response",
+            WireRecord::Response(ResponseChunk {
+                session: 7,
+                request: 8,
+                samples: vec![3.25, f64::MIN_POSITIVE],
+            })
+            .encode(),
+        ),
+        ("checkpoint", WireRecord::Checkpoint(live_checkpoint()).encode()),
+        ("snapshot", live_snapshot_bytes()),
+    ]
+}
+
+/// Frames an arbitrary payload with a *valid* checksum — the tool for
+/// crafting records whose only lie is an inner length/count field.
+fn frame_raw(kind: u8, version: u16, payload: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(HEADER_LEN + payload.len() + 8);
+    b.put_u32_le(MAGIC);
+    b.put_u16_le(version);
+    b.put_u8(kind);
+    b.put_u8(0);
+    b.put_u64_le(payload.len() as u64);
+    b.put_slice(payload);
+    let body = b.freeze();
+    let sum = checksum64(body.as_ref());
+    let mut full = BytesMut::with_capacity(body.len() + 8);
+    full.put_slice(body.as_ref());
+    full.put_u64_le(sum);
+    full.freeze()
+}
+
+#[test]
+fn truncation_at_every_boundary_is_typed() {
+    for (what, bytes) in exemplars() {
+        let raw = bytes.as_ref();
+        for len in 0..raw.len() {
+            let cut = Bytes::from(raw[..len].to_vec());
+            match WireRecord::decode(&cut) {
+                Err(_) => {}
+                Ok(_) => panic!("{what}: {len}-byte prefix of a {}-byte record decoded", raw.len()),
+            }
+        }
+        assert!(WireRecord::decode(&bytes).is_ok(), "{what}: the untruncated record decodes");
+    }
+}
+
+#[test]
+fn wrong_magic_version_and_kind_are_typed() {
+    for (what, bytes) in exemplars() {
+        let raw = bytes.as_ref();
+        let mut m = raw.to_vec();
+        m[0] = m[0].wrapping_add(1);
+        assert!(
+            matches!(WireRecord::decode(&Bytes::from(m)), Err(WireError::BadMagic { .. })),
+            "{what}"
+        );
+        let mut v = raw.to_vec();
+        v[4] = 0x7F;
+        assert!(
+            matches!(
+                WireRecord::decode(&Bytes::from(v)),
+                Err(WireError::UnsupportedVersion { .. })
+            ),
+            "{what}"
+        );
+        let mut k = raw.to_vec();
+        k[6] = 0;
+        assert!(
+            matches!(
+                WireRecord::decode(&Bytes::from(k)),
+                Err(WireError::UnknownRecord { kind: 0 })
+            ),
+            "{what}"
+        );
+        // A future version is rejected even with a recomputed checksum:
+        // version gates before payload parsing.
+        let plen = raw.len() - HEADER_LEN - 8;
+        let future = frame_raw(raw[6], WIRE_VERSION + 1, &raw[HEADER_LEN..HEADER_LEN + plen]);
+        assert!(
+            matches!(WireRecord::decode(&future), Err(WireError::UnsupportedVersion { .. })),
+            "{what}"
+        );
+    }
+}
+
+#[test]
+fn lying_count_fields_with_valid_checksums_cannot_oom() {
+    // For every record kind, a payload whose first count/length field
+    // claims ~4 billion elements behind a perfectly valid checksum.
+    // `BadCount` must fire before any allocation is sized from it.
+    let mut stim = BytesMut::new();
+    stim.put_u64_le(1);
+    stim.put_u64_le(2);
+    stim.put_u64_le(3);
+    stim.put_u32_le(u32::MAX);
+    let mut resp = BytesMut::new();
+    resp.put_u64_le(1);
+    resp.put_u64_le(2);
+    resp.put_u32_le(u32::MAX);
+    let mut ckpt = BytesMut::new();
+    for _ in 0..4 {
+        ckpt.put_u64_le(1);
+    }
+    ckpt.put_u64_le(0);
+    ckpt.put_u8(1);
+    ckpt.put_u64_le(0);
+    ckpt.put_u64_le(u64::MAX);
+    ckpt.put_u32_le(u32::MAX); // v0 count lies
+    let mut snap = BytesMut::new();
+    for _ in 0..6 {
+        snap.put_u64_le(1); // cfg u64 fields
+    }
+    snap.put_u32_le(1); // max_retries
+    snap.put_u64_le(1);
+    snap.put_u64_le(1);
+    snap.put_u64_le(1);
+    snap.put_u64_le(0); // next_request
+    snap.put_u64_le(0); // rebuilds
+    snap.put_u8(0); // degraded
+    snap.put_u32_le(u32::MAX); // model count lies
+    for (kind, payload) in [
+        (KIND_STIMULUS, stim),
+        (rvf_serve::wire::KIND_RESPONSE, resp),
+        (KIND_CHECKPOINT, ckpt),
+        (KIND_SNAPSHOT, snap),
+    ] {
+        let bytes = frame_raw(kind, WIRE_VERSION, payload.freeze().as_ref());
+        assert!(
+            matches!(WireRecord::decode(&bytes), Err(WireError::BadCount { .. })),
+            "kind {kind}: lying count must be rejected before allocation"
+        );
+    }
+}
+
+#[test]
+fn lying_payload_length_is_typed() {
+    for (what, bytes) in exemplars() {
+        let raw = bytes.as_ref();
+        let plen = raw.len() - HEADER_LEN - 8;
+        let payload = &raw[HEADER_LEN..HEADER_LEN + plen];
+        // Declared length one past the actual payload: the trailer
+        // bytes get absorbed into the "payload" and the buffer comes up
+        // short.
+        let mut b = BytesMut::new();
+        b.put_u32_le(MAGIC);
+        b.put_u16_le(WIRE_VERSION);
+        b.put_u8(raw[6]);
+        b.put_u8(0);
+        b.put_u64_le(plen as u64 + 1);
+        b.put_slice(payload);
+        let body = b.freeze();
+        let sum = checksum64(body.as_ref());
+        let mut full = BytesMut::new();
+        full.put_slice(body.as_ref());
+        full.put_u64_le(sum);
+        assert!(
+            matches!(WireRecord::decode(&full.freeze()), Err(WireError::Truncated { .. })),
+            "{what}: inflated payload_len"
+        );
+        // Declared length one short: the spare byte trails the record.
+        if plen > 0 {
+            let mut b = BytesMut::new();
+            b.put_u32_le(MAGIC);
+            b.put_u16_le(WIRE_VERSION);
+            b.put_u8(raw[6]);
+            b.put_u8(0);
+            b.put_u64_le(plen as u64 - 1);
+            b.put_slice(payload);
+            let body = b.freeze();
+            let sum = checksum64(body.as_ref());
+            let mut full = BytesMut::new();
+            full.put_slice(body.as_ref());
+            full.put_u64_le(sum);
+            assert!(
+                matches!(WireRecord::decode(&full.freeze()), Err(WireError::TrailingBytes { .. })),
+                "{what}: deflated payload_len"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ≥ 256 random bit-flip mutations per record type (32 cases × 8
+    /// mutations): every mutant decodes to a typed error — or, when the
+    /// flips happen to cancel, to the original record. Never a panic.
+    #[test]
+    fn random_bit_flips_decode_typed(seed in 1u64..(1u64 << 48)) {
+        let mut rng = Rng::new(seed);
+        for (what, bytes) in exemplars() {
+            let raw = bytes.as_ref();
+            for _ in 0..8 {
+                let mut mutant = raw.to_vec();
+                for _ in 0..1 + rng.below(4) {
+                    let bit = rng.below(mutant.len() * 8);
+                    mutant[bit / 8] ^= 1 << (bit % 8);
+                }
+                let unchanged = mutant == raw;
+                match WireRecord::decode(&Bytes::from(mutant)) {
+                    Err(_) => {}
+                    Ok(_) => prop_assert!(
+                        unchanged,
+                        "{what}: a mutated record decoded successfully"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Random truncations and random trailing garbage on top of the
+    /// exhaustive boundary sweep: still typed.
+    #[test]
+    fn random_reframings_decode_typed(seed in 1u64..(1u64 << 48)) {
+        let mut rng = Rng::new(seed);
+        for (_what, bytes) in exemplars() {
+            let raw = bytes.as_ref();
+            let cut = rng.below(raw.len());
+            prop_assert!(WireRecord::decode(&Bytes::from(raw[..cut].to_vec())).is_err());
+            let mut long = raw.to_vec();
+            long.extend(std::iter::repeat(0xA5).take(1 + rng.below(9)));
+            let got = WireRecord::decode(&Bytes::from(long));
+            let trailing = matches!(got, Err(WireError::TrailingBytes { .. }));
+            prop_assert!(trailing, "expected TrailingBytes, got {:?}", got);
+        }
+    }
+
+    /// Pure-noise buffers decode typed.
+    #[test]
+    fn random_garbage_decodes_typed(seed in 1u64..(1u64 << 48)) {
+        let mut rng = Rng::new(seed);
+        let len = rng.below(200);
+        let noise: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        prop_assert!(WireRecord::decode(&Bytes::from(noise)).is_err());
+    }
+
+    /// Round trip on random stimulus/response records, including NaN
+    /// and ±∞ payload samples: the wire layer carries raw bit patterns,
+    /// so re-encoding the decoded record reproduces the exact bytes.
+    #[test]
+    fn random_chunks_round_trip_bit_exact(seed in 1u64..(1u64 << 48)) {
+        let mut rng = Rng::new(seed);
+        let mut samples: Vec<f64> = (0..rng.below(24))
+            .map(|_| f64::from_bits(rng.next()))
+            .collect();
+        samples.push(f64::NAN);
+        samples.push(f64::NEG_INFINITY);
+        let records = [
+            WireRecord::Stimulus(StimulusChunk {
+                session: rng.next(),
+                request: rng.next(),
+                deadline: rng.next(),
+                samples: samples.clone(),
+            }),
+            WireRecord::Response(ResponseChunk {
+                session: rng.next(),
+                request: rng.next(),
+                samples,
+            }),
+        ];
+        for record in records {
+            let encoded = record.encode();
+            let decoded = WireRecord::decode(&encoded);
+            prop_assert!(decoded.is_ok());
+            if let Ok(back) = decoded {
+                prop_assert_eq!(back.encode(), encoded);
+            }
+        }
+    }
+
+    /// Round trip on random (even shape-inconsistent) checkpoints and
+    /// hand-built snapshots: `decode(encode(x)) == x`. Semantic
+    /// validation is `import_state`/`restore`'s job, not the wire's.
+    #[test]
+    fn random_checkpoints_and_snapshots_round_trip(seed in 1u64..(1u64 << 48)) {
+        let mut rng = Rng::new(seed);
+        let ckpt = StateCheckpoint {
+            shape: [rng.below(5) as u64, rng.below(5) as u64, rng.next() % 4, rng.next() % 3],
+            v0: (0..rng.below(6)).map(|_| f64::from_bits(rng.next())).collect(),
+            sre: (0..rng.below(6)).map(|_| f64::from_bits(rng.next())).collect(),
+            sim: (0..rng.below(6)).map(|_| f64::from_bits(rng.next())).collect(),
+            uprev: rng.next(),
+            started: rng.next() % 2 == 0,
+            samples: rng.next(),
+            coef_dt: rng.next(),
+        };
+        let snap = SchedulerSnapshot {
+            cfg: ServeConfig {
+                max_sessions: rng.below(1 << 20),
+                idle_timeout: rng.next(),
+                ..ServeConfig::default()
+            },
+            next_request: rng.next(),
+            rebuilds: rng.next() % 8,
+            degraded: rng.next() % 2 == 0,
+            models: vec![SnapshotModel { name: "αβγ-model".to_string(), fingerprint: rng.next() }],
+            slots: vec![
+                SnapshotSlot { generation: rng.next() as u32, session: None },
+                SnapshotSlot {
+                    generation: rng.next() as u32,
+                    session: Some(SnapshotSession {
+                        model: 0,
+                        dt_bits: rng.next(),
+                        last_activity: rng.next(),
+                        state: ckpt.clone(),
+                    }),
+                },
+            ],
+            free: vec![0],
+            queue: vec![SnapshotRequest {
+                id: rng.next(),
+                session: rng.next(),
+                deadline: rng.next(),
+                attempts: rng.next() as u32,
+                not_before: rng.next(),
+                input: (0..rng.below(8)).map(|_| f64::from_bits(rng.next())).collect(),
+            }],
+        };
+        for record in [WireRecord::Checkpoint(ckpt), WireRecord::Snapshot(snap)] {
+            let encoded = record.encode();
+            let decoded = WireRecord::decode(&encoded);
+            prop_assert!(decoded.is_ok());
+            if let Ok(back) = decoded {
+                prop_assert_eq!(back.encode(), encoded);
+            }
+        }
+    }
+
+    /// End to end on random models and states: a kernel state shipped
+    /// through the wire (export → encode → decode → import) continues
+    /// bit-identically to the state that never left the process.
+    #[test]
+    fn checkpoints_of_random_models_resume_bitwise(
+        a in -3.0e9..-0.2e9f64,
+        gain in 0.2..2.0f64,
+        cut in 1usize..40,
+    ) {
+        let mut b = SimBuilder::new();
+        let s = b.drive_poly(&[0.0, gain, 0.05]);
+        b.set_static_drive(s);
+        b.block_real(a, s);
+        let sim = b.build();
+        let dt = 1.0e-10;
+        let u: Vec<f64> = (0..40).map(|i| (i as f64 * 0.23).sin()).collect();
+        let want = sim.simulate(dt, &u);
+        let mut state = sim.new_state();
+        let mut head = vec![0.0; cut];
+        sim.simulate_into(dt, &u[..cut], &mut state, &mut head).expect("head");
+        let bytes = WireRecord::Checkpoint(state.export().expect("export")).encode();
+        let Ok(WireRecord::Checkpoint(ckpt)) = WireRecord::decode(&bytes) else {
+            panic!("checkpoint failed to round trip");
+        };
+        let mut resumed = sim.import_state(&ckpt).expect("import");
+        let mut tail = vec![0.0; 40 - cut];
+        sim.simulate_into(dt, &u[cut..], &mut resumed, &mut tail).expect("tail");
+        for (i, (g, w)) in head.iter().chain(&tail).zip(&want).enumerate() {
+            prop_assert_eq!(g.to_bits(), w.to_bits(), "sample {}", i);
+        }
+    }
+}

@@ -2,10 +2,13 @@
 //!
 //! The build image has no crates.io access, so the workspace vendors the
 //! small slice of the `bytes` API that `rvf-circuit`'s snapshot
-//! serialization uses: [`Bytes`], [`BytesMut`], and the little-endian
-//! `get_*`/`put_*` accessors of [`Buf`] / [`BufMut`]. Semantics follow
-//! the upstream crate (reads panic past the end; guard with
-//! [`Buf::remaining`]).
+//! serialization and `rvf-serve`'s wire format use: [`Bytes`],
+//! [`BytesMut`], and the little-endian `get_*`/`put_*` accessors of
+//! [`Buf`] / [`BufMut`]. Semantics follow the upstream crate: the plain
+//! getters panic past the end (guard with [`Buf::remaining`]), while the
+//! `try_get_*` family (upstream ≥ 1.9) returns a typed [`TryGetError`]
+//! instead — decoders of untrusted input use those so corrupt buffers
+//! can never panic.
 //!
 //! [`bytes`]: https://docs.rs/bytes
 
@@ -113,6 +116,29 @@ impl BytesMut {
     }
 }
 
+/// Error of the checked `try_get_*` accessors: the read wanted more
+/// bytes than the buffer holds. Mirrors upstream `bytes::TryGetError`
+/// (added in bytes 1.9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryGetError {
+    /// Bytes the accessor needed.
+    pub requested: usize,
+    /// Bytes actually remaining.
+    pub available: usize,
+}
+
+impl std::fmt::Display for TryGetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bytes: read of {} bytes requested, only {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for TryGetError {}
+
 /// Read access to a byte cursor (subset of `bytes::Buf`).
 pub trait Buf {
     /// Bytes remaining between the cursor and the end of the buffer.
@@ -131,6 +157,22 @@ pub trait Buf {
         v
     }
 
+    /// Reads a little-endian `u16` (panics when fewer than 2 bytes remain).
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u32` (panics when fewer than 4 bytes remain).
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
     /// Reads a little-endian `u64` (panics when fewer than 8 bytes remain).
     fn get_u64_le(&mut self) -> u64 {
         let mut raw = [0u8; 8];
@@ -142,6 +184,66 @@ pub trait Buf {
     /// Reads a little-endian `f64` (panics when fewer than 8 bytes remain).
     fn get_f64_le(&mut self) -> f64 {
         f64::from_bits(self.get_u64_le())
+    }
+
+    /// Copies `dst.len()` bytes into `dst` (panics when fewer remain).
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Checked [`get_u8`](Buf::get_u8): `Err` instead of a panic when
+    /// the buffer is exhausted, leaving the cursor untouched.
+    fn try_get_u8(&mut self) -> Result<u8, TryGetError> {
+        self.try_check(1)?;
+        Ok(self.get_u8())
+    }
+
+    /// Checked [`get_u16_le`](Buf::get_u16_le): `Err` instead of a
+    /// panic, cursor untouched on failure.
+    fn try_get_u16_le(&mut self) -> Result<u16, TryGetError> {
+        self.try_check(2)?;
+        Ok(self.get_u16_le())
+    }
+
+    /// Checked [`get_u32_le`](Buf::get_u32_le): `Err` instead of a
+    /// panic, cursor untouched on failure.
+    fn try_get_u32_le(&mut self) -> Result<u32, TryGetError> {
+        self.try_check(4)?;
+        Ok(self.get_u32_le())
+    }
+
+    /// Checked [`get_u64_le`](Buf::get_u64_le): `Err` instead of a
+    /// panic, cursor untouched on failure.
+    fn try_get_u64_le(&mut self) -> Result<u64, TryGetError> {
+        self.try_check(8)?;
+        Ok(self.get_u64_le())
+    }
+
+    /// Checked [`get_f64_le`](Buf::get_f64_le): `Err` instead of a
+    /// panic, cursor untouched on failure.
+    fn try_get_f64_le(&mut self) -> Result<f64, TryGetError> {
+        Ok(f64::from_bits(self.try_get_u64_le()?))
+    }
+
+    /// Checked [`copy_to_slice`](Buf::copy_to_slice): `Err` instead of
+    /// a panic when fewer than `dst.len()` bytes remain, cursor and
+    /// `dst` untouched on failure.
+    fn try_copy_to_slice(&mut self, dst: &mut [u8]) -> Result<(), TryGetError> {
+        self.try_check(dst.len())?;
+        self.copy_to_slice(dst);
+        Ok(())
+    }
+
+    /// Shared bounds check of the `try_get_*` family.
+    #[doc(hidden)]
+    fn try_check(&self, requested: usize) -> Result<(), TryGetError> {
+        let available = self.remaining();
+        if available < requested {
+            Err(TryGetError { requested, available })
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -168,6 +270,16 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u64`.
@@ -210,6 +322,65 @@ mod tests {
         assert_eq!(cut.len(), 8);
         let mut cut = cut;
         assert_eq!(cut.get_f64_le(), -1.5);
+    }
+
+    #[test]
+    fn widths_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(0xBEEF);
+        b.put_u32_le(0xDEAD_BEEF);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 6);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn try_getters_succeed_like_the_panicking_ones() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(300);
+        b.put_u32_le(70_000);
+        b.put_u64_le(1 << 40);
+        b.put_f64_le(-2.25);
+        b.put_slice(&[1, 2, 3]);
+        let mut r = b.freeze();
+        assert_eq!(r.try_get_u8(), Ok(7));
+        assert_eq!(r.try_get_u16_le(), Ok(300));
+        assert_eq!(r.try_get_u32_le(), Ok(70_000));
+        assert_eq!(r.try_get_u64_le(), Ok(1 << 40));
+        assert_eq!(r.try_get_f64_le(), Ok(-2.25));
+        let mut dst = [0u8; 3];
+        assert_eq!(r.try_copy_to_slice(&mut dst), Ok(()));
+        assert_eq!(dst, [1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn try_getters_report_exhaustion_without_panicking_or_advancing() {
+        // One spare byte: every multi-byte read must fail typed and
+        // leave the cursor (and the byte) exactly where they were.
+        let mut r = Bytes::from(vec![0x5Au8]);
+        assert_eq!(r.try_get_u16_le(), Err(TryGetError { requested: 2, available: 1 }));
+        assert_eq!(r.try_get_u32_le(), Err(TryGetError { requested: 4, available: 1 }));
+        assert_eq!(r.try_get_u64_le(), Err(TryGetError { requested: 8, available: 1 }));
+        assert_eq!(r.try_get_f64_le(), Err(TryGetError { requested: 8, available: 1 }));
+        let mut dst = [0u8; 4];
+        assert_eq!(r.try_copy_to_slice(&mut dst), Err(TryGetError { requested: 4, available: 1 }));
+        assert_eq!(dst, [0; 4], "failed copy leaves dst untouched");
+        assert_eq!(r.remaining(), 1, "failed reads do not advance");
+        assert_eq!(r.try_get_u8(), Ok(0x5A));
+        assert_eq!(r.try_get_u8(), Err(TryGetError { requested: 1, available: 0 }));
+        assert!(TryGetError { requested: 8, available: 0 }.to_string().contains("8"));
+    }
+
+    #[test]
+    fn copy_to_slice_reads_and_advances() {
+        let mut r = Bytes::from(vec![9u8, 8, 7, 6]);
+        let mut dst = [0u8; 2];
+        r.copy_to_slice(&mut dst);
+        assert_eq!(dst, [9, 8]);
+        assert_eq!(r.remaining(), 2);
     }
 
     #[test]

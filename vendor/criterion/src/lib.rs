@@ -4,7 +4,8 @@
 //! The build image has no crates.io access, so the workspace vendors the
 //! slice of the criterion API that `rvf-bench`'s benches use:
 //! [`Criterion::bench_function`], [`Bencher::iter`] /
-//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`Bencher::iter_batched`] / [`Bencher::iter_custom`], [`BatchSize`],
+//! and the
 //! [`criterion_group!`] / [`criterion_main!`] macros. Instead of
 //! criterion's full statistical pipeline it runs a warm-up pass followed
 //! by `sample_size` timed samples and reports min / mean / median / max
@@ -63,6 +64,20 @@ impl Bencher {
             let start = Instant::now();
             black_box(routine());
             self.results.push(start.elapsed());
+        }
+    }
+
+    /// Lets `routine` time itself: it receives the iteration count for
+    /// one sample and returns the measured [`Duration`], which the shim
+    /// records verbatim. As in upstream criterion, this is the hook for
+    /// metrics the harness cannot clock from outside — e.g. a tail
+    /// latency computed inside the routine — at the cost of the routine
+    /// owning its own measurement. The shim requests one iteration per
+    /// sample after an untimed warm-up call.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        black_box(routine(1));
+        for _ in 0..self.samples {
+            self.results.push(routine(1));
         }
     }
 
@@ -356,6 +371,21 @@ mod tests {
         assert_eq!(json_escape("gustavsen's"), "gustavsen's"); // no Rust-style \'
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn iter_custom_records_the_returned_durations() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                calls += 1;
+                Duration::from_nanos(calls)
+            })
+        });
+        // 1 warm-up (discarded) + 3 recorded samples.
+        assert_eq!(calls, 4);
     }
 
     #[test]
