@@ -132,7 +132,11 @@ fn bench_vf_k_scaling(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    // Rows span ~10 µs (eigensolver) to ~27 ms (k=256 fits): cheap
+    // enough that quick mode can afford 7 samples, which keeps the
+    // MAD interval bench_diff builds from being degenerate on the
+    // µs-scale kernel rows.
+    config = Criterion::default().sample_size(10).quick_sample_size(7);
     targets = bench_eigensolver, bench_complex_solve, bench_qr_compression, bench_vf_fit,
         bench_vf_k_scaling
 }

@@ -54,7 +54,10 @@ fn bench_simulation(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    // The SPICE transient row is ~40 ms/sample; 5 quick samples keep
+    // the CI quick pass cheap while giving bench_diff a usable MAD
+    // (3 samples collapse the noise interval to near zero width).
+    config = Criterion::default().sample_size(10).quick_sample_size(5);
     targets = bench_simulation
 }
 criterion_main!(benches);

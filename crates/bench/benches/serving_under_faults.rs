@@ -12,7 +12,13 @@
 //!   per-chunk service latency of one round (computed inside the
 //!   routine and recorded via `Bencher::iter_custom`), so the *tail*
 //!   cost of fault handling is regression-tracked, not just the
-//!   sustained median.
+//!   sustained median;
+//! * `serving_faults_replicated_f010` — the 1% faulted round with a
+//!   warm standby attached: the primary journals every committed
+//!   mutation into a [`SharedLog`] and a [`Follower`] tails it to a
+//!   verified digest inside the timed region, so the delta against
+//!   `serving_faults_sustained_f010` is the full cost of pairing
+//!   (delta encode + append + follower apply + digest checks).
 //!
 //! A fault budget of `p` permille is split 40% worker panics (the
 //! whole round retries with backoff), 30% NaN/∞ stimulus (rejected at
@@ -34,7 +40,7 @@ use rvf_bench::{buffer_circuit, paper_rvf_options, paper_tft_config};
 use rvf_core::fit_tft;
 use rvf_serve::{
     chaos::{self, ChaosConfig, ChaosInjector, Fault},
-    Event, ModelRegistry, RequestId, Scheduler, ServeConfig, SessionHandle,
+    Event, Follower, ModelRegistry, RequestId, Scheduler, ServeConfig, SessionHandle, SharedLog,
 };
 use rvf_tft::extract_from_circuit;
 
@@ -49,9 +55,12 @@ fn chaos_config(permille: u16) -> ChaosConfig {
         bad_stimulus_permille: permille * 3 / 10,
         oversized_chunk_permille: permille / 5,
         close_session_permille: permille / 10,
-        // Kill–restore cycles measure the durability layer, not steady
-        // traffic; the chaos test suite owns that fault class.
+        // Kill–restore cycles and primary failovers measure the
+        // durability/replication layers, not steady traffic; the chaos
+        // and replica test suites own those fault classes.
         crash_kill_permille: 0,
+        primary_kill_permille: 0,
+        primary_kill_max_lag: 0,
     }
 }
 
@@ -264,6 +273,31 @@ fn bench_serving_under_faults(c: &mut Criterion) {
             })
         });
     }
+
+    // Replicated-pair row: the 1% faulted load with a warm standby.
+    // The primary journals every committed mutation (a round is ~2k
+    // deltas: one admit + one completion per client, plus fault
+    // handling) and the follower tails the shared log to a verified
+    // digest inside the timed region. Compare against
+    // `serving_faults_sustained_f010` for the pairing overhead.
+    let mut harness = Harness::new(10, model.compile(), dt);
+    let log = SharedLog::new();
+    harness.sched.attach_replica(Box::new(log.clone()), 512).expect("attach standby");
+    let mut follower = Follower::new(harness.sched.registry().as_ref().clone());
+    c.bench_function("serving_faults_replicated_f010", |b| {
+        b.iter(|| {
+            harness.submit_round();
+            let (samples, _) = harness.drain();
+            assert_eq!(samples, CLIENTS * CHUNK, "every accepted chunk must be served");
+            follower.tail(&log.bytes()).expect("standby applies the round's deltas");
+            samples
+        })
+    });
+    // The pair must not have drifted over the whole run: the standby's
+    // reconstructed state hashes identically to the primary's.
+    let primary = harness.sched.state_digest().expect("primary digest");
+    let standby = follower.state_digest().expect("standby digest");
+    assert_eq!(primary, standby, "standby diverged from primary after the bench run");
 }
 
 criterion_group! {

@@ -23,6 +23,12 @@
 //!   harness drops it, losing responses in flight) and is rebuilt from
 //!   its last [`snapshot`](crate::Scheduler::snapshot), exercising the
 //!   durability layer's restore-then-replay bit-identity guarantee.
+//! * [`Fault::PrimaryKillLagged`] — the primary of a replicated pair
+//!   dies with the standby `lag` deltas behind the tip of the
+//!   replication log; the harness promotes the
+//!   [`Follower`](crate::replica::Follower) from the truncated log,
+//!   resubmits unacknowledged work, and asserts the client-visible
+//!   streams stay bit-identical to an uninterrupted run.
 
 /// One injected fault, drawn by [`ChaosInjector::sample`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +45,14 @@ pub enum Fault {
     /// Kill the scheduler (process crash) and restore it from its last
     /// snapshot, resubmitting whatever was in flight.
     CrashKill,
+    /// Kill the primary of a replicated pair with the follower `lag`
+    /// deltas behind the log tip, then promote the follower and
+    /// resubmit unacknowledged work.
+    PrimaryKillLagged {
+        /// How many committed deltas the follower is missing when the
+        /// primary dies (0 = fully caught up).
+        lag: u32,
+    },
 }
 
 /// Fault rates in permille (0–1000), checked in declaration order; the
@@ -57,6 +71,11 @@ pub struct ChaosConfig {
     pub close_session_permille: u16,
     /// Permille chance of [`Fault::CrashKill`] per draw.
     pub crash_kill_permille: u16,
+    /// Permille chance of [`Fault::PrimaryKillLagged`] per draw.
+    pub primary_kill_permille: u16,
+    /// Upper bound (inclusive) on the follower lag drawn for each
+    /// [`Fault::PrimaryKillLagged`].
+    pub primary_kill_max_lag: u32,
 }
 
 impl Default for ChaosConfig {
@@ -68,12 +87,17 @@ impl Default for ChaosConfig {
             oversized_chunk_permille: 0,
             close_session_permille: 0,
             crash_kill_permille: 0,
+            primary_kill_permille: 0,
+            primary_kill_max_lag: 0,
         }
     }
 }
 
 impl ChaosConfig {
-    /// A config injecting every fault class at `permille` each.
+    /// A config injecting every single-process fault class at
+    /// `permille` each. [`Fault::PrimaryKillLagged`] stays off — it
+    /// only makes sense for harnesses driving a replicated pair; opt
+    /// in with [`with_primary_kill`](Self::with_primary_kill).
     pub fn uniform(seed: u64, permille: u16) -> Self {
         Self {
             seed,
@@ -82,7 +106,17 @@ impl ChaosConfig {
             oversized_chunk_permille: permille,
             close_session_permille: permille,
             crash_kill_permille: permille,
+            primary_kill_permille: 0,
+            primary_kill_max_lag: 0,
         }
+    }
+
+    /// Enables [`Fault::PrimaryKillLagged`] at `permille` per draw with
+    /// follower lags drawn uniformly from `0..=max_lag`.
+    pub fn with_primary_kill(mut self, permille: u16, max_lag: u32) -> Self {
+        self.primary_kill_permille = permille;
+        self.primary_kill_max_lag = max_lag;
+        self
     }
 }
 
@@ -115,7 +149,8 @@ impl ChaosInjector {
     }
 
     /// Draws at most one fault for the next operation, in the fixed
-    /// order panic → stimulus → oversize → close → crash.
+    /// order panic → stimulus → oversize → close → crash → primary
+    /// kill.
     pub fn sample(&mut self) -> Option<Fault> {
         if self.roll(self.cfg.worker_panic_permille) {
             Some(Fault::WorkerPanic)
@@ -127,6 +162,9 @@ impl ChaosInjector {
             Some(Fault::CloseSession)
         } else if self.roll(self.cfg.crash_kill_permille) {
             Some(Fault::CrashKill)
+        } else if self.roll(self.cfg.primary_kill_permille) {
+            let lag = self.pick(self.cfg.primary_kill_max_lag as usize + 1) as u32;
+            Some(Fault::PrimaryKillLagged { lag })
         } else {
             None
         }
@@ -179,6 +217,27 @@ mod tests {
         assert_eq!(sa, sb);
         assert!(sa.iter().any(|f| f.is_some()), "25% per class must fire in 256 draws");
         assert!(sa.iter().any(|f| f.is_none()));
+    }
+
+    #[test]
+    fn primary_kill_is_opt_in_and_bounds_its_lag() {
+        // uniform() keeps the replicated-pair fault off.
+        let mut inj = ChaosInjector::new(ChaosConfig::uniform(11, 400));
+        assert!((0..512)
+            .filter_map(|_| inj.sample())
+            .all(|f| !matches!(f, Fault::PrimaryKillLagged { .. })));
+        // with_primary_kill draws lags in 0..=max_lag, hitting both ends.
+        let cfg = ChaosConfig::default().with_primary_kill(1000, 4);
+        let mut inj = ChaosInjector::new(ChaosConfig { seed: 3, ..cfg });
+        let lags: Vec<u32> = (0..256)
+            .filter_map(|_| match inj.sample() {
+                Some(Fault::PrimaryKillLagged { lag }) => Some(lag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lags.len(), 256, "permille 1000 fires every draw");
+        assert!(lags.iter().all(|&lag| lag <= 4));
+        assert!(lags.contains(&0) && lags.contains(&4));
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //!   backoff on contained worker panics, pool rebuild past a panic
 //!   threshold, and graceful degradation to a bit-identical serial path
 //!   past a rebuild budget.
+//! * [`replica`] — warm-standby replication: the scheduler journals
+//!   every committed mutation as sequence-numbered deltas (with
+//!   periodic state digests) through a pluggable
+//!   [`ReplicationSink`]; a
+//!   [`Follower`] tails the log, proves itself
+//!   byte-identical via the digests, and promotes into a live
+//!   scheduler after primary death — with bit-identical client
+//!   streams.
 //! * [`chaos`] — a deterministic, seeded fault-injection seam (worker
 //!   panics, NaN/∞ stimulus, oversized chunks, mid-stream closes) that
 //!   the proptest suite uses to prove the robustness contract: no
@@ -58,10 +66,12 @@
 pub mod chaos;
 mod error;
 mod registry;
+pub mod replica;
 mod scheduler;
 pub mod wire;
 
 pub use error::ServeError;
 pub use registry::{ModelId, ModelRegistry};
+pub use replica::{Follower, ReplicaError, ReplicationSink, SharedLog};
 pub use scheduler::{Event, RequestId, Scheduler, ServeConfig, SessionHandle};
 pub use wire::{WireError, WireRecord};

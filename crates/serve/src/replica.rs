@@ -1,0 +1,709 @@
+//! Warm-standby replication: delta log, follower, and failover.
+//!
+//! A primary [`Scheduler`] with an attached [`ReplicationSink`]
+//! journals every committed mutation as a sequence-numbered
+//! [`WireRecord::Delta`] — session opened, chunk admitted / completed /
+//! failed / retried, session closed, pool rebuilt, degraded — each
+//! carrying the post-state of any mutated session. Every `digest_every`
+//! deltas it also appends a [`WireRecord::Digest`]: FNV-1a over its
+//! encoded canonical state.
+//!
+//! A [`Follower`] consumes that log — record by record via
+//! [`apply`](Follower::apply), or byte-stream style via
+//! [`tail`](Follower::tail) on top of
+//! [`decode_stream`] — and maintains its
+//! own copy of the primary's canonical state
+//! ([`SchedulerSnapshot`], plain data: no pool, no threads). The
+//! replication contract is strict by construction:
+//!
+//! * **Strict sequencing** — deltas must arrive with consecutive
+//!   sequence numbers; anything else is
+//!   [`ReplicaError::SequenceGap`] and the follower poisons itself
+//!   (every later call returns the stored error, nothing is committed).
+//! * **Digest verification** — each digest is recomputed over the
+//!   follower's own reconstructed state; a mismatch is
+//!   [`ReplicaError::Diverged`]. Because the digest covers the encoded
+//!   snapshot, digest equality is *byte* equality of canonical state.
+//! * **Structural validation** — every delta is checked against the
+//!   reconstruction before anything mutates
+//!   ([`ReplicaError::BadDelta`] commits nothing).
+//!
+//! [`promote`](Follower::promote) turns the reconstruction into a live
+//! [`Scheduler`] by encoding it and running it through
+//! [`Scheduler::restore`] — so *promote ∘ apply\** is literally
+//! *restore-of-snapshot*, and inherits restore's registry fingerprint
+//! check: a follower holding retuned tables refuses promotion with a
+//! typed [`ServeError::RegistryMismatch`].
+//!
+//! # Example
+//!
+//! ```
+//! use rvf_core::SimBuilder;
+//! use rvf_serve::replica::{Follower, SharedLog};
+//! use rvf_serve::{ModelRegistry, Scheduler, ServeConfig};
+//!
+//! let mut b = SimBuilder::new();
+//! let s = b.drive_poly(&[0.0, 1.0]);
+//! b.set_static_drive(s);
+//! b.block_real(-1.0e9, s);
+//! let registry = ModelRegistry::build([("m".to_string(), b.build())]);
+//! let model = registry.id("m").unwrap();
+//!
+//! // Primary journals to a shared in-memory log.
+//! let log = SharedLog::new();
+//! let mut primary = Scheduler::new(registry.clone(), ServeConfig::default());
+//! primary.attach_replica(Box::new(log.clone()), 1).unwrap();
+//! let session = primary.open_session(model, 1.0e-10, 0).unwrap();
+//! primary.submit(session, &[0.1, 0.2], 0, 100).unwrap();
+//! primary.tick(1);
+//!
+//! // The follower tails the log and proves itself byte-identical.
+//! let mut follower = Follower::new(registry);
+//! follower.tail(&log.bytes()).unwrap();
+//! assert_eq!(follower.state_digest().unwrap(), primary.state_digest().unwrap());
+//!
+//! // Primary dies; the follower takes over with identical state.
+//! drop(primary);
+//! let promoted = follower.promote().unwrap();
+//! assert_eq!(promoted.samples(session).unwrap(), 2);
+//! ```
+
+use core::fmt;
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+
+use crate::error::ServeError;
+use crate::registry::{ModelId, ModelRegistry};
+use crate::scheduler::{Scheduler, SessionHandle};
+use crate::wire::{
+    checksum64, decode_stream, DeltaOp, SchedulerSnapshot, SnapshotRequest, SnapshotSession,
+    SnapshotSlot, WireError, WireRecord,
+};
+
+/// Where a journaling primary appends its replication records. Each
+/// `append` receives one fully framed, checksummed wire record
+/// (baseline snapshot, delta, or digest) in log order.
+///
+/// `append` is infallible by contract: a sink that can lose or defer
+/// writes must buffer internally — the serving path never blocks on
+/// replication.
+pub trait ReplicationSink: Send {
+    /// Appends one framed wire record to the log.
+    fn append(&mut self, record: Bytes);
+}
+
+/// The simplest sink: an in-memory vector of framed records. Useful in
+/// tests that want record-granular access to the log.
+impl ReplicationSink for Vec<Bytes> {
+    fn append(&mut self, record: Bytes) {
+        self.push(record);
+    }
+}
+
+/// A clonable, shared, in-memory replication log: the primary appends
+/// through one clone while followers [`tail`](Follower::tail) the
+/// concatenated bytes through another — the in-process stand-in for a
+/// replicated log service or a shared append-only file.
+#[derive(Debug, Clone, Default)]
+pub struct SharedLog {
+    inner: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<u8>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            // A panic while appending cannot leave a torn record: the
+            // buffer only ever grows by whole `append`s.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// A copy of the log's current bytes.
+    pub fn bytes(&self) -> Bytes {
+        Bytes::from(self.lock().clone())
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+impl ReplicationSink for SharedLog {
+    fn append(&mut self, record: Bytes) {
+        self.lock().extend_from_slice(record.as_ref());
+    }
+}
+
+/// Typed replication failure. Any error **poisons** the follower: it
+/// commits nothing for the failing record, and every later call
+/// (including [`promote`](Follower::promote)) returns the stored
+/// error — a diverged standby must never be promoted.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReplicaError {
+    /// A delta or digest arrived out of sequence — the follower missed
+    /// records (or saw them twice) and its reconstruction can no longer
+    /// be trusted.
+    SequenceGap {
+        /// The sequence number the follower required.
+        expected: u64,
+        /// The sequence number the record carried.
+        found: u64,
+    },
+    /// A digest did not match the follower's reconstructed state: the
+    /// follower and the primary disagree byte-for-byte.
+    Diverged {
+        /// The sequence the digest covers.
+        seq: u64,
+        /// The digest the primary journaled.
+        expected: u64,
+        /// The digest the follower computed over its own state.
+        computed: u64,
+    },
+    /// A delta is structurally inconsistent with the reconstruction
+    /// (an unknown request id, a dead session, a slot that is not the
+    /// top of the free stack, …). Nothing was committed.
+    BadDelta {
+        /// Sequence number of the offending delta.
+        seq: u64,
+        /// Which consistency check failed.
+        what: &'static str,
+    },
+    /// A delta or digest arrived before the baseline snapshot.
+    NoBaseline,
+    /// The log itself failed to decode (truncated mid-frame corruption,
+    /// bad checksum, …).
+    Wire(WireError),
+    /// A serving-layer failure — most prominently the typed
+    /// [`ServeError::RegistryMismatch`] when the follower's registry
+    /// does not carry the primary's models (retuned tables refuse both
+    /// the baseline and promotion).
+    Serve(ServeError),
+}
+
+impl fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SequenceGap { expected, found } => {
+                write!(f, "replica: sequence gap (expected {expected}, found {found})")
+            }
+            Self::Diverged { seq, expected, computed } => write!(
+                f,
+                "replica: diverged at seq {seq} (primary digest {expected:#018x}, \
+                 follower digest {computed:#018x})"
+            ),
+            Self::BadDelta { seq, what } => {
+                write!(f, "replica: inconsistent delta at seq {seq}: {what}")
+            }
+            Self::NoBaseline => {
+                write!(f, "replica: record arrived before the baseline snapshot")
+            }
+            Self::Wire(e) => write!(f, "replica: {e}"),
+            Self::Serve(e) => write!(f, "replica: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wire(e) => Some(e),
+            Self::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ReplicaError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<ServeError> for ReplicaError {
+    fn from(e: ServeError) -> Self {
+        Self::Serve(e)
+    }
+}
+
+/// A warm standby: applies a primary's replication log against its own
+/// registry and holds a canonical-state reconstruction that is — and
+/// continuously *proves* itself — byte-identical to the primary's
+/// snapshot at the last applied sequence. See the [module
+/// docs](self) for the contract.
+pub struct Follower {
+    registry: ModelRegistry,
+    state: Option<SchedulerSnapshot>,
+    seq: u64,
+    offset: usize,
+    failed: Option<ReplicaError>,
+}
+
+impl Follower {
+    /// A follower serving `registry`, which must carry the primary's
+    /// models at the same indices (checked by name *and* compiled-table
+    /// fingerprint when the baseline arrives).
+    pub fn new(registry: ModelRegistry) -> Self {
+        Self { registry, state: None, seq: 0, offset: 0, failed: None }
+    }
+
+    /// Sequence number of the last applied delta (0 before any).
+    pub fn applied_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether the baseline snapshot has been applied.
+    pub fn has_baseline(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The stored poison error, if the follower has failed.
+    pub fn error(&self) -> Option<&ReplicaError> {
+        self.failed.as_ref()
+    }
+
+    /// Bytes of the tailed log consumed so far (resume offset for
+    /// [`tail`](Follower::tail)).
+    pub fn consumed(&self) -> usize {
+        self.offset
+    }
+
+    /// FNV-1a/64 over the follower's encoded reconstruction — directly
+    /// comparable to [`Scheduler::state_digest`] and to the digests the
+    /// primary journals.
+    ///
+    /// # Errors
+    ///
+    /// The stored poison error, or [`ReplicaError::NoBaseline`] before
+    /// the baseline snapshot arrived.
+    pub fn state_digest(&self) -> Result<u64, ReplicaError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        match &self.state {
+            Some(snap) => Ok(digest_of(snap)),
+            None => Err(ReplicaError::NoBaseline),
+        }
+    }
+
+    /// Applies one replication record: the baseline snapshot, a
+    /// sequence-checked delta, or a digest to verify against.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReplicaError`]; on error nothing is committed and the
+    /// follower is poisoned (every later call returns the same error).
+    pub fn apply(&mut self, record: WireRecord) -> Result<(), ReplicaError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        match self.apply_inner(record) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.failed = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_inner(&mut self, record: WireRecord) -> Result<(), ReplicaError> {
+        match record {
+            WireRecord::Snapshot(snap) => {
+                if self.state.is_some() {
+                    return Err(ReplicaError::BadDelta {
+                        seq: self.seq,
+                        what: "a second baseline snapshot arrived mid-log",
+                    });
+                }
+                // Fail fast on a mismatched registry: the baseline is
+                // the earliest point retuned tables can be detected.
+                for (i, m) in snap.models.iter().enumerate() {
+                    let id = ModelId(i);
+                    let ok = self.registry.name(id) == Some(m.name.as_str())
+                        && matches!(
+                            self.registry.get(id),
+                            Ok(sim) if sim.fingerprint() == m.fingerprint
+                        );
+                    if !ok {
+                        return Err(ReplicaError::Serve(ServeError::RegistryMismatch {
+                            index: i,
+                            name: m.name.clone(),
+                            fingerprint: m.fingerprint,
+                        }));
+                    }
+                }
+                self.state = Some(snap);
+                self.seq = 0;
+                Ok(())
+            }
+            WireRecord::Delta(delta) => {
+                let Some(snap) = self.state.as_mut() else {
+                    return Err(ReplicaError::NoBaseline);
+                };
+                let expected = self.seq + 1;
+                if delta.seq != expected {
+                    return Err(ReplicaError::SequenceGap { expected, found: delta.seq });
+                }
+                apply_op(snap, delta.op)
+                    .map_err(|what| ReplicaError::BadDelta { seq: delta.seq, what })?;
+                self.seq = delta.seq;
+                Ok(())
+            }
+            WireRecord::Digest(digest) => {
+                let Some(snap) = self.state.as_ref() else {
+                    return Err(ReplicaError::NoBaseline);
+                };
+                if digest.seq != self.seq {
+                    return Err(ReplicaError::SequenceGap {
+                        expected: self.seq,
+                        found: digest.seq,
+                    });
+                }
+                let computed = digest_of(snap);
+                if computed != digest.digest {
+                    return Err(ReplicaError::Diverged {
+                        seq: digest.seq,
+                        expected: digest.digest,
+                        computed,
+                    });
+                }
+                Ok(())
+            }
+            WireRecord::Stimulus(_) | WireRecord::Response(_) | WireRecord::Checkpoint(_) => {
+                Err(ReplicaError::BadDelta {
+                    seq: self.seq,
+                    what: "record kind does not belong in a replication log",
+                })
+            }
+        }
+    }
+
+    /// Tails a replication log: applies every complete record past the
+    /// follower's resume offset, leaving a trailing partial record (a
+    /// log caught mid-append) for the next call. Returns the number of
+    /// records applied.
+    ///
+    /// `log` must be the *whole* log from its first byte — the follower
+    /// tracks its own offset, so repeatedly passing
+    /// [`SharedLog::bytes`] tails incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReplicaError`]; the offending record and everything after
+    /// it are not consumed, and the follower is poisoned.
+    pub fn tail(&mut self, log: &Bytes) -> Result<usize, ReplicaError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if log.len() < self.offset {
+            let e = ReplicaError::BadDelta {
+                seq: self.seq,
+                what: "the replication log shrank below the consumed offset",
+            };
+            self.failed = Some(e.clone());
+            return Err(e);
+        }
+        let mut stream = decode_stream(log.slice(self.offset..log.len()));
+        let mut applied = 0usize;
+        loop {
+            let before = stream.consumed();
+            match stream.next() {
+                None => break,
+                Some(Ok(record)) => {
+                    self.apply(record)?;
+                    self.offset += stream.consumed() - before;
+                    applied += 1;
+                }
+                Some(Err(e)) => {
+                    let e = ReplicaError::Wire(e);
+                    self.failed = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Promotes the reconstruction into a live [`Scheduler`] equal to
+    /// the primary at the last applied sequence: the follower's state
+    /// is encoded and run through [`Scheduler::restore`], so promotion
+    /// is *exactly* restore-of-snapshot — including restore's registry
+    /// fingerprint verification and structural validation. The promoted
+    /// scheduler has no replication sink attached; attach one to chain
+    /// standbys.
+    ///
+    /// # Errors
+    ///
+    /// The stored poison error, [`ReplicaError::NoBaseline`], or a
+    /// wrapped [`ServeError`] from restore.
+    pub fn promote(mut self) -> Result<Scheduler, ReplicaError> {
+        if let Some(e) = self.failed.take() {
+            return Err(e);
+        }
+        let Some(snap) = self.state.take() else {
+            return Err(ReplicaError::NoBaseline);
+        };
+        let bytes = WireRecord::Snapshot(snap).encode();
+        Scheduler::restore(&bytes, &self.registry).map_err(ReplicaError::Serve)
+    }
+}
+
+/// FNV-1a/64 over the encoded snapshot record — the digest both sides
+/// compute.
+fn digest_of(snap: &SchedulerSnapshot) -> u64 {
+    checksum64(WireRecord::Snapshot(snap.clone()).encode().as_ref())
+}
+
+fn live_session_mut<'a>(
+    snap: &'a mut SchedulerSnapshot,
+    handle: SessionHandle,
+) -> Option<&'a mut SnapshotSession> {
+    let slot = snap.slots.get_mut(handle.index())?;
+    if slot.generation != handle.generation() {
+        return None;
+    }
+    slot.session.as_mut()
+}
+
+/// Applies one delta op to the reconstruction. Every check runs before
+/// any mutation, so a failing op commits nothing.
+fn apply_op(snap: &mut SchedulerSnapshot, op: DeltaOp) -> Result<(), &'static str> {
+    match op {
+        DeltaOp::SessionOpened { session, model, dt_bits, last_activity, state } => {
+            let handle = SessionHandle::from_raw(session);
+            let (index, generation) = (handle.index(), handle.generation());
+            if (model as usize) >= snap.models.len() {
+                return Err("opened session names a model outside the registry");
+            }
+            let dt = f64::from_bits(dt_bits);
+            if !(dt.is_finite() && dt > 0.0) {
+                return Err("opened session carries a non-positive dt");
+            }
+            let sess = SnapshotSession { model, dt_bits, last_activity, state };
+            if index == snap.slots.len() {
+                // Fresh slot appended to the slab.
+                if generation != 0 {
+                    return Err("an appended slot must start at generation 0");
+                }
+                snap.slots.push(SnapshotSlot { generation: 0, session: Some(sess) });
+            } else {
+                // Slot reuse pops the top of the free stack — exactly
+                // mirroring the primary's allocator.
+                if snap.free.last().copied() != Some(index as u32) {
+                    return Err("the opened slot is not the top of the free stack");
+                }
+                let Some(slot) = snap.slots.get_mut(index) else {
+                    return Err("the opened slot is outside the slab");
+                };
+                if slot.generation != generation {
+                    return Err("the opened slot's generation does not match the handle");
+                }
+                if slot.session.is_some() {
+                    return Err("the opened slot already holds a session");
+                }
+                slot.session = Some(sess);
+                snap.free.pop();
+            }
+            Ok(())
+        }
+        DeltaOp::Admitted { request, session, deadline, not_before, input } => {
+            if request != snap.next_request {
+                return Err("the admitted request id is not the next request id");
+            }
+            if input.iter().any(|v| !v.is_finite()) {
+                return Err("an admitted stimulus holds a non-finite sample");
+            }
+            let handle = SessionHandle::from_raw(session);
+            let Some(sess) = live_session_mut(snap, handle) else {
+                return Err("admission names a dead session");
+            };
+            sess.last_activity = not_before;
+            snap.queue.push(SnapshotRequest {
+                id: request,
+                session,
+                deadline,
+                attempts: 0,
+                not_before,
+                input,
+            });
+            snap.next_request += 1;
+            Ok(())
+        }
+        DeltaOp::ChunkCompleted { request, session, last_activity, state } => {
+            let Some(pos) = snap.queue.iter().position(|r| r.id == request) else {
+                return Err("completion names a request that is not queued");
+            };
+            if snap.queue[pos].session != session {
+                return Err("completion names the wrong session for its request");
+            }
+            let handle = SessionHandle::from_raw(session);
+            let Some(sess) = live_session_mut(snap, handle) else {
+                return Err("completion names a dead session");
+            };
+            sess.state = state;
+            sess.last_activity = last_activity;
+            snap.queue.remove(pos);
+            Ok(())
+        }
+        DeltaOp::RequestFailed { request } => {
+            let Some(pos) = snap.queue.iter().position(|r| r.id == request) else {
+                return Err("failure names a request that is not queued");
+            };
+            snap.queue.remove(pos);
+            Ok(())
+        }
+        DeltaOp::SessionClosed { session } => {
+            let handle = SessionHandle::from_raw(session);
+            let index = handle.index();
+            let alive = snap.slots.get(index).is_some_and(|slot| {
+                slot.generation == handle.generation() && slot.session.is_some()
+            });
+            if !alive {
+                return Err("close names a dead session");
+            }
+            snap.queue.retain(|r| r.session != session);
+            let slot = &mut snap.slots[index];
+            slot.session = None;
+            slot.generation = slot.generation.wrapping_add(1);
+            snap.free.push(index as u32);
+            Ok(())
+        }
+        DeltaOp::RequestRetried { request, attempts, not_before } => {
+            let Some(pos) = snap.queue.iter().position(|r| r.id == request) else {
+                return Err("retry names a request that is not queued");
+            };
+            let mut r = snap.queue.remove(pos);
+            r.attempts = attempts;
+            r.not_before = not_before;
+            snap.queue.insert(0, r);
+            Ok(())
+        }
+        DeltaOp::PoolRebuilt => {
+            snap.rebuilds += 1;
+            Ok(())
+        }
+        DeltaOp::Degraded => {
+            snap.degraded = true;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServeConfig;
+    use crate::wire::DeltaRecord;
+    use rvf_core::SimBuilder;
+
+    fn registry() -> ModelRegistry {
+        let mut b = SimBuilder::new();
+        let s = b.drive_poly(&[0.0, 1.0]);
+        b.set_static_drive(s);
+        b.block_real(-1.0e9, s);
+        ModelRegistry::build([("m".to_string(), b.build())])
+    }
+
+    fn replicated_pair() -> (Scheduler, SharedLog, Follower) {
+        let log = SharedLog::new();
+        let mut primary = Scheduler::new(registry(), ServeConfig::default());
+        primary.attach_replica(Box::new(log.clone()), 1).expect("attach");
+        (primary, log, Follower::new(registry()))
+    }
+
+    #[test]
+    fn shared_log_accumulates_appends() {
+        let log = SharedLog::new();
+        assert!(log.is_empty());
+        let mut writer = log.clone();
+        writer.append(Bytes::from(vec![1, 2, 3]));
+        writer.append(Bytes::from(vec![4]));
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.bytes().as_ref(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn follower_tracks_primary_digest_every_step() {
+        let (mut primary, log, mut follower) = replicated_pair();
+        let model = primary.registry().id("m").expect("model");
+        let session = primary.open_session(model, 1e-10, 0).expect("open");
+        primary.submit(session, &[0.1, 0.2, 0.3], 0, 100).expect("submit");
+        primary.tick(1);
+        primary.submit(session, &[0.4], 2, 100).expect("submit");
+        primary.close_session(session).expect("close");
+        follower.tail(&log.bytes()).expect("tail applies cleanly");
+        assert!(follower.has_baseline());
+        assert_eq!(follower.applied_seq(), primary.replication_seq());
+        assert_eq!(
+            follower.state_digest().expect("digest"),
+            primary.state_digest().expect("digest")
+        );
+    }
+
+    #[test]
+    fn sequence_gap_poisons_and_commits_nothing() {
+        let (mut primary, log, mut follower) = replicated_pair();
+        let model = primary.registry().id("m").expect("model");
+        primary.open_session(model, 1e-10, 0).expect("open");
+        follower.tail(&log.bytes()).expect("tail");
+        let seq_before = follower.applied_seq();
+        let digest_before = follower.state_digest().expect("digest");
+        // A delta from the future: gap.
+        let bogus =
+            WireRecord::Delta(DeltaRecord { seq: seq_before + 5, op: DeltaOp::PoolRebuilt });
+        assert!(matches!(
+            follower.apply(bogus),
+            Err(ReplicaError::SequenceGap { found, .. }) if found == seq_before + 5
+        ));
+        // Poisoned: same error again, state untouched, promote refused.
+        assert!(matches!(follower.error(), Some(ReplicaError::SequenceGap { .. })));
+        assert_eq!(follower.applied_seq(), seq_before);
+        assert!(matches!(follower.tail(&log.bytes()), Err(ReplicaError::SequenceGap { .. })));
+        assert!(matches!(follower.promote(), Err(ReplicaError::SequenceGap { .. })));
+        let _ = digest_before;
+    }
+
+    #[test]
+    fn records_before_baseline_are_refused() {
+        let mut follower = Follower::new(registry());
+        let delta = WireRecord::Delta(DeltaRecord { seq: 1, op: DeltaOp::PoolRebuilt });
+        assert!(matches!(follower.apply(delta), Err(ReplicaError::NoBaseline)));
+        assert!(matches!(Follower::new(registry()).promote(), Err(ReplicaError::NoBaseline)));
+    }
+
+    #[test]
+    fn error_display_and_source_round_trip() {
+        use std::error::Error;
+        let gap = ReplicaError::SequenceGap { expected: 4, found: 9 };
+        assert!(gap.to_string().contains("expected 4"));
+        assert!(gap.to_string().contains("found 9"));
+        assert!(gap.source().is_none());
+        let div = ReplicaError::Diverged { seq: 7, expected: 1, computed: 2 };
+        assert!(div.to_string().contains("seq 7"));
+        assert!(div.source().is_none());
+        let bad = ReplicaError::BadDelta { seq: 3, what: "close names a dead session" };
+        assert!(bad.to_string().contains("seq 3"));
+        assert!(bad.to_string().contains("dead session"));
+        assert!(ReplicaError::NoBaseline.to_string().contains("baseline"));
+        let wire = ReplicaError::from(WireError::BadMagic { found: 0 });
+        assert!(wire.to_string().contains("magic"));
+        assert!(wire.source().is_some(), "wire errors keep their source");
+        let serve = ReplicaError::from(ServeError::UnknownModel { id: 3 });
+        assert!(serve.to_string().contains("model"));
+        assert!(serve.source().is_some(), "serve errors keep their source");
+        assert_eq!(gap.clone(), gap);
+    }
+}

@@ -51,9 +51,24 @@ use rvf_numerics::SweepPool;
 
 use crate::error::ServeError;
 use crate::registry::{ModelId, ModelRegistry};
+use crate::replica::ReplicationSink;
 use crate::wire::{
-    SchedulerSnapshot, SnapshotModel, SnapshotRequest, SnapshotSession, SnapshotSlot, WireRecord,
+    checksum64, DeltaOp, DeltaRecord, DigestRecord, SchedulerSnapshot, SnapshotModel,
+    SnapshotRequest, SnapshotSession, SnapshotSlot, WireRecord,
 };
+
+/// Replication bookkeeping: the attached sink, the delta sequence
+/// counter, and the digest cadence. Digests are *deferred*: a journaled
+/// mutation marks one due, and it is emitted at the next point where
+/// the scheduler's canonical state is snapshot-consistent (end of
+/// `tick`, or immediately for out-of-tick mutations).
+struct Replication {
+    sink: Box<dyn ReplicationSink>,
+    seq: u64,
+    digest_every: u64,
+    since_digest: u64,
+    digest_due: bool,
+}
 
 /// Stable handle to a live session. Handles are generation-tagged: a
 /// handle to a closed session stays invalid forever, even if its slot
@@ -66,12 +81,16 @@ impl SessionHandle {
         Self(((generation as u64) << 32) | index as u64)
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         (self.0 & 0xffff_ffff) as usize
     }
 
-    fn generation(self) -> u32 {
+    pub(crate) fn generation(self) -> u32 {
         (self.0 >> 32) as u32
+    }
+
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Self(raw)
     }
 
     /// The raw handle value (diagnostics only).
@@ -227,6 +246,7 @@ pub struct Scheduler {
     pool: Option<SweepPool>,
     pool_panic_base: u64,
     rebuilds: u64,
+    replica: Option<Replication>,
 }
 
 impl Scheduler {
@@ -246,6 +266,7 @@ impl Scheduler {
             pool: Some(pool),
             pool_panic_base: 0,
             rebuilds: 0,
+            replica: None,
         }
     }
 
@@ -278,6 +299,99 @@ impl Scheduler {
     /// Pool rebuilds performed so far.
     pub fn pool_rebuilds(&self) -> u64 {
         self.rebuilds
+    }
+
+    /// Attaches a replication sink, turning this scheduler into a
+    /// journaling **primary**: a baseline [`WireRecord::Snapshot`] is
+    /// appended immediately, then every committed mutation is appended
+    /// as a sequence-numbered [`WireRecord::Delta`], and every
+    /// `digest_every` deltas (clamped to at least 1) a
+    /// [`WireRecord::Digest`] of the canonical state lets a follower
+    /// prove its reconstruction byte-identical. Re-attaching replaces
+    /// the previous sink and restarts the log with a fresh baseline and
+    /// sequence 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SnapshotInvalid`] if the baseline snapshot cannot
+    /// be taken (unreachable through the public API); on error no sink
+    /// is attached.
+    pub fn attach_replica(
+        &mut self,
+        sink: Box<dyn ReplicationSink>,
+        digest_every: u64,
+    ) -> Result<(), ServeError> {
+        let baseline = self.snapshot()?;
+        let mut rep = Replication {
+            sink,
+            seq: 0,
+            digest_every: digest_every.max(1),
+            since_digest: 0,
+            digest_due: false,
+        };
+        rep.sink.append(baseline);
+        self.replica = Some(rep);
+        Ok(())
+    }
+
+    /// Detaches the replication sink, returning it; the scheduler stops
+    /// journaling. `None` if no sink was attached.
+    pub fn detach_replica(&mut self) -> Option<Box<dyn ReplicationSink>> {
+        self.replica.take().map(|rep| rep.sink)
+    }
+
+    /// Sequence number of the last journaled delta (0 before the first,
+    /// or when no sink is attached).
+    pub fn replication_seq(&self) -> u64 {
+        self.replica.as_ref().map_or(0, |rep| rep.seq)
+    }
+
+    /// FNV-1a/64 over the scheduler's encoded canonical state — the
+    /// value a [`WireRecord::Digest`] carries. Two schedulers with
+    /// equal digests have byte-identical snapshots.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SnapshotInvalid`] if a session's state is riding a
+    /// batch round (unreachable through the public API).
+    pub fn state_digest(&self) -> Result<u64, ServeError> {
+        Ok(checksum64(self.snapshot()?.as_ref()))
+    }
+
+    /// Appends one committed mutation to the replication log, if a sink
+    /// is attached. Infallible by design: the sink's `append` cannot
+    /// fail, so journaling never blocks or poisons the serving path.
+    fn journal(&mut self, op: DeltaOp) {
+        let Some(rep) = self.replica.as_mut() else {
+            return;
+        };
+        rep.seq += 1;
+        let record = WireRecord::Delta(DeltaRecord { seq: rep.seq, op }).encode();
+        rep.sink.append(record);
+        rep.since_digest += 1;
+        if rep.since_digest >= rep.digest_every {
+            rep.since_digest = 0;
+            rep.digest_due = true;
+        }
+    }
+
+    /// Emits a due digest. Only called at snapshot-consistent points
+    /// (never mid-batch, when session states are riding the round).
+    fn flush_digest(&mut self) {
+        if !self.replica.as_ref().is_some_and(|rep| rep.digest_due) {
+            return;
+        }
+        let Ok(digest) = self.state_digest() else {
+            // Unreachable: flush points are snapshot-consistent. Leave
+            // the digest due; a follower just verifies one cadence
+            // later.
+            return;
+        };
+        if let Some(rep) = self.replica.as_mut() {
+            rep.digest_due = false;
+            let record = WireRecord::Digest(DigestRecord { seq: rep.seq, digest }).encode();
+            rep.sink.append(record);
+        }
     }
 
     /// Opens a session on `model` with a fresh state.
@@ -327,6 +441,12 @@ impl Scheduler {
         if self.live >= self.cfg.max_sessions {
             return Err(ServeError::SessionLimit { live: self.live, limit: self.cfg.max_sessions });
         }
+        // Journaling checkpoint, taken before the state moves into the
+        // slab so a failed export commits nothing.
+        let checkpoint = match &self.replica {
+            Some(_) => Some(state.export()?),
+            None => None,
+        };
         let session = Session { model, dt, state: Some(state), last_activity: now, queued: 0 };
         let index = match self.free.pop() {
             Some(i) => {
@@ -339,7 +459,18 @@ impl Scheduler {
             }
         };
         self.live += 1;
-        Ok(SessionHandle::new(index, self.slots[index].generation))
+        let handle = SessionHandle::new(index, self.slots[index].generation);
+        if let Some(state) = checkpoint {
+            self.journal(DeltaOp::SessionOpened {
+                session: handle.raw(),
+                model: model.index() as u32,
+                dt_bits: dt.to_bits(),
+                last_activity: now,
+                state,
+            });
+            self.flush_digest();
+        }
+        Ok(handle)
     }
 
     fn resolve(&self, handle: SessionHandle) -> Result<usize, ServeError> {
@@ -408,6 +539,8 @@ impl Scheduler {
         self.slots[index].generation = self.slots[index].generation.wrapping_add(1);
         self.free.push(index);
         self.live -= 1;
+        self.journal(DeltaOp::SessionClosed { session: handle.raw() });
+        self.flush_digest();
         Ok(state)
     }
 
@@ -464,6 +597,16 @@ impl Scheduler {
         if let Some(session) = self.slots[index].session.as_mut() {
             session.queued += 1;
             session.last_activity = now;
+        }
+        if self.replica.is_some() {
+            self.journal(DeltaOp::Admitted {
+                request: id.0,
+                session: handle.raw(),
+                deadline,
+                not_before: now,
+                input: chunk.to_vec(),
+            });
+            self.flush_digest();
         }
         Ok(id)
     }
@@ -668,6 +811,7 @@ impl Scheduler {
             pool,
             pool_panic_base: 0,
             rebuilds: snap.rebuilds,
+            replica: None,
         })
     }
 
@@ -685,6 +829,7 @@ impl Scheduler {
         if !picked.is_empty() {
             self.run_batches(picked, now, &mut events);
         }
+        self.flush_digest();
         events
     }
 
@@ -728,6 +873,7 @@ impl Scheduler {
             };
             self.queued_samples -= request.input.len();
             self.note_dequeued(request.session);
+            self.journal(DeltaOp::RequestFailed { request: request.id.0 });
             events.push(Event::Failed { request: request.id, session: request.session, error });
         }
         self.queue = kept;
@@ -778,6 +924,7 @@ impl Scheduler {
                 // Session vanished (cannot happen through the public
                 // API — close purges the queue — but stay typed).
                 self.queued_samples -= request.input.len();
+                self.journal(DeltaOp::RequestFailed { request: request.id.0 });
                 events.push(Event::Failed {
                     request: request.id,
                     session: request.session,
@@ -811,6 +958,7 @@ impl Scheduler {
             for request in members {
                 self.queued_samples -= request.input.len();
                 self.note_dequeued(request.session);
+                self.journal(DeltaOp::RequestFailed { request: request.id.0 });
                 events.push(Event::Failed {
                     request: request.id,
                     session: request.session,
@@ -840,6 +988,7 @@ impl Scheduler {
                 }
                 None => {
                     self.queued_samples -= request.input.len();
+                    self.journal(DeltaOp::RequestFailed { request: request.id.0 });
                     events.push(Event::Failed {
                         request: request.id,
                         session: request.session,
@@ -865,9 +1014,23 @@ impl Scheduler {
             Ok(()) => {
                 for ((request, state), output) in live_members.into_iter().zip(states).zip(outputs)
                 {
+                    // Post-state checkpoint for the journal, exported
+                    // before the state returns to its slot.
+                    let checkpoint = match &self.replica {
+                        Some(_) => state.export().ok(),
+                        None => None,
+                    };
                     self.put_back(request.session, state, Some(now));
                     self.queued_samples -= request.input.len();
                     self.note_dequeued(request.session);
+                    if let Some(state) = checkpoint {
+                        self.journal(DeltaOp::ChunkCompleted {
+                            request: request.id.0,
+                            session: request.session.raw(),
+                            last_activity: now,
+                            state,
+                        });
+                    }
                     events.push(Event::Completed {
                         request: request.id,
                         session: request.session,
@@ -885,6 +1048,7 @@ impl Scheduler {
                     if request.attempts > self.cfg.max_retries {
                         self.queued_samples -= request.input.len();
                         self.note_dequeued(request.session);
+                        self.journal(DeltaOp::RequestFailed { request: request.id.0 });
                         events.push(Event::Failed {
                             request: request.id,
                             session: request.session,
@@ -902,8 +1066,15 @@ impl Scheduler {
                     }
                 }
                 // Retries go back to the *front*, preserving their FIFO
-                // priority over younger requests.
+                // priority over younger requests. Journaled in push
+                // order, so a follower applying "remove by id, push
+                // front" per delta reproduces the exact queue order.
                 for request in requeue.into_iter().rev() {
+                    self.journal(DeltaOp::RequestRetried {
+                        request: request.id.0,
+                        attempts: request.attempts,
+                        not_before: request.not_before,
+                    });
                     self.queue.push_front(request);
                 }
                 self.check_pool_health();
@@ -916,6 +1087,7 @@ impl Scheduler {
                     self.put_back(request.session, state, None);
                     self.queued_samples -= request.input.len();
                     self.note_dequeued(request.session);
+                    self.journal(DeltaOp::RequestFailed { request: request.id.0 });
                     events.push(Event::Failed {
                         request: request.id,
                         session: request.session,
@@ -944,6 +1116,7 @@ impl Scheduler {
             if request.session == handle {
                 self.queued_samples -= request.input.len();
                 self.note_dequeued(handle);
+                self.journal(DeltaOp::RequestFailed { request: request.id.0 });
                 events.push(Event::Failed {
                     request: request.id,
                     session: handle,
@@ -981,10 +1154,12 @@ impl Scheduler {
         }
         if self.rebuilds >= self.cfg.degrade_after_rebuilds {
             self.pool = None;
+            self.journal(DeltaOp::Degraded);
         } else {
             self.rebuilds += 1;
             self.pool = Some(SweepPool::new(self.cfg.workers));
             self.pool_panic_base = 0;
+            self.journal(DeltaOp::PoolRebuilt);
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Versioned, checksummed binary wire format for the durability layer.
 //!
 //! Everything the serving tier needs to persist or ship crosses this
-//! module as one of four record types, each framed identically:
+//! module as one of six record types, each framed identically:
 //!
 //! ```text
 //! ┌──────────────────────── 16-byte header ────────────────────────┐
@@ -23,6 +23,12 @@
 //!   model fingerprints, generation-tagged session slab, admission
 //!   queue, retry/backoff and deadline state on the injected `u64`
 //!   clock.
+//! * [`DeltaRecord`] (kind 5) — one sequence-numbered committed
+//!   scheduler mutation in the replication log, carrying the post-state
+//!   of any mutated session.
+//! * [`DigestRecord`] (kind 6) — a periodic FNV-1a digest of the
+//!   primary's canonical state (its encoded snapshot), letting a
+//!   follower prove its reconstruction byte-identical.
 //!
 //! `f64`s travel as raw IEEE-754 bit patterns, so an encode → decode
 //! round trip is **bit-exact** — the property the tier's
@@ -70,6 +76,10 @@ pub const KIND_RESPONSE: u8 = 2;
 pub const KIND_CHECKPOINT: u8 = 3;
 /// Record kind of a [`SchedulerSnapshot`].
 pub const KIND_SNAPSHOT: u8 = 4;
+/// Record kind of a [`DeltaRecord`].
+pub const KIND_DELTA: u8 = 5;
+/// Record kind of a [`DigestRecord`].
+pub const KIND_DIGEST: u8 = 6;
 
 /// Bytes of the fixed record header (magic, version, kind, reserved,
 /// payload length).
@@ -293,6 +303,119 @@ pub struct SchedulerSnapshot {
     pub queue: Vec<SnapshotRequest>,
 }
 
+/// One committed scheduler mutation, as journaled to a replication
+/// log. The op set mirrors the scheduler's commit points exactly: a
+/// follower that applies ops in sequence order reconstructs the
+/// primary's canonical state ([`SchedulerSnapshot`]) byte for byte.
+///
+/// Transient queue motion (a request picked for a batch that completes
+/// in the same tick) is deliberately *not* journaled: deltas describe
+/// committed state transitions only, so the log between any two
+/// [`DigestRecord`]s is a pure function of the scheduler's observable
+/// state.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeltaOp {
+    /// A session was opened (op 1): a slab slot was appended or popped
+    /// off the free stack, carrying the session's initial kernel state.
+    SessionOpened {
+        /// Raw handle of the new session (slot index + generation).
+        session: u64,
+        /// Registry index of the session's model.
+        model: u32,
+        /// Bit pattern of the session's sample step.
+        dt_bits: u64,
+        /// Admission tick (initial idle-expiry clock).
+        last_activity: u64,
+        /// The session's kernel state at open.
+        state: StateCheckpoint,
+    },
+    /// A chunk was admitted to the queue tail (op 2). `attempts` is
+    /// implicitly zero; the admission tick doubles as the session's new
+    /// `last_activity`.
+    Admitted {
+        /// Raw request id — must equal the follower's `next_request`.
+        request: u64,
+        /// Raw handle of the session the chunk belongs to.
+        session: u64,
+        /// Absolute-tick deadline.
+        deadline: u64,
+        /// Admission tick (also the earliest serving tick).
+        not_before: u64,
+        /// The stimulus samples.
+        input: Vec<f64>,
+    },
+    /// A chunk completed (op 3): the request left the queue and the
+    /// session's kernel state advanced to `state`.
+    ChunkCompleted {
+        /// Raw id of the completed request.
+        request: u64,
+        /// Raw handle of the session it belonged to.
+        session: u64,
+        /// Completion tick (idle-expiry clock touch).
+        last_activity: u64,
+        /// The session's kernel state after the chunk.
+        state: StateCheckpoint,
+    },
+    /// A request failed terminally (op 4) — deadline, exhausted
+    /// retries, serving error, or predecessor-failed cascade — and left
+    /// the queue.
+    RequestFailed {
+        /// Raw id of the failed request.
+        request: u64,
+    },
+    /// A session closed (op 5) — explicit close or idle expiry: queued
+    /// work purged, slot generation bumped, slot pushed on the free
+    /// stack.
+    SessionClosed {
+        /// Raw handle of the closed session.
+        session: u64,
+    },
+    /// A panicked request was requeued at the queue *front* (op 6) with
+    /// updated retry accounting. Emitted in the primary's push order,
+    /// so applying "remove by id, push front" per op reproduces the
+    /// exact queue order.
+    RequestRetried {
+        /// Raw id of the retried request.
+        request: u64,
+        /// Panicked-round attempts so far.
+        attempts: u32,
+        /// Earliest tick the retry may be served (backoff).
+        not_before: u64,
+    },
+    /// The worker pool was torn down and rebuilt (op 7) — one rung up
+    /// the degradation ladder.
+    PoolRebuilt,
+    /// The scheduler degraded to the serial path (op 8) — terminal rung
+    /// of the ladder.
+    Degraded,
+}
+
+/// One sequence-numbered entry of the replication log (kind 5).
+/// Sequences start at 1 after the baseline snapshot and increment by
+/// exactly one per committed mutation; a follower refuses any other
+/// progression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRecord {
+    /// Position in the log, starting at 1 after the baseline.
+    pub seq: u64,
+    /// The committed mutation.
+    pub op: DeltaOp,
+}
+
+/// A periodic digest of the primary's canonical state (kind 6):
+/// [`checksum64`] over the primary's encoded [`SchedulerSnapshot`]
+/// record as of sequence `seq`. A follower recomputes the same digest
+/// from its reconstructed state; any mismatch is divergence, detected
+/// at the digest rather than at promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestRecord {
+    /// The last delta sequence the digest covers.
+    pub seq: u64,
+    /// FNV-1a/64 over the primary's encoded snapshot record.
+    pub digest: u64,
+}
+
 /// A decoded wire record of any kind.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireRecord {
@@ -304,6 +427,10 @@ pub enum WireRecord {
     Checkpoint(StateCheckpoint),
     /// A full scheduler snapshot (kind 4).
     Snapshot(SchedulerSnapshot),
+    /// A replication-log delta (kind 5).
+    Delta(DeltaRecord),
+    /// A replication-log state digest (kind 6).
+    Digest(DigestRecord),
 }
 
 impl WireRecord {
@@ -314,6 +441,8 @@ impl WireRecord {
             Self::Response(_) => KIND_RESPONSE,
             Self::Checkpoint(_) => KIND_CHECKPOINT,
             Self::Snapshot(_) => KIND_SNAPSHOT,
+            Self::Delta(_) => KIND_DELTA,
+            Self::Digest(_) => KIND_DIGEST,
         }
     }
 
@@ -337,6 +466,11 @@ impl WireRecord {
             }
             Self::Checkpoint(c) => put_checkpoint(&mut p, c),
             Self::Snapshot(s) => put_snapshot(&mut p, s),
+            Self::Delta(d) => put_delta(&mut p, d),
+            Self::Digest(d) => {
+                p.put_u64_le(d.seq);
+                p.put_u64_le(d.digest);
+            }
         }
         frame(self.kind(), p.freeze())
     }
@@ -351,6 +485,15 @@ impl WireRecord {
     /// nothing is allocated beyond what the input's own length can
     /// justify.
     pub fn decode(bytes: &Bytes) -> Result<Self, WireError> {
+        Self::decode_at(bytes, true).map(|(record, _)| record)
+    }
+
+    /// Decodes the record at the *front* of `bytes`, returning it with
+    /// the number of bytes it occupied. With `exact` set, bytes past
+    /// the record's own frame are [`WireError::TrailingBytes`] (the
+    /// [`decode`](Self::decode) contract); without it, they are left
+    /// for the caller — the [`decode_stream`] contract.
+    fn decode_at(bytes: &Bytes, exact: bool) -> Result<(Self, usize), WireError> {
         let total = bytes.remaining();
         let mut cur = bytes.clone();
         let magic = cur.try_get_u32_le()?;
@@ -362,7 +505,7 @@ impl WireRecord {
             return Err(WireError::UnsupportedVersion { found: version });
         }
         let kind = cur.try_get_u8()?;
-        if !(KIND_STIMULUS..=KIND_SNAPSHOT).contains(&kind) {
+        if !(KIND_STIMULUS..=KIND_DIGEST).contains(&kind) {
             return Err(WireError::UnknownRecord { kind });
         }
         if cur.try_get_u8()? != 0 {
@@ -373,13 +516,13 @@ impl WireRecord {
         if (total as u64) < needed {
             return Err(WireError::Truncated { needed, available: total as u64 });
         }
-        if (total as u64) > needed {
+        if exact && (total as u64) > needed {
             return Err(WireError::TrailingBytes { extra: total as u64 - needed });
         }
-        // total == needed, so the payload length fits in usize.
+        // total >= needed, so the payload length fits in usize.
         let plen = payload_len as usize;
         let expected = checksum64(bytes.slice(0..HEADER_LEN + plen).as_ref());
-        let mut trailer = bytes.slice(HEADER_LEN + plen..total);
+        let mut trailer = bytes.slice(HEADER_LEN + plen..HEADER_LEN + plen + 8);
         let found = trailer.try_get_u64_le()?;
         if found != expected {
             return Err(WireError::BadChecksum { expected, found });
@@ -398,13 +541,161 @@ impl WireRecord {
                 samples: get_f64_vec(&mut p, "response samples")?,
             }),
             KIND_CHECKPOINT => Self::Checkpoint(get_checkpoint(&mut p)?),
-            _ => Self::Snapshot(get_snapshot(&mut p)?),
+            KIND_SNAPSHOT => Self::Snapshot(get_snapshot(&mut p)?),
+            KIND_DELTA => Self::Delta(get_delta(&mut p)?),
+            _ => {
+                Self::Digest(DigestRecord { seq: p.try_get_u64_le()?, digest: p.try_get_u64_le()? })
+            }
         };
         if p.remaining() != 0 {
             return Err(WireError::Malformed { what: "payload longer than its record contents" });
         }
-        Ok(record)
+        Ok((record, needed as usize))
     }
+}
+
+/// How a [`RecordStream`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEnd {
+    /// The buffer ended exactly on a record boundary.
+    Clean,
+    /// The buffer ends inside a record whose visible prefix is valid —
+    /// the shape of a log caught mid-append. A tailer keeps the
+    /// `offset` bytes it consumed and retries once more bytes arrive.
+    Partial {
+        /// Byte offset of the partial record's first byte.
+        offset: usize,
+        /// Bytes the partial record promises in total (0 when even the
+        /// header's length field is not yet visible).
+        needed: u64,
+        /// Bytes actually available from `offset`.
+        available: u64,
+    },
+}
+
+/// Streaming decoder over concatenated framed records — the shape of a
+/// replication log. Yields each complete record in order; see
+/// [`decode_stream`].
+#[derive(Debug)]
+pub struct RecordStream {
+    buf: Bytes,
+    offset: usize,
+    state: StreamState,
+}
+
+#[derive(Debug)]
+enum StreamState {
+    Running,
+    Ended(StreamEnd),
+    Failed,
+}
+
+impl RecordStream {
+    /// Bytes consumed so far — the offset of the first byte *not* part
+    /// of a fully decoded record. Stable across a trailing partial
+    /// record, so a tailer resumes from here.
+    pub fn consumed(&self) -> usize {
+        self.offset
+    }
+
+    /// How the stream ended: `None` while records remain or after a
+    /// hard decode error, `Some` once iteration returned `None`
+    /// normally — [`StreamEnd::Clean`] on an exact record boundary,
+    /// [`StreamEnd::Partial`] when the buffer ends inside a record
+    /// still being appended.
+    pub fn end(&self) -> Option<StreamEnd> {
+        match self.state {
+            StreamState::Ended(end) => Some(end),
+            _ => None,
+        }
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = Result<WireRecord, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !matches!(self.state, StreamState::Running) {
+            return None;
+        }
+        let rest = self.buf.slice(self.offset..self.buf.len());
+        let len = rest.len();
+        if len == 0 {
+            self.state = StreamState::Ended(StreamEnd::Clean);
+            return None;
+        }
+        // Validate whatever header prefix is visible: a partial record
+        // is only "partial" while every byte seen so far is consistent
+        // with a record under construction — anything else is a hard
+        // error, not a wait-for-more-bytes condition.
+        let r = rest.as_ref();
+        if len >= 4 {
+            let magic = u32::from_le_bytes([r[0], r[1], r[2], r[3]]);
+            if magic != MAGIC {
+                self.state = StreamState::Failed;
+                return Some(Err(WireError::BadMagic { found: magic }));
+            }
+        }
+        if len >= 6 {
+            let version = u16::from_le_bytes([r[4], r[5]]);
+            if version != WIRE_VERSION {
+                self.state = StreamState::Failed;
+                return Some(Err(WireError::UnsupportedVersion { found: version }));
+            }
+        }
+        if len >= 7 && !(KIND_STIMULUS..=KIND_DIGEST).contains(&r[6]) {
+            self.state = StreamState::Failed;
+            return Some(Err(WireError::UnknownRecord { kind: r[6] }));
+        }
+        if len >= 8 && r[7] != 0 {
+            self.state = StreamState::Failed;
+            return Some(Err(WireError::Malformed { what: "nonzero reserved header byte" }));
+        }
+        if len < HEADER_LEN {
+            self.state = StreamState::Ended(StreamEnd::Partial {
+                offset: self.offset,
+                needed: 0,
+                available: len as u64,
+            });
+            return None;
+        }
+        let payload_len =
+            u64::from_le_bytes([r[8], r[9], r[10], r[11], r[12], r[13], r[14], r[15]]);
+        let needed = payload_len.saturating_add(HEADER_LEN as u64 + 8);
+        if (len as u64) < needed {
+            self.state = StreamState::Ended(StreamEnd::Partial {
+                offset: self.offset,
+                needed,
+                available: len as u64,
+            });
+            return None;
+        }
+        match WireRecord::decode_at(&rest, false) {
+            Ok((record, used)) => {
+                self.offset += used;
+                Some(Ok(record))
+            }
+            Err(e) => {
+                self.state = StreamState::Failed;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Iterates the concatenated framed records at the front of `buf`,
+/// distinguishing a **clean end** (buffer exhausted exactly on a
+/// record boundary) from a **trailing partial record** (buffer ends
+/// inside a record whose visible prefix is valid — a log caught
+/// mid-append). Any other malformation is a hard, typed error and
+/// fuses the iterator.
+///
+/// After iteration, [`RecordStream::end`] reports which end state was
+/// reached and [`RecordStream::consumed`] the resume offset — together
+/// they are the log-tailing contract used by
+/// [`Follower::tail`](crate::replica::Follower::tail).
+pub fn decode_stream(buf: Bytes) -> RecordStream {
+    RecordStream { buf, offset: 0, state: StreamState::Running }
 }
 
 /// Frames a finished payload: header + payload + FNV-1a trailer.
@@ -630,6 +921,97 @@ fn get_snapshot(cur: &mut Bytes) -> Result<SchedulerSnapshot, WireError> {
     Ok(SchedulerSnapshot { cfg, next_request, rebuilds, degraded, models, slots, free, queue })
 }
 
+const OP_OPEN: u8 = 1;
+const OP_ADMIT: u8 = 2;
+const OP_COMPLETE: u8 = 3;
+const OP_FAIL: u8 = 4;
+const OP_CLOSE: u8 = 5;
+const OP_RETRY: u8 = 6;
+const OP_REBUILD: u8 = 7;
+const OP_DEGRADE: u8 = 8;
+
+fn put_delta(b: &mut BytesMut, d: &DeltaRecord) {
+    b.put_u64_le(d.seq);
+    match &d.op {
+        DeltaOp::SessionOpened { session, model, dt_bits, last_activity, state } => {
+            b.put_u8(OP_OPEN);
+            b.put_u64_le(*session);
+            b.put_u32_le(*model);
+            b.put_u64_le(*dt_bits);
+            b.put_u64_le(*last_activity);
+            put_checkpoint(b, state);
+        }
+        DeltaOp::Admitted { request, session, deadline, not_before, input } => {
+            b.put_u8(OP_ADMIT);
+            b.put_u64_le(*request);
+            b.put_u64_le(*session);
+            b.put_u64_le(*deadline);
+            b.put_u64_le(*not_before);
+            put_f64_vec(b, input);
+        }
+        DeltaOp::ChunkCompleted { request, session, last_activity, state } => {
+            b.put_u8(OP_COMPLETE);
+            b.put_u64_le(*request);
+            b.put_u64_le(*session);
+            b.put_u64_le(*last_activity);
+            put_checkpoint(b, state);
+        }
+        DeltaOp::RequestFailed { request } => {
+            b.put_u8(OP_FAIL);
+            b.put_u64_le(*request);
+        }
+        DeltaOp::SessionClosed { session } => {
+            b.put_u8(OP_CLOSE);
+            b.put_u64_le(*session);
+        }
+        DeltaOp::RequestRetried { request, attempts, not_before } => {
+            b.put_u8(OP_RETRY);
+            b.put_u64_le(*request);
+            b.put_u32_le(*attempts);
+            b.put_u64_le(*not_before);
+        }
+        DeltaOp::PoolRebuilt => b.put_u8(OP_REBUILD),
+        DeltaOp::Degraded => b.put_u8(OP_DEGRADE),
+    }
+}
+
+fn get_delta(cur: &mut Bytes) -> Result<DeltaRecord, WireError> {
+    let seq = cur.try_get_u64_le()?;
+    let op = match cur.try_get_u8()? {
+        OP_OPEN => DeltaOp::SessionOpened {
+            session: cur.try_get_u64_le()?,
+            model: cur.try_get_u32_le()?,
+            dt_bits: cur.try_get_u64_le()?,
+            last_activity: cur.try_get_u64_le()?,
+            state: get_checkpoint(cur)?,
+        },
+        OP_ADMIT => DeltaOp::Admitted {
+            request: cur.try_get_u64_le()?,
+            session: cur.try_get_u64_le()?,
+            deadline: cur.try_get_u64_le()?,
+            not_before: cur.try_get_u64_le()?,
+            input: get_f64_vec(cur, "admitted request samples")?,
+        },
+        OP_COMPLETE => DeltaOp::ChunkCompleted {
+            request: cur.try_get_u64_le()?,
+            session: cur.try_get_u64_le()?,
+            last_activity: cur.try_get_u64_le()?,
+            state: get_checkpoint(cur)?,
+        },
+        OP_FAIL => DeltaOp::RequestFailed { request: cur.try_get_u64_le()? },
+        OP_CLOSE => DeltaOp::SessionClosed { session: cur.try_get_u64_le()? },
+        OP_RETRY => DeltaOp::RequestRetried {
+            request: cur.try_get_u64_le()?,
+            attempts: cur.try_get_u32_le()?,
+            not_before: cur.try_get_u64_le()?,
+        },
+        OP_REBUILD => DeltaOp::PoolRebuilt,
+        OP_DEGRADE => DeltaOp::Degraded,
+        _ => return Err(WireError::Malformed { what: "unknown delta op" }),
+    };
+    Ok(DeltaRecord { seq, op })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,9 +1063,43 @@ mod tests {
         }
     }
 
+    fn deltas() -> Vec<WireRecord> {
+        let ops = vec![
+            DeltaOp::SessionOpened {
+                session: (2u64 << 32) | 1,
+                model: 1,
+                dt_bits: 1.0e-10f64.to_bits(),
+                last_activity: 7,
+                state: checkpoint(),
+            },
+            DeltaOp::Admitted {
+                request: 42,
+                session: (2u64 << 32) | 1,
+                deadline: 99,
+                not_before: 7,
+                input: vec![0.5, -0.0, 3.0e-200],
+            },
+            DeltaOp::ChunkCompleted {
+                request: 42,
+                session: (2u64 << 32) | 1,
+                last_activity: 9,
+                state: checkpoint(),
+            },
+            DeltaOp::RequestFailed { request: 43 },
+            DeltaOp::SessionClosed { session: (2u64 << 32) | 1 },
+            DeltaOp::RequestRetried { request: 44, attempts: 2, not_before: 21 },
+            DeltaOp::PoolRebuilt,
+            DeltaOp::Degraded,
+        ];
+        ops.into_iter()
+            .enumerate()
+            .map(|(i, op)| WireRecord::Delta(DeltaRecord { seq: i as u64 + 1, op }))
+            .collect()
+    }
+
     #[test]
-    fn all_four_records_round_trip_bit_exact() {
-        let records = [
+    fn all_records_round_trip_bit_exact() {
+        let mut records = vec![
             WireRecord::Stimulus(StimulusChunk {
                 session: 9,
                 request: 1,
@@ -693,7 +1109,9 @@ mod tests {
             WireRecord::Response(ResponseChunk { session: 9, request: 1, samples: vec![] }),
             WireRecord::Checkpoint(checkpoint()),
             WireRecord::Snapshot(snapshot()),
+            WireRecord::Digest(DigestRecord { seq: 17, digest: 0xFEED_5EED_F00D_D00D }),
         ];
+        records.extend(deltas());
         for record in records {
             let bytes = record.encode();
             let back = WireRecord::decode(&bytes).expect("round trip decodes");
@@ -812,5 +1230,76 @@ mod tests {
         // Pinned reference values of FNV-1a/64.
         assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(checksum64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn unknown_delta_op_is_malformed() {
+        let mut p = BytesMut::new();
+        p.put_u64_le(1);
+        p.put_u8(99);
+        let bytes = frame(KIND_DELTA, p.freeze());
+        assert!(matches!(
+            WireRecord::decode(&bytes),
+            Err(WireError::Malformed { what: "unknown delta op" })
+        ));
+    }
+
+    #[test]
+    fn stream_decodes_concatenated_records_to_a_clean_end() {
+        let records = deltas();
+        let mut log = BytesMut::new();
+        for r in &records {
+            log.put_slice(r.encode().as_ref());
+        }
+        let log = log.freeze();
+        let total = log.len();
+        let mut stream = decode_stream(log);
+        let mut back = Vec::new();
+        for item in &mut stream {
+            back.push(item.expect("stream record decodes"));
+        }
+        assert_eq!(back, records);
+        assert_eq!(stream.end(), Some(StreamEnd::Clean));
+        assert_eq!(stream.consumed(), total);
+    }
+
+    #[test]
+    fn stream_reports_trailing_partial_record_and_resume_offset() {
+        let a = WireRecord::Digest(DigestRecord { seq: 1, digest: 2 }).encode();
+        let b = WireRecord::Digest(DigestRecord { seq: 2, digest: 3 }).encode();
+        // Cut the second record at every interior boundary, including a
+        // sub-header cut.
+        for cut in 1..b.len() {
+            let mut log = BytesMut::new();
+            log.put_slice(a.as_ref());
+            log.put_slice(&b.as_ref()[..cut]);
+            let mut stream = decode_stream(log.freeze());
+            let first = stream.next().expect("first record present").expect("first decodes");
+            assert_eq!(first, WireRecord::decode(&a).expect("a decodes"));
+            assert!(stream.next().is_none());
+            match stream.end() {
+                Some(StreamEnd::Partial { offset, available, .. }) => {
+                    assert_eq!(offset, a.len());
+                    assert_eq!(available, cut as u64);
+                }
+                other => panic!("expected partial end at cut {cut}, got {other:?}"),
+            }
+            assert_eq!(stream.consumed(), a.len());
+        }
+    }
+
+    #[test]
+    fn stream_treats_garbage_as_hard_error_not_partial() {
+        let a = WireRecord::Digest(DigestRecord { seq: 1, digest: 2 }).encode();
+        // Bad magic right after a full record: hard error, fused.
+        let mut log = BytesMut::new();
+        log.put_slice(a.as_ref());
+        log.put_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        let mut stream = decode_stream(log.freeze());
+        assert!(stream.next().expect("first record").is_ok());
+        assert!(matches!(stream.next(), Some(Err(WireError::BadMagic { .. }))));
+        assert!(stream.next().is_none());
+        assert_eq!(stream.end(), None);
+        assert_eq!(stream.consumed(), a.len());
     }
 }

@@ -644,3 +644,120 @@ proptest! {
         kill_restore_at_seed(seed);
     }
 }
+
+/// Killing a *degraded* scheduler must not quietly un-degrade it: the
+/// restored scheduler keeps `rebuilds`, stays on the serial path, serves
+/// the queued work that crossed the crash, and still contains panics
+/// and retries afterwards — all bit-identical to one clean simulation.
+#[test]
+fn kill_restore_while_degraded_preserves_ladder_position() {
+    let _g = lock();
+    let cfg = ServeConfig {
+        retry_backoff_base: 1,
+        max_retries: 5,
+        rebuild_after_panics: 1,
+        degrade_after_rebuilds: 1,
+        ..Default::default()
+    };
+    let mut sched = Scheduler::new(registry(), cfg);
+    let model = sched.registry().id("b").expect("registered");
+    let session = sched.open_session(model, DT, 0).expect("open");
+    let sim = sched.registry().get(model).expect("model").clone();
+    let u: Vec<f64> = (0..50).map(|i| (i as f64 * 0.17).sin() * 0.9).collect();
+    let mut now = 0u64;
+    let mut outputs = BTreeMap::new();
+    // Two panicked rounds walk the ladder to its last rung.
+    for chunk in u[..20].chunks(10) {
+        chaos::arm_worker_panic();
+        sched.submit(session, chunk, now, now + 100).expect("submit");
+        drain(&mut sched, &mut now, &mut outputs);
+        now += 1;
+    }
+    assert_eq!(sched.pool_rebuilds(), 1);
+    assert!(sched.is_degraded());
+
+    // Kill the degraded scheduler with a chunk still queued.
+    sched.submit(session, &u[20..30], now, now + 100).expect("submit before kill");
+    let snap = sched.snapshot().expect("snapshot while degraded");
+    drop(sched);
+    let mut sched = Scheduler::restore(&snap, &registry()).expect("restore");
+    assert_eq!(sched.pool_rebuilds(), 1, "rebuild count survives the crash");
+    assert!(sched.is_degraded(), "a degraded scheduler restores degraded, not pooled");
+    assert_eq!(sched.queued_requests(), 1, "queued work survives the crash");
+    drain(&mut sched, &mut now, &mut outputs);
+
+    // Still on the last rung: a post-restore panic is contained and
+    // retried on the serial path, never escalated into a pool respawn.
+    chaos::arm_worker_panic();
+    sched.submit(session, &u[30..40], now, now + 100).expect("submit degraded");
+    drain(&mut sched, &mut now, &mut outputs);
+    assert!(sched.is_degraded() && sched.pool_rebuilds() == 1);
+    sched.submit(session, &u[40..], now, now + 100).expect("submit");
+    drain(&mut sched, &mut now, &mut outputs);
+    assert_bits_eq(&outputs[&session], &sim.simulate(DT, &u), "degraded kill–restore stream");
+}
+
+/// Killing a scheduler *mid-rebuild-threshold* — panics absorbed but
+/// below `rebuild_after_panics` — restores with a fresh pool whose
+/// absorbed-panic count starts over (the count lives in the pool that
+/// died, and `pool_panic_base` restores to zero with it), while the
+/// rebuild count persists. The ladder must then keep escalating:
+/// rebuild on a full fresh-pool threshold, degrade past the budget.
+#[test]
+fn kill_restore_mid_rebuild_restarts_panic_count_but_keeps_escalating() {
+    let _g = lock();
+    let cfg = ServeConfig {
+        retry_backoff_base: 1,
+        max_retries: 5,
+        rebuild_after_panics: 2,
+        degrade_after_rebuilds: 1,
+        ..Default::default()
+    };
+    let mut sched = Scheduler::new(registry(), cfg);
+    let model = sched.registry().id("a").expect("registered");
+    let session = sched.open_session(model, DT, 0).expect("open");
+    let sim = sched.registry().get(model).expect("model").clone();
+    let u: Vec<f64> = (0..60).map(|i| (i as f64 * 0.29).cos() * 0.7).collect();
+    let mut now = 0u64;
+    let mut outputs = BTreeMap::new();
+
+    // One absorbed panic: below the threshold of two, no rebuild yet.
+    chaos::arm_worker_panic();
+    sched.submit(session, &u[..10], now, now + 100).expect("submit");
+    drain(&mut sched, &mut now, &mut outputs);
+    assert_eq!(sched.pool_rebuilds(), 0);
+    assert!(!sched.is_degraded());
+
+    let snap = sched.snapshot().expect("snapshot mid-threshold");
+    drop(sched);
+    let mut sched = Scheduler::restore(&snap, &registry()).expect("restore");
+    assert_eq!(sched.pool_rebuilds(), 0);
+    assert!(!sched.is_degraded());
+
+    // The half-spent threshold died with the old pool: the next panic
+    // is strike one against the fresh pool, not strike two.
+    chaos::arm_worker_panic();
+    sched.submit(session, &u[10..20], now, now + 100).expect("submit");
+    drain(&mut sched, &mut now, &mut outputs);
+    assert_eq!(sched.pool_rebuilds(), 0, "a fresh pool restarts the panic count");
+
+    // Strike two on the fresh pool completes the threshold: rebuild.
+    chaos::arm_worker_panic();
+    sched.submit(session, &u[20..30], now, now + 100).expect("submit");
+    drain(&mut sched, &mut now, &mut outputs);
+    assert_eq!(sched.pool_rebuilds(), 1, "the ladder keeps escalating after restore");
+    assert!(!sched.is_degraded());
+
+    // Two more strikes exhaust the rebuild budget: degrade.
+    for chunk in u[30..50].chunks(10) {
+        chaos::arm_worker_panic();
+        sched.submit(session, chunk, now, now + 100).expect("submit");
+        drain(&mut sched, &mut now, &mut outputs);
+    }
+    assert_eq!(sched.pool_rebuilds(), 1);
+    assert!(sched.is_degraded(), "past the budget the restored scheduler still degrades");
+
+    sched.submit(session, &u[50..], now, now + 100).expect("submit");
+    drain(&mut sched, &mut now, &mut outputs);
+    assert_bits_eq(&outputs[&session], &sim.simulate(DT, &u), "mid-rebuild kill–restore stream");
+}

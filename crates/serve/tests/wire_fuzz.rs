@@ -12,9 +12,10 @@ use bytes::{BufMut, Bytes, BytesMut};
 use proptest::prelude::*;
 use rvf_core::{CompiledSim, SimBuilder, StateCheckpoint};
 use rvf_serve::wire::{
-    checksum64, ResponseChunk, SchedulerSnapshot, SnapshotModel, SnapshotRequest, SnapshotSession,
-    SnapshotSlot, StimulusChunk, WireError, WireRecord, HEADER_LEN, KIND_CHECKPOINT, KIND_SNAPSHOT,
-    KIND_STIMULUS, MAGIC, WIRE_VERSION,
+    checksum64, decode_stream, DeltaOp, DeltaRecord, DigestRecord, ResponseChunk,
+    SchedulerSnapshot, SnapshotModel, SnapshotRequest, SnapshotSession, SnapshotSlot,
+    StimulusChunk, StreamEnd, WireError, WireRecord, HEADER_LEN, KIND_CHECKPOINT, KIND_DELTA,
+    KIND_SNAPSHOT, KIND_STIMULUS, MAGIC, WIRE_VERSION,
 };
 use rvf_serve::{ModelRegistry, Scheduler, ServeConfig};
 
@@ -101,6 +102,38 @@ fn exemplars() -> Vec<(&'static str, Bytes)> {
         ),
         ("checkpoint", WireRecord::Checkpoint(live_checkpoint()).encode()),
         ("snapshot", live_snapshot_bytes()),
+        (
+            "delta-open",
+            WireRecord::Delta(DeltaRecord {
+                seq: 1,
+                op: DeltaOp::SessionOpened {
+                    session: 0x0000_0002_0000_0000,
+                    model: 0,
+                    dt_bits: 1.0e-10f64.to_bits(),
+                    last_activity: 12,
+                    state: live_checkpoint(),
+                },
+            })
+            .encode(),
+        ),
+        (
+            "delta-admit",
+            WireRecord::Delta(DeltaRecord {
+                seq: 2,
+                op: DeltaOp::Admitted {
+                    request: 7,
+                    session: 0x0000_0002_0000_0000,
+                    deadline: 200,
+                    not_before: 13,
+                    input: vec![0.5, -0.25, 1.0e-9, -0.0],
+                },
+            })
+            .encode(),
+        ),
+        (
+            "digest",
+            WireRecord::Digest(DigestRecord { seq: 2, digest: 0xDEAD_BEEF_0BAD_F00D }).encode(),
+        ),
     ]
 }
 
@@ -211,11 +244,19 @@ fn lying_count_fields_with_valid_checksums_cannot_oom() {
     snap.put_u64_le(0); // rebuilds
     snap.put_u8(0); // degraded
     snap.put_u32_le(u32::MAX); // model count lies
+    let mut delta = BytesMut::new();
+    delta.put_u64_le(3); // seq
+    delta.put_u8(2); // OP_ADMIT
+    for _ in 0..4 {
+        delta.put_u64_le(1); // request, session, deadline, not_before
+    }
+    delta.put_u32_le(u32::MAX); // admitted sample count lies
     for (kind, payload) in [
         (KIND_STIMULUS, stim),
         (rvf_serve::wire::KIND_RESPONSE, resp),
         (KIND_CHECKPOINT, ckpt),
         (KIND_SNAPSHOT, snap),
+        (KIND_DELTA, delta),
     ] {
         let bytes = frame_raw(kind, WIRE_VERSION, payload.freeze().as_ref());
         assert!(
@@ -272,10 +313,106 @@ fn lying_payload_length_is_typed() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Concatenated bytes of every exemplar, in order — a replication-log
+/// shaped buffer for the stream-decoding fuzz.
+fn exemplar_stream() -> (Vec<Bytes>, Bytes) {
+    let records: Vec<Bytes> = exemplars().into_iter().map(|(_, b)| b).collect();
+    let mut buf = Vec::new();
+    for r in &records {
+        buf.extend_from_slice(r.as_ref());
+    }
+    (records, Bytes::from(buf))
+}
 
-    /// ≥ 256 random bit-flip mutations per record type (32 cases × 8
+/// `decode_stream` over every exemplar back to back: each record comes
+/// out bit-identical to its framing, the iterator ends clean, and the
+/// consumed offset is the full buffer.
+#[test]
+fn stream_decodes_every_kind_to_a_clean_end() {
+    let (records, buf) = exemplar_stream();
+    let total = buf.len();
+    let mut stream = decode_stream(buf);
+    for (i, want) in records.iter().enumerate() {
+        let got = stream.next().expect("record present").expect("record decodes");
+        assert_eq!(got.encode(), *want, "record {i} did not survive the stream");
+    }
+    assert!(stream.next().is_none());
+    assert!(matches!(stream.end(), Some(StreamEnd::Clean)));
+    assert_eq!(stream.consumed(), total);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cut a multi-record stream at *any* byte: every whole record
+    /// before the cut decodes, and the end state is `Clean` exactly at
+    /// record boundaries and `Partial` (with the boundary as the resume
+    /// offset) everywhere else — never a hard error, because a
+    /// truncated tail is a log caught mid-append, not corruption.
+    #[test]
+    fn stream_cut_anywhere_distinguishes_clean_from_partial(seed in 1u64..(1u64 << 48)) {
+        let (records, buf) = exemplar_stream();
+        let mut rng = Rng::new(seed);
+        let cut = rng.below(buf.len() + 1);
+        let mut boundary = 0usize;
+        let mut whole = 0usize;
+        for r in &records {
+            if boundary + r.len() > cut {
+                break;
+            }
+            boundary += r.len();
+            whole += 1;
+        }
+        let mut stream = decode_stream(Bytes::from(buf.as_ref()[..cut].to_vec()));
+        for i in 0..whole {
+            let got = stream.next().expect("record present");
+            prop_assert!(got.is_ok(), "whole record {i} failed under cut {cut}");
+        }
+        prop_assert!(stream.next().is_none());
+        prop_assert_eq!(stream.consumed(), boundary);
+        match stream.end() {
+            Some(StreamEnd::Clean) => prop_assert_eq!(cut, boundary, "Clean off a boundary"),
+            Some(StreamEnd::Partial { offset, .. }) => {
+                prop_assert!(cut != boundary, "Partial at a boundary");
+                prop_assert_eq!(offset, boundary, "resume offset must be the last boundary");
+            }
+            None => prop_assert!(false, "stream not finished"),
+        }
+    }
+
+    /// Bit-flip a multi-record stream anywhere: iteration terminates
+    /// with some clean prefix of records followed by either a typed
+    /// error, a partial tail, or — if the flips landed in the tail
+    /// record's payload without breaking its checksum — a clean end.
+    /// Never a panic, never an unbounded loop.
+    #[test]
+    fn stream_bit_flips_terminate_typed(seed in 1u64..(1u64 << 48)) {
+        let (records, buf) = exemplar_stream();
+        let mut rng = Rng::new(seed);
+        let mut mutant = buf.as_ref().to_vec();
+        for _ in 0..1 + rng.below(4) {
+            let bit = rng.below(mutant.len() * 8);
+            mutant[bit / 8] ^= 1 << (bit % 8);
+        }
+        let mut stream = decode_stream(Bytes::from(mutant));
+        let mut yielded = 0usize;
+        let mut erred = false;
+        for item in stream.by_ref() {
+            match item {
+                Ok(_) => yielded += 1,
+                Err(_) => {
+                    erred = true;
+                    break;
+                }
+            }
+        }
+        prop_assert!(yielded <= records.len(), "stream invented records");
+        if !erred {
+            prop_assert!(stream.end().is_some(), "stream neither erred nor finished");
+        }
+    }
+
+    /// ≥ 512 random bit-flip mutations per record type (64 cases × 8
     /// mutations): every mutant decodes to a typed error — or, when the
     /// flips happen to cancel, to the original record. Never a panic.
     #[test]
